@@ -1,0 +1,70 @@
+"""E13: bounded data sharing — the (γ+1) greedy and the Figure-5 reduction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.optim import solve_exact_ip, solve_greedy
+from repro.reductions import (
+    exact_vertex_cover,
+    greedy_vertex_cover,
+    random_cubic_graph,
+    vertex_cover_to_secure_view,
+)
+from repro.workloads import random_problem
+
+
+@pytest.mark.experiment("E13")
+@pytest.mark.parametrize("max_sharing", [1, 2, 3])
+def test_bench_greedy_bounded_sharing(benchmark, max_sharing, report_sink):
+    """Greedy cost / OPT stays below γ+1 across data-sharing levels."""
+    problem = random_problem(
+        n_modules=20, kind="cardinality", seed=50 + max_sharing, max_sharing=max_sharing
+    )
+    gamma = problem.workflow.data_sharing_degree()
+    optimum = solve_exact_ip(problem).cost()
+
+    solution = benchmark(solve_greedy, problem)
+    ratio = solution.cost() / optimum
+    report_sink.append(
+        (
+            f"E13 (Theorem 7): greedy with data sharing bound γ={gamma}",
+            format_table(
+                ["quantity", "paper", "measured"],
+                [
+                    ["greedy / OPT", f"<= γ+1 = {gamma + 1}", f"{ratio:.2f}"],
+                    ["optimum cost", "-", f"{optimum:.2f}"],
+                ],
+            ),
+        )
+    )
+    assert ratio <= gamma + 1 + 1e-6
+
+
+@pytest.mark.experiment("E13")
+def test_bench_vertex_cover_reduction(benchmark, report_sink):
+    """The Figure-5 reduction: optimum = |E| + minimum vertex cover."""
+    instance = random_cubic_graph(10, seed=6)
+    problem = vertex_cover_to_secure_view(instance)
+
+    solution = benchmark(solve_exact_ip, problem)
+    vc_opt = len(exact_vertex_cover(instance))
+    expected = instance.n_edges + vc_opt
+    greedy_cover = len(greedy_vertex_cover(instance))
+    report_sink.append(
+        (
+            "E13 (Theorem 7 APX-hardness): vertex-cover reduction on a cubic graph "
+            f"({instance.n_vertices} vertices, {instance.n_edges} edges)",
+            format_table(
+                ["quantity", "paper", "measured"],
+                [
+                    ["secure-view optimum", f"|E| + K = {expected}", solution.cost()],
+                    ["minimum vertex cover K", "-", vc_opt],
+                    ["2-approx vertex cover", f"<= {2 * vc_opt}", greedy_cover],
+                    ["workflow data sharing γ", 1, problem.workflow.data_sharing_degree()],
+                ],
+            ),
+        )
+    )
+    assert solution.cost() == pytest.approx(expected)

@@ -1,0 +1,71 @@
+"""E8/E9: Theorem-4 assembly and the Example-5 Ω(n) gap."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import assemble_all_private_solution, is_gamma_private_workflow
+from repro.optim import solve_exact_ip, union_of_standalone_optima
+from repro.workloads import example5_problem, figure1_workflow
+
+
+@pytest.mark.experiment("E8")
+def test_bench_theorem4_assembly(benchmark):
+    """Assembling workflow privacy from standalone guarantees on Figure 1."""
+    workflow = figure1_workflow()
+
+    solution = benchmark(assemble_all_private_solution, workflow, 2)
+    assert is_gamma_private_workflow(workflow, solution.visible_attributes, 2)
+
+
+@pytest.mark.experiment("E9")
+def test_bench_example5_gap(benchmark, report_sink):
+    """Union of standalone optima (n+1) vs workflow optimum (2+ε)."""
+    epsilon = 0.1
+    sizes = (4, 8, 16, 32)
+
+    def run_sweep():
+        rows = []
+        for n in sizes:
+            problem = example5_problem(n, epsilon=epsilon)
+            baseline = union_of_standalone_optima(problem).cost()
+            optimum = solve_exact_ip(problem).cost()
+            rows.append((n, baseline, optimum, baseline / optimum))
+        return rows
+
+    rows = benchmark(run_sweep)
+    table_rows = [
+        [n, n + 1, baseline, 2 + epsilon, optimum, f"{ratio:.2f}"]
+        for (n, baseline, optimum, ratio) in rows
+    ]
+    report_sink.append(
+        (
+            "E9 (Example 5): union-of-standalone-optima vs workflow optimum",
+            format_table(
+                [
+                    "n",
+                    "paper baseline (n+1)",
+                    "measured baseline",
+                    "paper optimum (2+eps)",
+                    "measured optimum",
+                    "gap",
+                ],
+                table_rows,
+            ),
+        )
+    )
+    for n, baseline, optimum, ratio in rows:
+        assert baseline == pytest.approx(n + 1)
+        assert optimum == pytest.approx(2 + epsilon)
+    # The gap grows linearly in n (Ω(n)).
+    ratios = [ratio for *_rest, ratio in rows]
+    assert ratios[-1] > 2 * ratios[0]
+
+
+@pytest.mark.experiment("E9")
+def test_bench_exact_solver_on_example5(benchmark):
+    """Exact IP on the largest Example-5 instance used in the sweep."""
+    problem = example5_problem(32)
+    solution = benchmark(solve_exact_ip, problem)
+    assert solution.cost() == pytest.approx(2.1)

@@ -1,0 +1,70 @@
+"""E1/E2: Figure 1, Examples 1–4 — relations, the view of Fig. 1d, 64 worlds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import (
+    count_standalone_worlds,
+    standalone_privacy_level,
+)
+from repro.workloads import figure1_view_attributes, figure1_workflow
+
+
+@pytest.mark.experiment("E1")
+def test_bench_provenance_relation_materialization(benchmark):
+    """Materializing the Figure-1 provenance relation (4 executions)."""
+
+    def build():
+        workflow = figure1_workflow()
+        return workflow.provenance_relation()
+
+    relation = benchmark(build)
+    assert len(relation) == 4
+    assert set(relation.attribute_names) == {f"a{i}" for i in range(1, 8)}
+
+
+@pytest.mark.experiment("E2")
+def test_bench_standalone_world_counting(benchmark, report_sink):
+    """Counting Worlds(R1, V) for V = {a1, a3, a5} (Example 2: 64 worlds)."""
+    workflow = figure1_workflow()
+    m1 = workflow.module("m1")
+    visible = figure1_view_attributes()
+
+    count = benchmark(count_standalone_worlds, m1, visible)
+    assert count == 64
+
+    rows = [
+        ["|Worlds(R1, V)| for V={a1,a3,a5}", 64, count],
+        [
+            "privacy level of V={a1,a3,a5}",
+            4,
+            standalone_privacy_level(m1, visible),
+        ],
+        [
+            "privacy level hiding only inputs",
+            3,
+            standalone_privacy_level(m1, {"a3", "a4", "a5"}),
+        ],
+        [
+            "privacy level hiding outputs a4,a5",
+            4,
+            standalone_privacy_level(m1, {"a1", "a2", "a3"}),
+        ],
+    ]
+    report_sink.append(
+        (
+            "E1/E2 (Figure 1, Examples 2-3): paper vs measured",
+            format_table(["quantity", "paper", "measured"], rows),
+        )
+    )
+
+
+@pytest.mark.experiment("E2")
+def test_bench_privacy_level_check(benchmark):
+    """The Γ-privacy counting check itself (Appendix A.4 condition)."""
+    workflow = figure1_workflow()
+    m1 = workflow.module("m1")
+    level = benchmark(standalone_privacy_level, m1, figure1_view_attributes())
+    assert level == 4

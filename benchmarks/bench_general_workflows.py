@@ -1,0 +1,144 @@
+"""E15/E16/E17: public modules — privatization, the general LP, and its reductions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import (
+    SecureViewProblem,
+    SetRequirement,
+    SetRequirementList,
+    assemble_general_solution,
+    is_gamma_private_workflow,
+    workflow_privacy_level,
+)
+from repro.optim import solve_exact_ip, solve_general_lp
+from repro.reductions import (
+    exact_label_cover,
+    exact_set_cover,
+    label_cover_to_general_secure_view,
+    random_label_cover,
+    random_set_cover,
+    set_cover_to_general_secure_view,
+)
+from repro.workloads import example7_chain, random_problem
+
+
+@pytest.mark.experiment("E15")
+def test_bench_example7_privatization(benchmark, report_sink):
+    """Standalone-safe hiding fails next to public modules; privatization repairs it."""
+    workflow = example7_chain(2)
+    middle = workflow.module("m_mid")
+    hidden = set(middle.input_names)
+    visible = set(workflow.attribute_names) - hidden
+
+    def measure():
+        without = workflow_privacy_level(workflow, "m_mid", visible)
+        with_privatization = workflow_privacy_level(
+            workflow, "m_mid", visible, hidden_public_modules={"m_head"}
+        )
+        return without, with_privatization
+
+    without, with_privatization = benchmark(measure)
+    report_sink.append(
+        (
+            "E15 (Example 7 / Theorem 8): privacy level of the one-one module "
+            "after hiding its inputs",
+            format_table(
+                ["configuration", "paper", "measured"],
+                [
+                    ["public neighbours visible", "1 (privacy broken)", without],
+                    ["constant head privatized", ">= Γ = 4", with_privatization],
+                ],
+            ),
+        )
+    )
+    assert without == 1
+    assert with_privatization >= 4
+
+
+@pytest.mark.experiment("E16")
+def test_bench_theorem8_assembly(benchmark):
+    """Theorem-8 assembly on the public/private chain."""
+    workflow = example7_chain(2)
+    solution = benchmark(assemble_general_solution, workflow, 2)
+    assert is_gamma_private_workflow(
+        workflow,
+        solution.visible_attributes,
+        2,
+        hidden_public_modules=solution.privatized_modules,
+    )
+
+
+@pytest.mark.experiment("E16")
+@pytest.mark.parametrize("n_modules", [10, 20])
+def test_bench_general_lp(benchmark, n_modules, report_sink):
+    """The general LP stays within ℓ_max of the optimum on mixed workflows."""
+    problem = random_problem(
+        n_modules=n_modules, kind="set", seed=n_modules + 3, private_fraction=0.6
+    )
+    optimum = solve_exact_ip(problem).cost()
+
+    solution = benchmark(solve_general_lp, problem)
+    ratio = solution.cost() / optimum
+    report_sink.append(
+        (
+            f"E16 (Section 5.2): general LP on n={n_modules} mixed modules "
+            f"(l_max={problem.lmax})",
+            format_table(
+                ["quantity", "paper", "measured"],
+                [
+                    ["ratio to optimum", f"<= l_max = {problem.lmax}", f"{ratio:.2f}"],
+                    ["privatized public modules", "-", len(solution.privatized_modules)],
+                ],
+            ),
+        )
+    )
+    assert ratio <= problem.lmax + 1e-6
+
+
+@pytest.mark.experiment("E16")
+def test_bench_figure6_reduction(benchmark, report_sink):
+    """The Figure-6 (Theorem 10) reduction preserves the label-cover optimum."""
+    instance = random_label_cover(2, 2, 2, seed=13)
+    problem = label_cover_to_general_secure_view(instance)
+
+    solution = benchmark(solve_exact_ip, problem)
+    label_opt = instance.cost(exact_label_cover(instance))
+    report_sink.append(
+        (
+            "E16 (Theorem 10): cardinality constraints in general workflows",
+            format_table(
+                ["quantity", "paper", "measured"],
+                [
+                    ["secure-view optimum = label-cover optimum", label_opt, solution.cost()],
+                    ["cost carried by privatization only", True, solution.cost() == len(solution.privatized_modules)],
+                ],
+            ),
+        )
+    )
+    assert solution.cost() == pytest.approx(label_opt)
+
+
+@pytest.mark.experiment("E17")
+def test_bench_theorem9_reduction(benchmark, report_sink):
+    """Theorem 9: set cover without data sharing via privatization costs."""
+    instance = random_set_cover(8, 6, seed=8)
+    problem = set_cover_to_general_secure_view(instance)
+
+    solution = benchmark(solve_exact_ip, problem)
+    cover_opt = len(exact_set_cover(instance))
+    report_sink.append(
+        (
+            "E17 (Theorem 9): general workflows without data sharing",
+            format_table(
+                ["quantity", "paper", "measured"],
+                [
+                    ["secure-view optimum = set-cover optimum", cover_opt, solution.cost()],
+                    ["data sharing γ", 1, problem.workflow.data_sharing_degree()],
+                ],
+            ),
+        )
+    )
+    assert solution.cost() == pytest.approx(cover_opt)

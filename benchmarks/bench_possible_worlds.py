@@ -1,0 +1,74 @@
+"""E7: Proposition 2 — workflow worlds collapse doubly exponentially, privacy survives."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import (
+    count_standalone_worlds,
+    enumerate_workflow_worlds,
+    is_workflow_private,
+)
+from repro.workloads import proposition2_chain
+
+
+def paper_world_counts(k: int, gamma: int = 2) -> tuple[int, float]:
+    """The counts Proposition 2 derives: Γ^(2^k) standalone vs (Γ!)^(2^k/Γ) workflow."""
+    domain = 2**k
+    standalone = gamma**domain
+    workflow = math.factorial(gamma) ** (domain // gamma)
+    return standalone, workflow
+
+
+@pytest.mark.experiment("E7")
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_bench_standalone_world_count(benchmark, k):
+    """Standalone worlds of the first one-one module with log Γ outputs hidden."""
+    workflow = proposition2_chain(k)
+    m1 = workflow.module("m1")
+    visible = set(m1.attribute_names) - {"y0"}
+
+    count = benchmark(count_standalone_worlds, m1, visible)
+    expected_standalone, _ = paper_world_counts(k)
+    assert count == expected_standalone
+
+
+@pytest.mark.experiment("E7")
+def test_bench_workflow_world_enumeration(benchmark, report_sink):
+    """Enumerating the (far fewer) workflow worlds for k = 2 and measuring the ratio."""
+    k = 2
+    workflow = proposition2_chain(k)
+    visible = set(workflow.attribute_names) - {"y0"}
+
+    worlds = benchmark(lambda: list(enumerate_workflow_worlds(workflow, visible)))
+    standalone_expected, workflow_expected = paper_world_counts(k)
+    m1 = workflow.module("m1")
+    standalone_measured = count_standalone_worlds(
+        m1, set(m1.attribute_names) - {"y0"}
+    )
+
+    rows = [
+        ["standalone worlds (Γ^(2^k))", standalone_expected, standalone_measured],
+        ["workflow worlds ((Γ!)^(2^k/Γ))", workflow_expected, len(worlds)],
+        [
+            "ratio standalone/workflow",
+            standalone_expected / workflow_expected,
+            standalone_measured / len(worlds),
+        ],
+        [
+            "m1 still 2-workflow-private",
+            True,
+            is_workflow_private(workflow, "m1", visible, 2),
+        ],
+    ]
+    report_sink.append(
+        (
+            "E7 (Proposition 2): world collapse for the one-one chain, k=2",
+            format_table(["quantity", "paper", "measured"], rows),
+        )
+    )
+    assert len(worlds) < standalone_measured
+    assert len(worlds) == workflow_expected

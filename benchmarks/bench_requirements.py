@@ -1,0 +1,68 @@
+"""E14: Example 6 — set lists blow up combinatorially, cardinality lists stay tiny."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import derive_cardinality_requirements, derive_set_requirements
+from repro.workloads import example6_majority_module, example6_one_one_module
+
+
+@pytest.mark.experiment("E14")
+@pytest.mark.parametrize("k", [2, 3])
+def test_bench_one_one_list_sizes(benchmark, k, report_sink):
+    """One-one module on k bits: Ω(C(2k,k))-size set list vs 2-entry cardinality list."""
+    module = example6_one_one_module(k, seed=2)
+    gamma = 2**k
+
+    set_list = benchmark(derive_set_requirements, module, gamma)
+    card_list = derive_cardinality_requirements(module, gamma)
+    report_sink.append(
+        (
+            f"E14 (Example 6): requirement list sizes for a one-one module, k={k}",
+            format_table(
+                ["encoding", "paper expectation", "measured length"],
+                [
+                    [
+                        "set constraints",
+                        "enumerates every minimal safe subset (can reach "
+                        f"Ω(C(2k,k)) = Ω({math.comb(2 * k, k)}))",
+                        len(set_list),
+                    ],
+                    ["cardinality constraints", "2 (i.e. (k,0) and (0,k))", len(card_list)],
+                ],
+            ),
+        )
+    )
+    assert len(card_list) <= 4
+    assert len(set_list) >= len(card_list)
+    pairs = {(option.alpha, option.beta) for option in card_list}
+    assert (k, 0) in pairs and (0, k) in pairs
+
+
+@pytest.mark.experiment("E14")
+def test_bench_majority_list_sizes(benchmark, report_sink):
+    """Majority on 2k inputs: cardinality list is exactly {(k+1,0), (0,1)}."""
+    k = 2
+    module = example6_majority_module(k)
+
+    card_list = benchmark(derive_cardinality_requirements, module, 2)
+    set_list = derive_set_requirements(module, 2)
+    pairs = {(option.alpha, option.beta) for option in card_list}
+    report_sink.append(
+        (
+            "E14 (Example 6): requirement lists for majority on 2k=4 inputs",
+            format_table(
+                ["encoding", "paper expectation", "measured"],
+                [
+                    ["cardinality pairs", "{(k+1,0), (0,1)}", sorted(pairs)],
+                    ["set list length", f">= C(2k,k+1) = {math.comb(2 * k, k + 1)}", len(set_list)],
+                ],
+            ),
+        )
+    )
+    assert pairs == {(k + 1, 0), (0, 1)}
+    assert len(set_list) >= math.comb(2 * k, k + 1)

@@ -1,0 +1,100 @@
+"""E18: scalability of the LP-based solvers on scientific-workflow-shaped instances."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis import format_table
+from repro.optim import (
+    solve_cardinality_rounding,
+    solve_exact_ip,
+    solve_greedy,
+)
+from repro.workloads import ScientificWorkflowConfig, scientific_problem
+
+
+def _problem(n_modules: int, seed: int = 0):
+    config = ScientificWorkflowConfig(
+        n_modules=n_modules, seed=seed, public_fraction=0.0
+    )
+    return scientific_problem(config, kind="cardinality")
+
+
+@pytest.mark.experiment("E18")
+@pytest.mark.parametrize("n_modules", [20, 50, 100])
+def test_bench_lp_rounding_scaling(benchmark, n_modules):
+    """Algorithm 1 on increasingly large synthetic scientific workflows."""
+    problem = _problem(n_modules)
+    solution = benchmark(solve_cardinality_rounding, problem, seed=0)
+    problem.validate_solution(solution)
+
+
+@pytest.mark.experiment("E18")
+@pytest.mark.parametrize("n_modules", [20, 50, 100])
+def test_bench_greedy_scaling(benchmark, n_modules):
+    """The greedy baseline on the same instances."""
+    problem = _problem(n_modules)
+    solution = benchmark(solve_greedy, problem)
+    problem.validate_solution(solution)
+
+
+@pytest.mark.experiment("E18")
+def test_bench_solver_scaling_table(benchmark, report_sink):
+    """Wall-clock comparison across sizes, with exact optima where affordable."""
+
+    def run():
+        rows = []
+        for n_modules in (20, 50, 100):
+            problem = _problem(n_modules)
+            start = time.perf_counter()
+            rounding = solve_cardinality_rounding(problem, seed=0)
+            rounding_time = time.perf_counter() - start
+            start = time.perf_counter()
+            greedy = solve_greedy(problem)
+            greedy_time = time.perf_counter() - start
+            if n_modules <= 50:
+                start = time.perf_counter()
+                optimum = solve_exact_ip(problem).cost()
+                exact_time = time.perf_counter() - start
+            else:
+                optimum, exact_time = None, None
+            rows.append(
+                (
+                    n_modules,
+                    len(problem.workflow.attribute_names),
+                    rounding.cost(),
+                    rounding_time,
+                    greedy.cost(),
+                    greedy_time,
+                    optimum,
+                    exact_time,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table_rows = []
+    for (n, attrs, r_cost, r_time, g_cost, g_time, opt, e_time) in rows:
+        table_rows.append(
+            [
+                n,
+                attrs,
+                f"{r_cost:.1f} ({r_time:.2f}s)",
+                f"{g_cost:.1f} ({g_time:.2f}s)",
+                f"{opt:.1f} ({e_time:.2f}s)" if opt is not None else "skipped",
+            ]
+        )
+    report_sink.append(
+        (
+            "E18: solver scaling on scientific-workflow-shaped instances "
+            "(cost and wall time)",
+            format_table(
+                ["modules", "attributes", "lp rounding", "greedy", "exact IP"],
+                table_rows,
+            ),
+        )
+    )
+    # Polynomial-time solvers finish quickly even at 100 modules.
+    assert all(r_time < 30 for (_, _, _, r_time, *_rest) in rows)

@@ -1,0 +1,75 @@
+"""E12: set constraints — ℓ_max LP rounding and the Figure-4 label-cover reduction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.optim import solve_exact_ip, solve_greedy, solve_set_lp
+from repro.reductions import (
+    exact_label_cover,
+    greedy_label_cover,
+    label_cover_to_set_secure_view,
+    random_label_cover,
+)
+from repro.workloads import random_problem
+
+
+@pytest.mark.experiment("E12")
+@pytest.mark.parametrize("n_modules", [10, 20, 40])
+def test_bench_set_lp_rounding(benchmark, n_modules, report_sink):
+    """ℓ_max-rounding cost / OPT stays below ℓ_max (Theorem 6 upper bound)."""
+    problem = random_problem(n_modules=n_modules, kind="set", seed=n_modules + 1)
+    optimum = solve_exact_ip(problem).cost()
+
+    solution = benchmark(solve_set_lp, problem)
+    ratio = solution.cost() / optimum
+    greedy_ratio = solve_greedy(problem).cost() / optimum
+    report_sink.append(
+        (
+            f"E12 (Theorem 6): set constraints on n={n_modules} modules "
+            f"(l_max={problem.lmax})",
+            format_table(
+                ["method", "ratio to optimum", "paper guarantee"],
+                [
+                    ["lp rounding", f"{ratio:.2f}", f"<= l_max = {problem.lmax}"],
+                    ["greedy", f"{greedy_ratio:.2f}", "gamma+1 with bounded sharing"],
+                ],
+            ),
+        )
+    )
+    assert ratio <= problem.lmax + 1e-6
+    assert solution.cost() >= optimum - 1e-6
+
+
+@pytest.mark.experiment("E12")
+def test_bench_label_cover_reduction(benchmark, report_sink):
+    """The Figure-4 reduction preserves the label-cover optimum exactly."""
+    instance = random_label_cover(3, 2, 2, seed=11)
+    problem = label_cover_to_set_secure_view(instance)
+
+    solution = benchmark(solve_exact_ip, problem)
+    label_opt = instance.cost(exact_label_cover(instance))
+    heuristic = instance.cost(greedy_label_cover(instance))
+    report_sink.append(
+        (
+            "E12 (Theorem 6 hardness): label-cover reduction (3+2 vertices, 2 labels)",
+            format_table(
+                ["quantity", "paper", "measured"],
+                [
+                    ["secure-view optimum = label-cover optimum", label_opt, solution.cost()],
+                    ["greedy label cover (upper bound)", f">= {label_opt}", heuristic],
+                    ["l_max of the instance", "<= |L|^2", problem.lmax],
+                ],
+            ),
+        )
+    )
+    assert solution.cost() == pytest.approx(label_opt)
+
+
+@pytest.mark.experiment("E12")
+def test_bench_set_ip_exact(benchmark):
+    """Exact IP on a mid-sized set-constraint instance (baseline timing)."""
+    problem = random_problem(n_modules=30, kind="set", seed=33)
+    solution = benchmark(solve_exact_ip, problem)
+    problem.validate_solution(solution)

@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module reproduces one experiment id from DESIGN.md (E1–E18).
+Benchmarks assert the qualitative *shape* of the paper's claims (who wins,
+by roughly what factor, where guarantees hold) and time the core computation
+with pytest-benchmark.  The per-experiment tables recorded in EXPERIMENTS.md
+are produced by the same code paths via :mod:`repro.analysis`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "experiment(id): the DESIGN.md experiment an item reproduces"
+    )
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Collect (caption, text) report sections across benchmarks and print them."""
+    sections: list[tuple[str, str]] = []
+    yield sections
+    if sections:
+        print("\n\n==== reproduction tables ====")
+        for caption, text in sections:
+            print(f"\n{caption}\n{text}")

@@ -1,0 +1,108 @@
+"""Approximation study: how close the paper's algorithms get to the optimum.
+
+Sweeps random all-private workflows of increasing size and compares the exact
+IP optimum against the three approximation algorithms studied in the paper:
+
+* Algorithm 1 (LP relaxation + randomized rounding) for cardinality
+  constraints — O(log n) guarantee (Theorem 5),
+* threshold rounding of the set-constraint LP — ℓ_max guarantee (Theorem 6),
+* the per-module greedy — (γ+1) guarantee under bounded data sharing
+  (Theorem 7), which doubles as the Example-5 "union of standalone optima"
+  baseline.
+
+Run with::
+
+    python examples/approximation_study.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import Report, summarize_ratios
+from repro.optim import (
+    solve_cardinality_rounding,
+    solve_exact_ip,
+    solve_greedy,
+    solve_set_lp,
+)
+from repro.workloads import example5_problem, random_problem
+
+
+def cardinality_sweep(report: Report, sizes=(10, 20, 30), seeds=range(3)) -> None:
+    rows = []
+    for n_modules in sizes:
+        rounding_ratios, greedy_ratios = [], []
+        for seed in seeds:
+            problem = random_problem(
+                n_modules=n_modules, kind="cardinality", seed=seed * 100 + n_modules
+            )
+            optimum = solve_exact_ip(problem).cost()
+            rounding_ratios.append(
+                solve_cardinality_rounding(problem, seed=seed).cost() / optimum
+            )
+            greedy_ratios.append(solve_greedy(problem).cost() / optimum)
+        rows.append(
+            [
+                n_modules,
+                f"{summarize_ratios(rounding_ratios).mean:.2f}",
+                f"{summarize_ratios(rounding_ratios).maximum:.2f}",
+                f"{summarize_ratios(greedy_ratios).mean:.2f}",
+            ]
+        )
+    report.add_table(
+        "Cardinality constraints (Theorem 5): ratio to optimum",
+        ["modules", "lp rounding mean", "lp rounding max", "greedy mean"],
+        rows,
+    )
+
+
+def set_sweep(report: Report, sizes=(10, 20, 30), seeds=range(3)) -> None:
+    rows = []
+    for n_modules in sizes:
+        ratios = []
+        lmax = 0
+        for seed in seeds:
+            problem = random_problem(
+                n_modules=n_modules, kind="set", seed=seed * 100 + n_modules
+            )
+            lmax = max(lmax, problem.lmax)
+            optimum = solve_exact_ip(problem).cost()
+            ratios.append(solve_set_lp(problem).cost() / optimum)
+        summary = summarize_ratios(ratios)
+        rows.append([n_modules, f"{summary.mean:.2f}", f"{summary.maximum:.2f}", lmax])
+    report.add_table(
+        "Set constraints (Theorem 6): ratio to optimum vs the l_max guarantee",
+        ["modules", "mean ratio", "max ratio", "l_max"],
+        rows,
+    )
+
+
+def example5_sweep(report: Report, sizes=(4, 8, 16, 32)) -> None:
+    rows = []
+    for n in sizes:
+        problem = example5_problem(n)
+        optimum = solve_exact_ip(problem).cost()
+        baseline = solve_greedy(problem).cost()
+        rows.append([n, f"{baseline:.1f}", f"{optimum:.1f}", f"{baseline / optimum:.1f}"])
+    report.add_table(
+        "Example 5: union of standalone optima vs workflow optimum (Ω(n) gap)",
+        ["n middle modules", "baseline cost", "optimum cost", "gap"],
+        rows,
+    )
+
+
+def main() -> None:
+    report = Report("Approximation study: Secure-View algorithms vs exact optima")
+    cardinality_sweep(report)
+    set_sweep(report)
+    example5_sweep(report)
+    report.add_text(
+        "Observations: the LP-based algorithms stay within a small constant of\n"
+        "the optimum on random instances (far below their worst-case factors),\n"
+        "while the per-module greedy degrades exactly on the data-sharing-heavy\n"
+        "instances the paper's Example 5 predicts."
+    )
+    print(report.render())
+
+
+if __name__ == "__main__":
+    main()

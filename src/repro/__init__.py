@@ -1,0 +1,83 @@
+"""provenance-views: secure provenance views for module privacy.
+
+A production-quality reproduction of *"Provenance Views for Module Privacy"*
+(Davidson, Khanna, Milo, Panigrahi, Roy — PODS 2011).  The library models
+scientific workflows as DAGs of modules over finite-domain attributes,
+materializes their provenance relations, and solves the **Secure-View**
+problem: choose a minimum-cost set of attributes to hide (and, in workflows
+with public modules, public modules to privatize) so that the functionality
+of every private module remains Γ-private.
+
+Layout
+------
+``repro.core``
+    The formal model: attributes, relations, modules, workflows, provenance
+    views, possible worlds, Γ-privacy, standalone analysis, requirement
+    lists, composition theorems and the Secure-View problem definition.
+``repro.optim``
+    The optimization algorithms: exact branch and bound, the Figure-3 LP
+    with Algorithm-1 randomized rounding (cardinality constraints), the
+    ℓ_max LP rounding (set constraints), the (γ+1) greedy for bounded data
+    sharing, and the general-workflow LP with privatization.
+``repro.reductions``
+    The hardness constructions as executable generators (set cover, vertex
+    cover, label cover, UNSAT, set disjointness, the Theorem-3 adversary).
+``repro.workloads``
+    Module function libraries, the paper's example workflows, random and
+    "scientific-workflow-shaped" generators.
+``repro.analysis``
+    Experiment harness: metrics, sweeps, and text reporting.
+"""
+
+from .core import (
+    Attribute,
+    BOOLEAN,
+    CardinalityRequirement,
+    CardinalityRequirementList,
+    Domain,
+    Module,
+    ProvenanceView,
+    Relation,
+    Schema,
+    SecureViewProblem,
+    SecureViewSolution,
+    SetRequirement,
+    SetRequirementList,
+    Workflow,
+    assemble_all_private_solution,
+    assemble_general_solution,
+    is_gamma_private_workflow,
+    is_standalone_private,
+    is_workflow_private,
+    minimum_cost_safe_subset,
+    standalone_privacy_level,
+    workflow_privacy_level,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Attribute",
+    "BOOLEAN",
+    "Domain",
+    "Schema",
+    "Relation",
+    "Module",
+    "Workflow",
+    "ProvenanceView",
+    "SecureViewSolution",
+    "SecureViewProblem",
+    "SetRequirement",
+    "SetRequirementList",
+    "CardinalityRequirement",
+    "CardinalityRequirementList",
+    "is_standalone_private",
+    "standalone_privacy_level",
+    "is_workflow_private",
+    "workflow_privacy_level",
+    "is_gamma_private_workflow",
+    "minimum_cost_safe_subset",
+    "assemble_all_private_solution",
+    "assemble_general_solution",
+]

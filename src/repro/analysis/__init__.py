@@ -1,0 +1,29 @@
+"""Experiment harness: metrics, solver comparisons, sweeps and text reports."""
+
+from .experiments import SolverRun, compare_solvers, sweep, time_solver
+from .metrics import (
+    RatioSummary,
+    approximation_ratio,
+    hidden_fraction,
+    privacy_margin,
+    solution_summary,
+    summarize_ratios,
+)
+from .reporting import Report, format_records, format_table, format_value
+
+__all__ = [
+    "approximation_ratio",
+    "privacy_margin",
+    "hidden_fraction",
+    "RatioSummary",
+    "summarize_ratios",
+    "solution_summary",
+    "SolverRun",
+    "time_solver",
+    "compare_solvers",
+    "sweep",
+    "Report",
+    "format_table",
+    "format_records",
+    "format_value",
+]

@@ -1,0 +1,148 @@
+"""Experiment harness: solver comparisons and parameter sweeps.
+
+This is the glue the benchmarks and EXPERIMENTS.md use: run several solvers
+on the same Secure-View instance (optionally against the exact optimum),
+repeat randomized solvers over seeds, and sweep instance parameters while
+collecting flat records that the reporting layer renders.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+from ..core.secure_view import SecureViewProblem
+from ..core.view import SecureViewSolution
+from ..exceptions import ProvenanceError
+from ..optim import solve_exact_ip, solve_secure_view
+from .metrics import approximation_ratio, solution_summary
+
+__all__ = ["SolverRun", "compare_solvers", "sweep", "time_solver"]
+
+
+@dataclass(frozen=True)
+class SolverRun:
+    """One solver execution: its solution, cost, wall time and (optionally) ratio."""
+
+    method: str
+    solution: SecureViewSolution | None
+    cost: float
+    seconds: float
+    ratio: float | None = None
+    error: str = ""
+    extra: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def succeeded(self) -> bool:
+        return self.solution is not None
+
+    def as_record(self) -> dict[str, object]:
+        record: dict[str, object] = {
+            "method": self.method,
+            "cost": self.cost,
+            "seconds": self.seconds,
+        }
+        if self.ratio is not None:
+            record["ratio"] = self.ratio
+        if self.error:
+            record["error"] = self.error
+        record.update(self.extra)
+        return record
+
+
+def time_solver(
+    problem: SecureViewProblem, method: str, **kwargs
+) -> SolverRun:
+    """Run one solver, timing it and tolerating solver-level failures."""
+    start = time.perf_counter()
+    try:
+        solution = solve_secure_view(problem, method=method, **kwargs)
+    except ProvenanceError as exc:
+        return SolverRun(
+            method=method,
+            solution=None,
+            cost=float("inf"),
+            seconds=time.perf_counter() - start,
+            error=str(exc),
+        )
+    elapsed = time.perf_counter() - start
+    return SolverRun(
+        method=method,
+        solution=solution,
+        cost=solution.cost(),
+        seconds=elapsed,
+    )
+
+
+def compare_solvers(
+    problem: SecureViewProblem,
+    methods: Sequence[str],
+    seeds: Sequence[int] = (0,),
+    include_exact: bool = True,
+) -> list[dict[str, object]]:
+    """Run several solvers on one instance and report costs / ratios.
+
+    Randomized solvers (``lp_rounding``, ``random``) are repeated once per
+    seed and reported seed by seed; deterministic solvers run once.  When
+    ``include_exact`` is true the exact IP optimum is computed first and
+    every record carries its approximation ratio.
+    """
+    optimum: float | None = None
+    records: list[dict[str, object]] = []
+    if include_exact:
+        exact_run = time_solver(problem, "exact")
+        if exact_run.succeeded:
+            optimum = exact_run.cost
+            exact_record = solution_summary(problem, exact_run.solution, optimum)
+        else:
+            exact_record = {"method": "exact", "cost": float("inf"), "error": exact_run.error}
+        exact_record["seconds"] = exact_run.seconds
+        records.append(exact_record)
+
+    randomized = {"lp_rounding", "random", "general_lp"}
+    for method in methods:
+        if method == "exact" and include_exact:
+            continue
+        method_seeds: Sequence[int | None]
+        if method in randomized:
+            method_seeds = list(seeds)
+        else:
+            method_seeds = [None]
+        for seed in method_seeds:
+            kwargs = {"seed": seed} if seed is not None else {}
+            run = time_solver(problem, method, **kwargs)
+            if run.succeeded:
+                record = solution_summary(problem, run.solution, optimum)
+            else:
+                record = {"method": method, "cost": float("inf"), "error": run.error}
+            record["seconds"] = run.seconds
+            if seed is not None:
+                record["seed"] = seed
+            records.append(record)
+    return records
+
+
+def sweep(
+    problem_factory: Callable[[object], SecureViewProblem],
+    parameter_values: Iterable[object],
+    methods: Sequence[str],
+    seeds: Sequence[int] = (0,),
+    include_exact: bool = True,
+    parameter_name: str = "param",
+) -> list[dict[str, object]]:
+    """Run :func:`compare_solvers` across a parameter sweep.
+
+    ``problem_factory(value)`` builds the instance for each parameter value;
+    every record is tagged with the parameter so the reporting layer can
+    group by it.
+    """
+    records: list[dict[str, object]] = []
+    for value in parameter_values:
+        problem = problem_factory(value)
+        for record in compare_solvers(
+            problem, methods, seeds=seeds, include_exact=include_exact
+        ):
+            tagged = {parameter_name: value, **record}
+            records.append(tagged)
+    return records

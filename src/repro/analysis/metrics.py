@@ -1,0 +1,101 @@
+"""Metrics used by the experiment harness and benchmarks.
+
+The paper's results are about *cost ratios* (approximation factors) and
+*privacy margins* (how far above Γ a view sits), so the metrics here are
+small, composable helpers for exactly those quantities plus summary
+statistics for repeated randomized runs.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..core.secure_view import SecureViewProblem
+from ..core.view import SecureViewSolution
+from ..exceptions import SolverError
+
+__all__ = [
+    "approximation_ratio",
+    "privacy_margin",
+    "hidden_fraction",
+    "RatioSummary",
+    "summarize_ratios",
+    "solution_summary",
+]
+
+
+def approximation_ratio(cost: float, optimum: float) -> float:
+    """``cost / optimum`` with the usual conventions for zero optima."""
+    if cost < 0 or optimum < 0:
+        raise SolverError("costs must be non-negative")
+    if optimum == 0:
+        return 1.0 if cost == 0 else math.inf
+    return cost / optimum
+
+
+def privacy_margin(achieved_level: int, gamma: int) -> float:
+    """``achieved / Γ``: 1.0 means exactly Γ-private, higher means slack."""
+    if gamma < 1:
+        raise SolverError("Γ must be at least 1")
+    return achieved_level / gamma
+
+
+def hidden_fraction(solution: SecureViewSolution) -> float:
+    """Fraction of workflow attributes hidden by a solution."""
+    total = len(solution.workflow.attribute_names)
+    return len(solution.hidden_attributes) / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class RatioSummary:
+    """Summary statistics of a collection of approximation ratios."""
+
+    count: int
+    mean: float
+    median: float
+    maximum: float
+    minimum: float
+
+    def as_row(self) -> list[float]:
+        return [self.count, self.mean, self.median, self.minimum, self.maximum]
+
+
+def summarize_ratios(ratios: Iterable[float]) -> RatioSummary:
+    """Mean / median / min / max of a non-empty collection of ratios."""
+    values = [float(r) for r in ratios]
+    if not values:
+        raise SolverError("summarize_ratios needs at least one value")
+    return RatioSummary(
+        count=len(values),
+        mean=statistics.fmean(values),
+        median=statistics.median(values),
+        maximum=max(values),
+        minimum=min(values),
+    )
+
+
+def solution_summary(
+    problem: SecureViewProblem,
+    solution: SecureViewSolution,
+    optimum: float | None = None,
+) -> dict[str, float | int | str]:
+    """A flat record describing one solver run (used for report rows)."""
+    cost = solution.cost()
+    record: dict[str, float | int | str] = {
+        "method": str(solution.meta.get("method", "unknown")),
+        "cost": cost,
+        "hidden_attributes": len(solution.hidden_attributes),
+        "privatized_modules": len(solution.privatized_modules),
+        "hidden_fraction": hidden_fraction(solution),
+        "n_modules": len(problem.workflow),
+        "n_attributes": len(problem.workflow.attribute_names),
+        "gamma_sharing": problem.workflow.data_sharing_degree(),
+        "lmax": problem.lmax,
+    }
+    if optimum is not None:
+        record["optimum"] = optimum
+        record["ratio"] = approximation_ratio(cost, optimum)
+    return record

@@ -1,0 +1,106 @@
+"""Fixed-width text reporting for experiments and benchmarks.
+
+The paper has no numeric tables of its own (it is a theory paper), so the
+reporting layer standardizes how this reproduction prints its experiment
+results: one fixed-width table per experiment, with a caption naming the
+paper item it corresponds to.  The benchmark harness writes these tables to
+stdout (captured into ``bench_output.txt``) and EXPERIMENTS.md embeds them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_value", "format_table", "format_records", "Report"]
+
+
+def format_value(value: object, precision: int = 3) -> str:
+    """Render one cell: floats are rounded, everything else is str()'d."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value in (float("inf"), float("-inf")):
+            return "inf" if value > 0 else "-inf"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    caption: str = "",
+    precision: int = 3,
+) -> str:
+    """Render a fixed-width table with an optional caption line."""
+    rendered_rows = [
+        [format_value(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:  # pragma: no cover - defensive against ragged rows
+                widths.append(len(cell))
+    lines = []
+    if caption:
+        lines.append(caption)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_records(
+    records: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    caption: str = "",
+    precision: int = 3,
+) -> str:
+    """Render a list of dict records as a table (columns default to keys of the first)."""
+    if not records:
+        return caption + "\n(no records)" if caption else "(no records)"
+    keys = list(columns) if columns is not None else list(records[0].keys())
+    rows = [[record.get(key, "") for key in keys] for record in records]
+    return format_table(keys, rows, caption=caption, precision=precision)
+
+
+class Report:
+    """Accumulates captioned tables and renders them as one text document."""
+
+    def __init__(self, title: str) -> None:
+        self.title = title
+        self._sections: list[str] = []
+
+    def add_table(
+        self,
+        caption: str,
+        headers: Sequence[str],
+        rows: Iterable[Sequence[object]],
+        precision: int = 3,
+    ) -> None:
+        self._sections.append(format_table(headers, rows, caption=caption, precision=precision))
+
+    def add_records(
+        self,
+        caption: str,
+        records: Sequence[Mapping[str, object]],
+        columns: Sequence[str] | None = None,
+        precision: int = 3,
+    ) -> None:
+        self._sections.append(
+            format_records(records, columns=columns, caption=caption, precision=precision)
+        )
+
+    def add_text(self, text: str) -> None:
+        self._sections.append(text)
+
+    def render(self) -> str:
+        header = f"== {self.title} =="
+        return "\n\n".join([header, *self._sections])
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()

@@ -1,0 +1,221 @@
+"""Command-line interface: ``python -m repro.cli <command> ...``.
+
+The CLI exposes the everyday operations a workflow owner would run:
+
+* ``info``      — summarize a workflow or problem file (modules, attributes,
+  data-sharing degree, requirement lists),
+* ``solve``     — solve a Secure-View problem file with a chosen solver
+  (optionally with local-search post-processing) and print / save the
+  solution,
+* ``verify``    — brute-force check that a solution file really provides
+  Γ-privacy (small instances only),
+* ``attack``    — run the reconstruction attack against one module under a
+  solution's view,
+* ``generate``  — write a random or scientific-workflow-shaped problem file,
+* ``compare``   — run several solvers on a problem file and print the
+  comparison table.
+
+All files are the JSON documents produced by
+:mod:`repro.workloads.serialization`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from .analysis import compare_solvers, format_records
+from .core import is_gamma_private_workflow
+from .core.attack import reconstruction_attack
+from .optim import SOLVERS, solve_secure_view
+from .optim.local_search import improve_solution
+from .workloads import ScientificWorkflowConfig, random_problem, scientific_problem
+from .workloads.serialization import (
+    dump_problem,
+    load_problem,
+    solution_from_dict,
+    solution_to_dict,
+)
+
+__all__ = ["build_parser", "main"]
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    problem = load_problem(args.problem)
+    workflow = problem.workflow
+    print(f"workflow          : {workflow.name}")
+    print(f"modules           : {len(workflow)} "
+          f"({len(workflow.private_modules)} private, {len(workflow.public_modules)} public)")
+    print(f"attributes        : {len(workflow.attribute_names)}")
+    print(f"data sharing γ    : {workflow.data_sharing_degree()}")
+    print(f"privacy target Γ  : {problem.gamma}")
+    print(f"constraint kind   : {problem.constraint_kind}")
+    print(f"l_max             : {problem.lmax}")
+    for name, requirement in problem.requirements.items():
+        print(f"  requirement[{name}]: {len(requirement)} option(s)")
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    problem = load_problem(args.problem)
+    solution = solve_secure_view(problem, method=args.method)
+    if args.local_search:
+        solution = improve_solution(problem, solution)
+    problem.validate_solution(solution)
+    payload = solution_to_dict(solution)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    problem = load_problem(args.problem)
+    with open(args.solution, "r", encoding="utf-8") as handle:
+        solution = solution_from_dict(problem.workflow, json.load(handle))
+    feasible = problem.is_feasible(
+        solution.hidden_attributes, solution.privatized_modules
+    )
+    print(f"requirement-feasible: {feasible}")
+    if args.brute_force:
+        private = is_gamma_private_workflow(
+            problem.workflow,
+            solution.visible_attributes,
+            problem.gamma,
+            hidden_public_modules=solution.privatized_modules,
+        )
+        print(f"brute-force Γ-private: {private}")
+        return 0 if (feasible and private) else 1
+    return 0 if feasible else 1
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    problem = load_problem(args.problem)
+    with open(args.solution, "r", encoding="utf-8") as handle:
+        solution = solution_from_dict(problem.workflow, json.load(handle))
+    report = reconstruction_attack(
+        problem.workflow,
+        args.module,
+        solution.visible_attributes,
+        hidden_public_modules=solution.privatized_modules,
+        gamma_target=problem.gamma,
+    )
+    print(
+        format_records(
+            report.as_records(),
+            caption=(
+                f"reconstruction attack on {args.module!r}: achieved Γ = "
+                f"{report.achieved_gamma}, target Γ = {problem.gamma}"
+            ),
+        )
+    )
+    return 1 if report.breaches_target else 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.shape == "scientific":
+        problem = scientific_problem(
+            ScientificWorkflowConfig(
+                n_modules=args.modules, seed=args.seed, public_fraction=args.public_fraction
+            ),
+            kind=args.kind,
+            gamma=args.gamma,
+        )
+    else:
+        problem = random_problem(
+            n_modules=args.modules,
+            kind=args.kind,
+            seed=args.seed,
+            gamma=args.gamma,
+            topology=args.shape,
+            private_fraction=1.0 - args.public_fraction,
+        )
+    dump_problem(problem, args.output)
+    print(
+        f"wrote {args.output}: {len(problem.workflow)} modules, "
+        f"{len(problem.workflow.attribute_names)} attributes, kind={args.kind}"
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    problem = load_problem(args.problem)
+    records = compare_solvers(
+        problem,
+        args.methods,
+        seeds=tuple(range(args.seeds)),
+        include_exact=not args.no_exact,
+    )
+    print(
+        format_records(
+            records,
+            columns=["method", "cost", "ratio", "seconds"],
+            caption=f"solver comparison on {args.problem}",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Secure provenance views for module privacy (PODS 2011 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="summarize a problem file")
+    info.add_argument("problem")
+    info.set_defaults(func=_cmd_info)
+
+    solve = sub.add_parser("solve", help="solve a Secure-View problem file")
+    solve.add_argument("problem")
+    solve.add_argument("--method", default="auto", choices=sorted(SOLVERS))
+    solve.add_argument("--local-search", action="store_true")
+    solve.add_argument("--output", default="")
+    solve.set_defaults(func=_cmd_solve)
+
+    verify = sub.add_parser("verify", help="check a solution file against a problem")
+    verify.add_argument("problem")
+    verify.add_argument("solution")
+    verify.add_argument("--brute-force", action="store_true")
+    verify.set_defaults(func=_cmd_verify)
+
+    attack = sub.add_parser("attack", help="reconstruction attack against one module")
+    attack.add_argument("problem")
+    attack.add_argument("solution")
+    attack.add_argument("module")
+    attack.set_defaults(func=_cmd_attack)
+
+    generate = sub.add_parser("generate", help="generate a synthetic problem file")
+    generate.add_argument("output")
+    generate.add_argument("--modules", type=int, default=12)
+    generate.add_argument("--kind", default="cardinality", choices=["cardinality", "set"])
+    generate.add_argument(
+        "--shape", default="random", choices=["random", "chain", "layered", "scientific"]
+    )
+    generate.add_argument("--gamma", type=int, default=2)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--public-fraction", type=float, default=0.0)
+    generate.set_defaults(func=_cmd_generate)
+
+    compare = sub.add_parser("compare", help="compare solvers on a problem file")
+    compare.add_argument("problem")
+    compare.add_argument("--methods", nargs="+", default=["auto", "greedy"])
+    compare.add_argument("--seeds", type=int, default=1)
+    compare.add_argument("--no-exact", action="store_true")
+    compare.set_defaults(func=_cmd_compare)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    sys.exit(main())

@@ -1,0 +1,162 @@
+"""Core model: attributes, relations, modules, workflows, views and privacy.
+
+This subpackage implements the formal model of Sections 2–4 of the paper:
+finite-domain attributes, module relations with the functional dependency
+``I -> O``, workflow DAGs and their provenance relations, provenance views,
+Γ-privacy (standalone and workflow), the standalone Secure-View machinery,
+requirement lists, the composition theorems, and the workflow Secure-View
+problem definition.
+"""
+
+from .attributes import BOOLEAN, Attribute, Domain, Schema, boolean_attributes, integer_domain
+from .composition import (
+    assemble_all_private_solution,
+    assemble_general_solution,
+    build_flipped_world,
+    flip_assignment,
+    flip_module,
+    lemma2_witness,
+    privatization_closure,
+)
+from .attack import AttackReport, InputExposure, candidate_outputs, reconstruction_attack
+from .costs import (
+    attribute_cost_map,
+    privatization_cost_map,
+    random_attribute_costs,
+    solution_cost,
+    uniform_attribute_costs,
+)
+from .module import Module, tabulate_function
+from .possible_worlds import (
+    count_standalone_worlds,
+    enumerate_standalone_worlds,
+    enumerate_workflow_worlds,
+    is_standalone_world,
+    is_workflow_world,
+    workflow_out_set,
+    workflow_out_sets,
+)
+from .privacy import (
+    hidden_output_completions,
+    is_gamma_private_workflow,
+    is_standalone_private,
+    is_workflow_private,
+    standalone_out_counts,
+    standalone_out_set,
+    standalone_privacy_level,
+    workflow_privacy_level,
+)
+from .queries import (
+    attribute_dependency_graph,
+    depends_on,
+    downstream_attributes,
+    execution_lineage,
+    module_lineage,
+    producing_path,
+    upstream_attributes,
+    view_dependency_pairs,
+    visible_upstream,
+)
+from .relation import Relation
+from .requirements import (
+    CardinalityRequirement,
+    CardinalityRequirementList,
+    SetRequirement,
+    SetRequirementList,
+    derive_cardinality_requirements,
+    derive_set_requirements,
+    derive_workflow_requirements,
+)
+from .secure_view import SecureViewProblem
+from .standalone import (
+    SafeViewOracle,
+    StandaloneSolution,
+    enumerate_safe_hidden_subsets,
+    minimal_safe_cardinality_pairs,
+    minimal_safe_hidden_subsets,
+    minimum_cost_safe_subset,
+    safe_cardinality_pairs,
+)
+from .view import ProvenanceView, SecureViewSolution
+from .workflow import Workflow
+
+__all__ = [
+    # attributes
+    "Attribute",
+    "Domain",
+    "Schema",
+    "BOOLEAN",
+    "boolean_attributes",
+    "integer_domain",
+    # relations & modules & workflows
+    "Relation",
+    "Module",
+    "tabulate_function",
+    "Workflow",
+    # views & costs
+    "ProvenanceView",
+    "SecureViewSolution",
+    "uniform_attribute_costs",
+    "random_attribute_costs",
+    "solution_cost",
+    "attribute_cost_map",
+    "privatization_cost_map",
+    # possible worlds
+    "count_standalone_worlds",
+    "enumerate_standalone_worlds",
+    "is_standalone_world",
+    "enumerate_workflow_worlds",
+    "is_workflow_world",
+    "workflow_out_set",
+    "workflow_out_sets",
+    # privacy
+    "hidden_output_completions",
+    "standalone_out_counts",
+    "standalone_out_set",
+    "standalone_privacy_level",
+    "is_standalone_private",
+    "workflow_privacy_level",
+    "is_workflow_private",
+    "is_gamma_private_workflow",
+    # standalone secure-view
+    "SafeViewOracle",
+    "StandaloneSolution",
+    "minimum_cost_safe_subset",
+    "enumerate_safe_hidden_subsets",
+    "minimal_safe_hidden_subsets",
+    "safe_cardinality_pairs",
+    "minimal_safe_cardinality_pairs",
+    # requirements
+    "SetRequirement",
+    "SetRequirementList",
+    "CardinalityRequirement",
+    "CardinalityRequirementList",
+    "derive_set_requirements",
+    "derive_cardinality_requirements",
+    "derive_workflow_requirements",
+    # composition
+    "flip_assignment",
+    "flip_module",
+    "lemma2_witness",
+    "build_flipped_world",
+    "assemble_all_private_solution",
+    "assemble_general_solution",
+    "privatization_closure",
+    # problem
+    "SecureViewProblem",
+    # attack simulation
+    "AttackReport",
+    "InputExposure",
+    "candidate_outputs",
+    "reconstruction_attack",
+    # provenance queries
+    "attribute_dependency_graph",
+    "upstream_attributes",
+    "downstream_attributes",
+    "depends_on",
+    "producing_path",
+    "module_lineage",
+    "execution_lineage",
+    "visible_upstream",
+    "view_dependency_pairs",
+]

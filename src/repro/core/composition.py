@@ -1,0 +1,247 @@
+"""Composing workflow privacy out of standalone guarantees (Theorems 4 & 8).
+
+The central positive results of the paper state that standalone safe subsets
+compose:
+
+* **Theorem 4** (all-private workflows): if ``V̄_i`` makes module ``m_i``
+  Γ-standalone-private, then hiding ``∪_i V̄_i`` makes every module
+  Γ-workflow-private.
+* **Theorem 8** (general workflows): the same holds when, additionally, the
+  only public modules left *visible* are those all of whose input and output
+  attributes remain visible; the others must be privatized.
+
+The proofs are constructive and rest on the *flipping* machinery of Lemma 1:
+given a module ``m_i``, an input ``x`` and a candidate output ``y`` obtained
+from Lemma 2, every module ``m_j`` is redefined to ``g_j = FLIP_{m_j,p,q}``
+and the executions of the redefined workflow form a possible world in which
+``m_i`` maps ``x`` to ``y``.  This module implements the flip operators, the
+constructive world builder (used by tests to cross-validate the brute-force
+possible-worlds enumeration), and the two assembly procedures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..exceptions import PrivacyError
+from .attributes import Value
+from .module import Module
+from .privacy import standalone_out_set
+from .relation import Relation
+from .standalone import minimum_cost_safe_subset
+from .view import SecureViewSolution
+from .workflow import Workflow
+
+__all__ = [
+    "flip_assignment",
+    "flip_module",
+    "lemma2_witness",
+    "build_flipped_world",
+    "assemble_all_private_solution",
+    "assemble_general_solution",
+    "privatization_closure",
+]
+
+
+# ---------------------------------------------------------------------------
+# Flipping (Definition 7 and the FLIP operator of Appendix B.3)
+# ---------------------------------------------------------------------------
+
+def flip_assignment(
+    x: Mapping[str, Value],
+    p: Mapping[str, Value],
+    q: Mapping[str, Value],
+) -> dict[str, Value]:
+    """``FLIP_{p,q}(x)``: swap the values of ``p`` and ``q`` inside ``x``.
+
+    For every attribute ``a`` that both ``x`` and ``p``/``q`` define: if
+    ``x[a] == p[a]`` the value becomes ``q[a]``; if ``x[a] == q[a]`` it
+    becomes ``p[a]``; otherwise (and for attributes outside ``p``/``q``) the
+    value is unchanged.  ``FLIP`` is an involution.
+    """
+    flipped = dict(x)
+    for name in x:
+        if name in p and name in q:
+            if x[name] == p[name]:
+                flipped[name] = q[name]
+            elif x[name] == q[name]:
+                flipped[name] = p[name]
+    return flipped
+
+
+def flip_module(
+    module: Module,
+    p: Mapping[str, Value],
+    q: Mapping[str, Value],
+) -> Module:
+    """``g = FLIP_{m,p,q}``: flip the input, apply ``m``, flip the output.
+
+    This is Definition 7; the redefined module has the same schemas as ``m``
+    and is used to build possible worlds constructively.
+    """
+
+    def flipped_function(inputs: Mapping[str, Value]) -> Mapping[str, Value]:
+        flipped_in = flip_assignment(dict(inputs), p, q)
+        raw_out = module.apply(flipped_in)
+        return flip_assignment(raw_out, p, q)
+
+    return module.with_function(flipped_function)
+
+
+def lemma2_witness(
+    module: Module,
+    x: Mapping[str, Value],
+    y: Mapping[str, Value],
+    visible: Iterable[str],
+    relation: Relation | None = None,
+) -> tuple[dict[str, Value], dict[str, Value]]:
+    """The witness ``(x', y' = m(x'))`` of Lemma 2 for candidate output ``y``.
+
+    ``y`` must belong to ``OUT_{x,m}`` w.r.t. the visible attributes; the
+    returned execution agrees with ``x`` on the visible inputs and with ``y``
+    on the visible outputs.  Raises :class:`PrivacyError` if ``y`` is not a
+    candidate output (i.e. no such witness exists).
+    """
+    rel = relation if relation is not None else module.relation()
+    visible_set = set(visible)
+    vin = [name for name in module.input_names if name in visible_set]
+    vout = [name for name in module.output_names if name in visible_set]
+    for row in rel:
+        if all(row[name] == x[name] for name in vin) and all(
+            row[name] == y[name] for name in vout
+        ):
+            x_prime = {name: row[name] for name in module.input_names}
+            y_prime = {name: row[name] for name in module.output_names}
+            return x_prime, y_prime
+    raise PrivacyError(
+        f"{dict(y)!r} is not a candidate output of {dict(x)!r} for module "
+        f"{module.name!r} under the given visible attributes"
+    )
+
+
+def build_flipped_world(
+    workflow: Workflow,
+    module_name: str,
+    x: Mapping[str, Value],
+    y: Mapping[str, Value],
+    visible: Iterable[str],
+) -> Relation:
+    """Constructive possible world in which module ``m_i`` maps ``x`` to ``y``.
+
+    Implements the proof of Lemma 1: build ``p`` from ``(x, y)`` and ``q``
+    from the Lemma-2 witness ``(x', y')``, redefine every module ``m_j`` to
+    ``g_j = FLIP_{m_j,p,q}`` and collect the executions of the redefined
+    workflow over all initial inputs.  The caller is responsible for ensuring
+    the workflow is all-private (or that the affected public modules are
+    privatized) — otherwise the returned relation may not be a legal world
+    under Definition 6, which is exactly the failure mode Example 7 exhibits
+    and the tests probe.
+    """
+    module = workflow.module(module_name)
+    visible_vi = set(visible) & set(module.attribute_names)
+    x_prime, y_prime = lemma2_witness(module, x, y, visible_vi)
+
+    p: dict[str, Value] = {name: x[name] for name in module.input_names}
+    p.update({name: y[name] for name in module.output_names})
+    q: dict[str, Value] = dict(x_prime)
+    q.update(y_prime)
+
+    replacements = {
+        m.name: flip_module(m, p, q) for m in workflow.modules
+    }
+    flipped = workflow.with_modules_replaced(replacements)
+    return Relation(
+        workflow.schema,
+        [row for row in flipped.provenance_relation()],
+        check_domains=False,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Theorem 4 / Theorem 8 assembly
+# ---------------------------------------------------------------------------
+
+def assemble_all_private_solution(
+    workflow: Workflow,
+    gamma: int,
+    hidden_per_module: Mapping[str, Iterable[str]] | None = None,
+) -> SecureViewSolution:
+    """Theorem 4: union of standalone safe hidden sets for all-private workflows.
+
+    ``hidden_per_module`` optionally supplies, for each module, a hidden set
+    that makes it Γ-standalone-private (e.g. one chosen by an optimizer);
+    when omitted, each module's minimum-cost standalone solution is used.
+    The returned solution hides the union of the per-module hidden sets.
+    """
+    if not workflow.is_all_private:
+        raise PrivacyError(
+            "assemble_all_private_solution requires an all-private workflow; "
+            "use assemble_general_solution instead"
+        )
+    hidden: set[str] = set()
+    per_module_meta: dict[str, list[str]] = {}
+    for module in workflow.modules:
+        if hidden_per_module is not None and module.name in hidden_per_module:
+            module_hidden = set(hidden_per_module[module.name])
+        else:
+            module_hidden = set(
+                minimum_cost_safe_subset(module, gamma).hidden_attributes
+            )
+        per_module_meta[module.name] = sorted(module_hidden)
+        hidden |= module_hidden
+    return SecureViewSolution(
+        workflow,
+        frozenset(hidden),
+        frozenset(),
+        meta={"gamma": gamma, "per_module_hidden": per_module_meta},
+    )
+
+
+def privatization_closure(
+    workflow: Workflow, hidden_attributes: Iterable[str]
+) -> frozenset[str]:
+    """Public modules that must be privatized given a hidden attribute set.
+
+    Theorem 8 keeps a public module visible only if *all* of its input and
+    output attributes remain visible; any public module adjacent to a hidden
+    attribute goes into ``P̄``.
+    """
+    hidden = set(hidden_attributes)
+    privatized = {
+        module.name
+        for module in workflow.public_modules
+        if hidden & set(module.attribute_names)
+    }
+    return frozenset(privatized)
+
+
+def assemble_general_solution(
+    workflow: Workflow,
+    gamma: int,
+    hidden_per_module: Mapping[str, Iterable[str]] | None = None,
+) -> SecureViewSolution:
+    """Theorem 8: standalone assembly for workflows with public modules.
+
+    Hidden attributes are the union of the private modules' standalone safe
+    hidden sets; every public module touching a hidden attribute is
+    privatized so that condition (2) of Definition 6 stops constraining the
+    possible worlds around the private modules.
+    """
+    hidden: set[str] = set()
+    per_module_meta: dict[str, list[str]] = {}
+    for module in workflow.private_modules:
+        if hidden_per_module is not None and module.name in hidden_per_module:
+            module_hidden = set(hidden_per_module[module.name])
+        else:
+            module_hidden = set(
+                minimum_cost_safe_subset(module, gamma).hidden_attributes
+            )
+        per_module_meta[module.name] = sorted(module_hidden)
+        hidden |= module_hidden
+    privatized = privatization_closure(workflow, hidden)
+    return SecureViewSolution(
+        workflow,
+        frozenset(hidden),
+        privatized,
+        meta={"gamma": gamma, "per_module_hidden": per_module_meta},
+    )

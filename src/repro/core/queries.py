@@ -1,0 +1,154 @@
+"""Provenance queries over workflows and views.
+
+The paper's utility argument for projection-based views (Related Work,
+Section 1) is that users keep full *structural* provenance: they still know
+which module produced which (named) data item and whether two data items
+depend on each other — only selected *values* are hidden.  This module
+provides those structural queries:
+
+* lineage / dependency queries over the workflow DAG (which attributes and
+  modules an attribute depends on, and what it influences downstream),
+* the same queries restricted to a provenance view (what a user can still
+  see), and
+* value-level lineage for a single execution.
+
+These are the "select-project-join style queries over the provenance
+relation" the paper contrasts with aggregate queries; examples and tests use
+them to demonstrate that hiding attributes does not destroy structural
+utility.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import networkx as nx
+
+from ..exceptions import SchemaError
+from .attributes import Value
+from .view import ProvenanceView
+from .workflow import Workflow
+
+__all__ = [
+    "attribute_dependency_graph",
+    "upstream_attributes",
+    "downstream_attributes",
+    "depends_on",
+    "producing_path",
+    "module_lineage",
+    "execution_lineage",
+    "visible_upstream",
+    "view_dependency_pairs",
+]
+
+
+def attribute_dependency_graph(workflow: Workflow) -> nx.DiGraph:
+    """A DAG over attributes: edge a -> b iff some module reads a and writes b."""
+    graph = nx.DiGraph()
+    graph.add_nodes_from(workflow.attribute_names)
+    for module in workflow.modules:
+        for source in module.input_names:
+            for target in module.output_names:
+                graph.add_edge(source, target, module=module.name)
+    return graph
+
+
+def _check_attribute(workflow: Workflow, attribute: str) -> None:
+    if attribute not in workflow.schema:
+        raise SchemaError(f"unknown attribute {attribute!r}")
+
+
+def upstream_attributes(workflow: Workflow, attribute: str) -> frozenset[str]:
+    """All attributes the given attribute (transitively) depends on."""
+    _check_attribute(workflow, attribute)
+    graph = attribute_dependency_graph(workflow)
+    return frozenset(nx.ancestors(graph, attribute))
+
+
+def downstream_attributes(workflow: Workflow, attribute: str) -> frozenset[str]:
+    """All attributes that (transitively) depend on the given attribute."""
+    _check_attribute(workflow, attribute)
+    graph = attribute_dependency_graph(workflow)
+    return frozenset(nx.descendants(graph, attribute))
+
+
+def depends_on(workflow: Workflow, target: str, source: str) -> bool:
+    """Does ``target`` (transitively) depend on ``source``?"""
+    _check_attribute(workflow, target)
+    _check_attribute(workflow, source)
+    if target == source:
+        return True
+    return source in upstream_attributes(workflow, target)
+
+
+def producing_path(workflow: Workflow, source: str, target: str) -> list[str]:
+    """One module path along which ``source`` flows into ``target``.
+
+    Returns the list of module names on a shortest dependency path, or an
+    empty list when ``target`` does not depend on ``source``.
+    """
+    _check_attribute(workflow, source)
+    _check_attribute(workflow, target)
+    graph = attribute_dependency_graph(workflow)
+    try:
+        attribute_path = nx.shortest_path(graph, source, target)
+    except nx.NetworkXNoPath:
+        return []
+    modules = []
+    for a, b in zip(attribute_path, attribute_path[1:]):
+        modules.append(graph.edges[a, b]["module"])
+    return modules
+
+
+def module_lineage(workflow: Workflow, attribute: str) -> frozenset[str]:
+    """Names of all modules involved in producing ``attribute``."""
+    _check_attribute(workflow, attribute)
+    producer = workflow.producer_of(attribute)
+    if producer is None:
+        return frozenset()
+    involved = {producer.name}
+    for upstream in upstream_attributes(workflow, attribute):
+        upstream_producer = workflow.producer_of(upstream)
+        if upstream_producer is not None:
+            involved.add(upstream_producer.name)
+    return frozenset(involved)
+
+
+def execution_lineage(
+    workflow: Workflow, initial_inputs: Mapping[str, Value], attribute: str
+) -> dict[str, Value]:
+    """Value-level lineage: the values of everything ``attribute`` depends on.
+
+    Runs the workflow once on ``initial_inputs`` and returns the assignment
+    restricted to the attribute itself plus its upstream closure.
+    """
+    _check_attribute(workflow, attribute)
+    state = workflow.run(initial_inputs)
+    relevant = set(upstream_attributes(workflow, attribute)) | {attribute}
+    return {name: state[name] for name in workflow.attribute_names if name in relevant}
+
+
+def visible_upstream(view: ProvenanceView, attribute: str) -> frozenset[str]:
+    """The upstream attributes of ``attribute`` that remain visible in the view."""
+    return frozenset(
+        upstream_attributes(view.workflow, attribute) & set(view.visible_attributes)
+    )
+
+
+def view_dependency_pairs(view: ProvenanceView) -> frozenset[tuple[str, str]]:
+    """All (source, target) dependency pairs between *visible* attributes.
+
+    The paper's utility claim: these pairs are fully preserved by the
+    projection view — hiding values never hides connections.  Tests assert
+    that this set only shrinks by removing pairs that mention hidden
+    attributes, never by cutting visible-to-visible dependencies.
+    """
+    workflow = view.workflow
+    graph = attribute_dependency_graph(workflow)
+    closure = nx.transitive_closure_dag(graph)
+    visible = set(view.visible_attributes)
+    return frozenset(
+        (source, target)
+        for source, target in closure.edges
+        if source in visible and target in visible
+    )

@@ -1,0 +1,311 @@
+"""Relations over finite-domain attributes.
+
+A :class:`Relation` is the basic carrier of the paper's model: a module's
+functionality is a relation satisfying the functional dependency I -> O
+(Section 2.1), and a workflow's provenance relation is the input/output join
+of its module relations (Section 2.3).
+
+Tuples are stored as plain Python tuples in the schema's column order, with a
+named-dict interface on top.  Relations are immutable value objects:
+projection, selection and join all return new relations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from ..exceptions import FunctionalDependencyError, SchemaError
+from .attributes import Attribute, Schema, Value
+
+__all__ = ["Row", "Relation"]
+
+
+Row = Mapping[str, Value]
+
+
+class Relation:
+    """An immutable set of tuples over a :class:`Schema`.
+
+    Parameters
+    ----------
+    schema:
+        Column schema.  Tuples are stored in this column order.
+    rows:
+        Iterable of mappings from attribute name to value.  Duplicate rows
+        are collapsed (relations are sets, as in the paper).
+    check_domains:
+        When true (default), every value is validated against its attribute
+        domain.  Pass ``False`` for hot paths that construct already-valid
+        rows (e.g. possible-world enumeration).
+    """
+
+    __slots__ = ("_schema", "_rows", "_row_set")
+
+    def __init__(
+        self,
+        schema: Schema,
+        rows: Iterable[Row] = (),
+        check_domains: bool = True,
+    ) -> None:
+        self._schema = schema
+        names = schema.names
+        materialized: list[tuple[Value, ...]] = []
+        seen: set[tuple[Value, ...]] = set()
+        for row in rows:
+            tup = self._row_to_tuple(row, names, check_domains)
+            if tup not in seen:
+                seen.add(tup)
+                materialized.append(tup)
+        self._rows = tuple(materialized)
+        self._row_set = seen
+
+    def _row_to_tuple(
+        self, row: Row, names: Sequence[str], check_domains: bool
+    ) -> tuple[Value, ...]:
+        if isinstance(row, tuple) and len(row) == len(names):
+            values = row
+        else:
+            try:
+                values = tuple(row[name] for name in names)
+            except KeyError as exc:
+                raise SchemaError(
+                    f"row {row!r} is missing attribute {exc.args[0]!r}"
+                ) from exc
+        if check_domains:
+            for name, value in zip(names, values):
+                self._schema[name].domain.validate(value)
+        return values
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def from_tuples(
+        cls,
+        schema: Schema,
+        tuples: Iterable[Sequence[Value]],
+        check_domains: bool = True,
+    ) -> "Relation":
+        """Build a relation from positional tuples in schema column order."""
+        names = schema.names
+        rows = []
+        for tup in tuples:
+            if len(tup) != len(names):
+                raise SchemaError(
+                    f"tuple {tup!r} has {len(tup)} values, schema has "
+                    f"{len(names)} attributes"
+                )
+            rows.append(dict(zip(names, tup)))
+        return cls(schema, rows, check_domains=check_domains)
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "Relation":
+        return cls(schema, ())
+
+    # -- container protocol ---------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[dict[str, Value]]:
+        names = self._schema.names
+        for tup in self._rows:
+            yield dict(zip(names, tup))
+
+    def __contains__(self, row: Row) -> bool:
+        names = self._schema.names
+        try:
+            tup = tuple(row[name] for name in names)
+        except (KeyError, TypeError):
+            return False
+        return tup in self._row_set
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return (
+            self._schema.names == other._schema.names
+            and self._row_set == other._row_set
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._schema.names, frozenset(self._row_set)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Relation({', '.join(self._schema.names)}; {len(self)} rows)"
+
+    # -- accessors -----------------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return self._schema.names
+
+    @property
+    def tuples(self) -> tuple[tuple[Value, ...], ...]:
+        """Raw tuples in schema column order (insertion order preserved)."""
+        return self._rows
+
+    def row(self, index: int) -> dict[str, Value]:
+        """The ``index``-th row as a name -> value dict."""
+        return dict(zip(self._schema.names, self._rows[index]))
+
+    def column(self, name: str) -> tuple[Value, ...]:
+        """All values of one attribute, in row order (with duplicates)."""
+        pos = self._schema.names.index(name)
+        if name not in self._schema:
+            raise SchemaError(f"unknown attribute {name!r}")
+        return tuple(tup[pos] for tup in self._rows)
+
+    def distinct_values(self, name: str) -> set[Value]:
+        """Set of values taken by attribute ``name`` in this relation."""
+        return set(self.column(name))
+
+    # -- relational algebra ---------------------------------------------------
+    def project(self, names: Iterable[str]) -> "Relation":
+        """Projection ``pi_names(R)``; duplicates are collapsed."""
+        ordered = self._schema.project_order(names)
+        positions = [self._schema.names.index(name) for name in ordered]
+        sub_schema = self._schema.subset(ordered)
+        projected = (
+            tuple(tup[pos] for pos in positions) for tup in self._rows
+        )
+        return Relation.from_tuples(sub_schema, projected, check_domains=False)
+
+    def select(self, predicate: Callable[[dict[str, Value]], bool]) -> "Relation":
+        """Selection: rows for which ``predicate(row_dict)`` is true."""
+        names = self._schema.names
+        kept = [
+            tup
+            for tup in self._rows
+            if predicate(dict(zip(names, tup)))
+        ]
+        return Relation.from_tuples(self._schema, kept, check_domains=False)
+
+    def select_equals(self, assignment: Mapping[str, Value]) -> "Relation":
+        """Rows matching a partial assignment (conjunctive equality)."""
+        positions = [
+            (self._schema.names.index(name), value)
+            for name, value in assignment.items()
+        ]
+        kept = [
+            tup
+            for tup in self._rows
+            if all(tup[pos] == value for pos, value in positions)
+        ]
+        return Relation.from_tuples(self._schema, kept, check_domains=False)
+
+    def natural_join(self, other: "Relation") -> "Relation":
+        """Natural join on shared attribute names.
+
+        This is the ``R = R_1 join ... join R_n`` operation of Section 2.3:
+        shared names are the data edges of the workflow.  If the relations
+        share no attributes the result is the cross product.
+        """
+        left_names = self._schema.names
+        right_names = other._schema.names
+        shared = [name for name in right_names if name in self._schema]
+        right_only = [name for name in right_names if name not in self._schema]
+
+        joined_schema = self._schema.union(other._schema)
+
+        left_shared_pos = [left_names.index(name) for name in shared]
+        right_shared_pos = [right_names.index(name) for name in shared]
+        right_only_pos = [right_names.index(name) for name in right_only]
+
+        # Hash join on the shared-name key.
+        index: dict[tuple[Value, ...], list[tuple[Value, ...]]] = {}
+        for rtup in other._rows:
+            key = tuple(rtup[pos] for pos in right_shared_pos)
+            index.setdefault(key, []).append(rtup)
+
+        out_rows = []
+        for ltup in self._rows:
+            key = tuple(ltup[pos] for pos in left_shared_pos)
+            for rtup in index.get(key, ()):
+                out_rows.append(ltup + tuple(rtup[pos] for pos in right_only_pos))
+        return Relation.from_tuples(joined_schema, out_rows, check_domains=False)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Relation":
+        """Rename attributes; names not in ``mapping`` are kept."""
+        new_attrs = []
+        for attr in self._schema:
+            new_name = mapping.get(attr.name, attr.name)
+            new_attrs.append(Attribute(new_name, attr.domain, attr.cost))
+        return Relation.from_tuples(Schema(new_attrs), self._rows, check_domains=False)
+
+    def union(self, other: "Relation") -> "Relation":
+        """Set union of two relations over the same attribute names."""
+        if self._schema.names != other._schema.names:
+            raise SchemaError("union requires identical schemas")
+        return Relation.from_tuples(
+            self._schema, self._rows + other._rows, check_domains=False
+        )
+
+    def difference(self, other: "Relation") -> "Relation":
+        """Set difference of two relations over the same attribute names."""
+        if self._schema.names != other._schema.names:
+            raise SchemaError("difference requires identical schemas")
+        kept = [tup for tup in self._rows if tup not in other._row_set]
+        return Relation.from_tuples(self._schema, kept, check_domains=False)
+
+    # -- grouping -------------------------------------------------------------
+    def group_by(
+        self, names: Sequence[str]
+    ) -> dict[tuple[Value, ...], "Relation"]:
+        """Group rows by their projection on ``names``.
+
+        Returns a mapping from the key tuple (in the order of ``names`` after
+        re-ordering to schema order) to the sub-relation of matching rows.
+        Used by the standalone privacy check, which groups executions by the
+        visible input attributes.
+        """
+        ordered = self._schema.project_order(names)
+        positions = [self._schema.names.index(name) for name in ordered]
+        groups: dict[tuple[Value, ...], list[tuple[Value, ...]]] = {}
+        for tup in self._rows:
+            key = tuple(tup[pos] for pos in positions)
+            groups.setdefault(key, []).append(tup)
+        return {
+            key: Relation.from_tuples(self._schema, rows, check_domains=False)
+            for key, rows in groups.items()
+        }
+
+    # -- functional dependencies ----------------------------------------------
+    def satisfies_fd(self, determinant: Iterable[str], dependent: Iterable[str]) -> bool:
+        """Check the functional dependency ``determinant -> dependent``."""
+        det = self._schema.project_order(determinant)
+        dep = self._schema.project_order(dependent)
+        det_pos = [self._schema.names.index(name) for name in det]
+        dep_pos = [self._schema.names.index(name) for name in dep]
+        seen: dict[tuple[Value, ...], tuple[Value, ...]] = {}
+        for tup in self._rows:
+            key = tuple(tup[pos] for pos in det_pos)
+            value = tuple(tup[pos] for pos in dep_pos)
+            if seen.setdefault(key, value) != value:
+                return False
+        return True
+
+    def assert_fd(self, determinant: Iterable[str], dependent: Iterable[str]) -> None:
+        """Raise :class:`FunctionalDependencyError` if the FD is violated."""
+        if not self.satisfies_fd(determinant, dependent):
+            raise FunctionalDependencyError(
+                f"relation violates FD {sorted(determinant)} -> {sorted(dependent)}"
+            )
+
+    # -- pretty printing -------------------------------------------------------
+    def to_text(self, max_rows: int | None = None) -> str:
+        """Fixed-width text rendering, used by examples and reports."""
+        names = self._schema.names
+        rows = self._rows if max_rows is None else self._rows[:max_rows]
+        widths = [
+            max(len(str(name)), *(len(str(tup[i])) for tup in rows)) if rows else len(str(name))
+            for i, name in enumerate(names)
+        ]
+        header = "  ".join(str(name).ljust(w) for name, w in zip(names, widths))
+        sep = "  ".join("-" * w for w in widths)
+        lines = [header, sep]
+        for tup in rows:
+            lines.append("  ".join(str(v).ljust(w) for v, w in zip(tup, widths)))
+        if max_rows is not None and len(self._rows) > max_rows:
+            lines.append(f"... ({len(self._rows) - max_rows} more rows)")
+        return "\n".join(lines)

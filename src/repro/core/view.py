@@ -1,0 +1,149 @@
+"""Provenance views and secure-view solutions.
+
+A *provenance view* (Section 2.2) is the projection of a provenance relation
+on the attributes the workflow owner decided to keep visible.  A
+*secure-view solution* additionally records which public modules were
+privatized (Section 5) and carries the cost bookkeeping used throughout the
+optimization layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..exceptions import SchemaError
+from .costs import solution_cost
+from .relation import Relation
+from .workflow import Workflow
+
+__all__ = ["ProvenanceView", "SecureViewSolution"]
+
+
+@dataclass(frozen=True)
+class ProvenanceView:
+    """The view ``R_V = pi_V(R)`` a user is shown.
+
+    Attributes
+    ----------
+    workflow:
+        The underlying workflow.
+    visible_attributes:
+        The visible attribute set ``V``.
+    hidden_public_modules:
+        Names of public modules whose identity is hidden (privatized).
+    """
+
+    workflow: Workflow
+    visible_attributes: frozenset[str]
+    hidden_public_modules: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        all_names = set(self.workflow.attribute_names)
+        unknown = set(self.visible_attributes) - all_names
+        if unknown:
+            raise SchemaError(f"unknown visible attributes {sorted(unknown)!r}")
+        unknown_modules = set(self.hidden_public_modules) - set(
+            self.workflow.module_names
+        )
+        if unknown_modules:
+            raise SchemaError(f"unknown modules {sorted(unknown_modules)!r}")
+
+    @classmethod
+    def from_hidden(
+        cls,
+        workflow: Workflow,
+        hidden_attributes: Iterable[str],
+        hidden_public_modules: Iterable[str] = (),
+    ) -> "ProvenanceView":
+        """Build a view by specifying the hidden side ``V̄`` instead of ``V``."""
+        hidden = set(hidden_attributes)
+        visible = frozenset(set(workflow.attribute_names) - hidden)
+        return cls(workflow, visible, frozenset(hidden_public_modules))
+
+    @property
+    def hidden_attributes(self) -> frozenset[str]:
+        """``V̄ = A \\ V``."""
+        return frozenset(set(self.workflow.attribute_names) - self.visible_attributes)
+
+    @property
+    def visible_public_modules(self) -> frozenset[str]:
+        """Public modules whose identity (and functionality) stays known."""
+        return frozenset(
+            module.name
+            for module in self.workflow.public_modules
+            if module.name not in self.hidden_public_modules
+        )
+
+    def relation(self) -> Relation:
+        """The visible relation ``pi_V(R)`` over all executions."""
+        return self.workflow.provenance_relation().project(self.visible_attributes)
+
+    def hiding_cost(self) -> float:
+        """``c(V̄)``: total cost of the hidden attributes."""
+        return self.workflow.attribute_cost(self.hidden_attributes)
+
+    def privatization_cost(self) -> float:
+        """``c(P̄)``: total cost of the privatized public modules."""
+        return self.workflow.privatization_cost(self.hidden_public_modules)
+
+    def total_cost(self) -> float:
+        return self.hiding_cost() + self.privatization_cost()
+
+    def restrict(self, attributes: Iterable[str]) -> "ProvenanceView":
+        """A coarser view showing only ``attributes ∩ V`` (Proposition 1)."""
+        return ProvenanceView(
+            self.workflow,
+            frozenset(self.visible_attributes) & set(attributes),
+            self.hidden_public_modules,
+        )
+
+
+@dataclass(frozen=True)
+class SecureViewSolution:
+    """A candidate solution to a Secure-View problem instance.
+
+    ``hidden_attributes`` is ``V̄`` and ``privatized_modules`` is ``P̄`` (empty
+    in all-private workflows).  ``meta`` carries solver diagnostics (LP value,
+    rounding seed, number of oracle calls, ...) that benchmarks report.
+    """
+
+    workflow: Workflow
+    hidden_attributes: frozenset[str]
+    privatized_modules: frozenset[str] = frozenset()
+    meta: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        unknown = set(self.hidden_attributes) - set(self.workflow.attribute_names)
+        if unknown:
+            raise SchemaError(f"unknown hidden attributes {sorted(unknown)!r}")
+        unknown_modules = set(self.privatized_modules) - set(self.workflow.module_names)
+        if unknown_modules:
+            raise SchemaError(f"unknown modules {sorted(unknown_modules)!r}")
+
+    @property
+    def visible_attributes(self) -> frozenset[str]:
+        return frozenset(
+            set(self.workflow.attribute_names) - set(self.hidden_attributes)
+        )
+
+    def cost(self) -> float:
+        """``c(V̄) + c(P̄)`` under the workflow's declared costs."""
+        return solution_cost(
+            self.workflow, self.hidden_attributes, self.privatized_modules
+        )
+
+    def view(self) -> ProvenanceView:
+        """The provenance view this solution induces."""
+        return ProvenanceView(
+            self.workflow, self.visible_attributes, self.privatized_modules
+        )
+
+    def with_extra_hidden(self, attributes: Iterable[str]) -> "SecureViewSolution":
+        """Solution with additional hidden attributes (still safe, Prop. 1)."""
+        return SecureViewSolution(
+            self.workflow,
+            frozenset(set(self.hidden_attributes) | set(attributes)),
+            self.privatized_modules,
+            dict(self.meta),
+        )

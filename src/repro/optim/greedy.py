@@ -1,0 +1,123 @@
+"""Greedy algorithms for the Secure-View problem.
+
+Two greedy strategies appear in the paper:
+
+* the **(γ+1)-approximation** for workflows with γ-bounded data sharing
+  (Theorem 7): every module independently picks its cheapest requirement
+  option and the hidden set is the union of the picks.  Because an attribute
+  is produced by one module and consumed by at most γ modules, an optimal
+  solution pays for each hidden attribute at most γ+1 times, giving the
+  bound.
+* the **union-of-standalone-optima** baseline of Example 5, which is the
+  same computation but presented as a baseline: the example shows its cost
+  can be Ω(n) times the workflow optimum once data sharing is unbounded.
+
+The same function implements both; the baseline name is kept as an alias so
+benchmark output reads like the paper.
+"""
+
+from __future__ import annotations
+
+from ..core.requirements import CardinalityRequirementList, SetRequirementList
+from ..core.secure_view import SecureViewProblem
+from ..core.view import SecureViewSolution
+from ..exceptions import RequirementError, SolverError
+
+__all__ = ["solve_greedy", "union_of_standalone_optima", "greedy_guarantee"]
+
+
+def _cheapest_option_attributes(
+    problem: SecureViewProblem, module_name: str
+) -> set[str]:
+    """The cheapest hidden attribute set satisfying one module on its own."""
+    requirement = problem.requirements[module_name]
+    module = problem.workflow.module(module_name)
+    costs = problem.attribute_costs()
+    hidable = set(problem.hidable_attributes)
+
+    if isinstance(requirement, SetRequirementList):
+        best: tuple[float, set[str]] | None = None
+        for option in requirement:
+            attributes = set(option.attributes)
+            if not attributes <= hidable:
+                continue
+            cost = sum(costs[name] for name in attributes)
+            if best is None or cost < best[0]:
+                best = (cost, attributes)
+        if best is None:
+            raise RequirementError(
+                f"module {module_name!r} has no hidable set option"
+            )
+        return best[1]
+
+    if isinstance(requirement, CardinalityRequirementList):
+        inputs = sorted(
+            (name for name in module.input_names if name in hidable),
+            key=lambda name: costs[name],
+        )
+        outputs = sorted(
+            (name for name in module.output_names if name in hidable),
+            key=lambda name: costs[name],
+        )
+        best = None
+        for option in requirement:
+            if option.alpha > len(inputs) or option.beta > len(outputs):
+                continue
+            chosen = set(inputs[: option.alpha]) | set(outputs[: option.beta])
+            cost = sum(costs[name] for name in chosen)
+            if best is None or cost < best[0]:
+                best = (cost, chosen)
+        if best is None:
+            raise RequirementError(
+                f"module {module_name!r} has no realizable cardinality option"
+            )
+        return best[1]
+
+    raise RequirementError(f"unsupported requirement type {type(requirement)!r}")
+
+
+def solve_greedy(problem: SecureViewProblem) -> SecureViewSolution:
+    """Per-module cheapest-option greedy; (γ+1)-approximate under bounded sharing."""
+    hidden: set[str] = set()
+    per_module: dict[str, list[str]] = {}
+    for module_name in problem.requirements:
+        chosen = _cheapest_option_attributes(problem, module_name)
+        per_module[module_name] = sorted(chosen)
+        hidden |= chosen
+
+    privatized = problem.required_privatizations(hidden)
+    if privatized and not problem.allow_privatization:
+        raise SolverError(
+            "the greedy choice hides attributes adjacent to public modules "
+            "but privatization is disallowed for this instance"
+        )
+    solution = SecureViewSolution(
+        problem.workflow,
+        frozenset(hidden),
+        privatized,
+        meta={
+            "method": "greedy",
+            "per_module_choice": per_module,
+            "gamma": problem.workflow.data_sharing_degree(),
+            "guarantee": greedy_guarantee(problem),
+            "cost": problem.solution_cost(hidden, privatized),
+        },
+    )
+    problem.validate_solution(solution)
+    return solution
+
+
+def union_of_standalone_optima(problem: SecureViewProblem) -> SecureViewSolution:
+    """The Example-5 baseline: union of each module's cheapest safe option.
+
+    Identical to :func:`solve_greedy`; kept as a separate name so that
+    benchmark tables can label the baseline the way the paper does.
+    """
+    solution = solve_greedy(problem)
+    solution.meta["method"] = "union_of_standalone_optima"
+    return solution
+
+
+def greedy_guarantee(problem: SecureViewProblem) -> int:
+    """The (γ+1) approximation factor Theorem 7 guarantees for this instance."""
+    return problem.workflow.data_sharing_degree() + 1

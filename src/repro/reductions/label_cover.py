@@ -1,0 +1,349 @@
+"""Minimum label cover and its two Secure-View reductions.
+
+Label cover is the canonical starting point for super-polylogarithmic
+hardness; the paper uses it twice:
+
+* **Theorem 6 (Figure 4)** — Secure-View with *set constraints* in
+  all-private workflows: a hub module ``z`` produces an item ``b_{u,ℓ}`` per
+  (vertex, label) pair; every edge module ``x_{uw}`` lists one option
+  ``{b_{u,ℓ1}, b_{w,ℓ2}}`` per relation pair ``(ℓ1, ℓ2) ∈ R_{uw}``.  A label
+  assignment of total size K corresponds exactly to a secure view of cost K
+  (Lemma 5).
+* **Theorem 10 (Figure 6)** — Secure-View with *cardinality constraints* in
+  general workflows: the (vertex, label) pairs become public modules
+  ``z_{u,ℓ}`` of privatization cost 1; all data items cost 0, so again the
+  solution cost equals the label-cover cost (Lemma 8).
+
+Besides the reductions this module ships an instance type, a random
+generator and exact/greedy label-cover solvers used as benchmark baselines.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..core.attributes import Attribute, BOOLEAN
+from ..core.module import Module
+from ..core.requirements import (
+    CardinalityRequirement,
+    CardinalityRequirementList,
+    SetRequirement,
+    SetRequirementList,
+)
+from ..core.secure_view import SecureViewProblem
+from ..core.workflow import Workflow
+from ..exceptions import InfeasibleError
+
+__all__ = [
+    "LabelCoverInstance",
+    "random_label_cover",
+    "exact_label_cover",
+    "greedy_label_cover",
+    "label_cover_to_set_secure_view",
+    "label_cover_to_general_secure_view",
+]
+
+
+@dataclass(frozen=True)
+class LabelCoverInstance:
+    """A minimum label cover instance on a bipartite graph.
+
+    ``relations[(u, w)]`` is the non-empty set of admissible label pairs
+    ``(ℓ1, ℓ2)`` for the edge ``(u, w)`` with ``u`` on the left side and
+    ``w`` on the right side.
+    """
+
+    left: tuple[str, ...]
+    right: tuple[str, ...]
+    labels: tuple[int, ...]
+    relations: Mapping[tuple[str, str], frozenset[tuple[int, int]]]
+
+    def __post_init__(self) -> None:
+        left_set, right_set = set(self.left), set(self.right)
+        for (u, w), pairs in self.relations.items():
+            if u not in left_set or w not in right_set:
+                raise InfeasibleError(f"edge ({u}, {w}) uses unknown vertices")
+            if not pairs:
+                raise InfeasibleError(f"edge ({u}, {w}) has an empty relation")
+            for l1, l2 in pairs:
+                if l1 not in self.labels or l2 not in self.labels:
+                    raise InfeasibleError(f"edge ({u}, {w}) uses unknown labels")
+
+    @property
+    def vertices(self) -> tuple[str, ...]:
+        return self.left + self.right
+
+    @property
+    def edges(self) -> tuple[tuple[str, str], ...]:
+        return tuple(self.relations)
+
+    def is_feasible(self, assignment: Mapping[str, frozenset[int]]) -> bool:
+        """Does the label assignment satisfy every edge relation?"""
+        for (u, w), pairs in self.relations.items():
+            labels_u = assignment.get(u, frozenset())
+            labels_w = assignment.get(w, frozenset())
+            if not any((l1 in labels_u and l2 in labels_w) for l1, l2 in pairs):
+                return False
+        return True
+
+    def cost(self, assignment: Mapping[str, frozenset[int]]) -> int:
+        return sum(len(labels) for labels in assignment.values())
+
+
+def random_label_cover(
+    n_left: int,
+    n_right: int,
+    n_labels: int,
+    pairs_per_edge: int = 2,
+    edge_probability: float = 0.6,
+    seed: int | None = 0,
+) -> LabelCoverInstance:
+    """A random label-cover instance with at least one edge per left vertex."""
+    rng = random.Random(seed)
+    left = tuple(f"u{i}" for i in range(n_left))
+    right = tuple(f"w{i}" for i in range(n_right))
+    labels = tuple(range(n_labels))
+    relations: dict[tuple[str, str], frozenset[tuple[int, int]]] = {}
+    all_pairs = [(l1, l2) for l1 in labels for l2 in labels]
+    for u in left:
+        attached = False
+        for w in right:
+            if rng.random() < edge_probability:
+                count = min(pairs_per_edge, len(all_pairs))
+                relations[(u, w)] = frozenset(rng.sample(all_pairs, count))
+                attached = True
+        if not attached:
+            w = rng.choice(right)
+            count = min(pairs_per_edge, len(all_pairs))
+            relations[(u, w)] = frozenset(rng.sample(all_pairs, count))
+    return LabelCoverInstance(left, right, labels, relations)
+
+
+def exact_label_cover(
+    instance: LabelCoverInstance, max_cost: int | None = None
+) -> dict[str, frozenset[int]]:
+    """Exact minimum label cover by exhaustive search over assignments.
+
+    Enumerates assignments by increasing total label count; intended for the
+    small instances the reduction benchmarks use.
+    """
+    vertices = instance.vertices
+    labels = instance.labels
+    ceiling = max_cost if max_cost is not None else len(vertices) * len(labels)
+
+    # Candidate (vertex, label) picks; assignments are subsets of these.
+    picks = [(vertex, label) for vertex in vertices for label in labels]
+    for total in range(0, ceiling + 1):
+        for chosen in itertools.combinations(picks, total):
+            assignment: dict[str, set[int]] = {vertex: set() for vertex in vertices}
+            for vertex, label in chosen:
+                assignment[vertex].add(label)
+            frozen = {v: frozenset(s) for v, s in assignment.items()}
+            if instance.is_feasible(frozen):
+                return frozen
+    raise InfeasibleError("no feasible label assignment within the cost ceiling")
+
+
+def greedy_label_cover(instance: LabelCoverInstance) -> dict[str, frozenset[int]]:
+    """A simple feasible heuristic: per edge, add the first admissible pair."""
+    assignment: dict[str, set[int]] = {vertex: set() for vertex in instance.vertices}
+    for (u, w), pairs in instance.relations.items():
+        if any(
+            l1 in assignment[u] and l2 in assignment[w] for l1, l2 in pairs
+        ):
+            continue
+        l1, l2 = min(pairs)
+        assignment[u].add(l1)
+        assignment[w].add(l2)
+    return {v: frozenset(s) for v, s in assignment.items()}
+
+
+def _broadcast(output_names: Sequence[str], input_name: str):
+    def function(x: Mapping[str, int]) -> dict[str, int]:
+        return {name: int(x[input_name]) for name in output_names}
+
+    return function
+
+
+def _parity(output_name: str, input_names: Sequence[str]):
+    def function(x: Mapping[str, int]) -> dict[str, int]:
+        value = 0
+        for name in input_names:
+            value ^= int(x[name])
+        return {output_name: value}
+
+    return function
+
+
+def _pair_attr(vertex: str, label: int) -> str:
+    return f"b_{vertex}_{label}"
+
+
+def label_cover_to_set_secure_view(instance: LabelCoverInstance) -> SecureViewProblem:
+    """The Figure-4 reduction (Theorem 6): set constraints, all-private."""
+    pair_attrs = {
+        (vertex, label): Attribute(_pair_attr(vertex, label), BOOLEAN, cost=1.0)
+        for vertex in instance.vertices
+        for label in instance.labels
+    }
+    source = Attribute("bz", BOOLEAN, cost=0.0)
+    z = Module(
+        "z",
+        [source],
+        list(pair_attrs.values()),
+        _broadcast([a.name for a in pair_attrs.values()], source.name),
+        private=True,
+    )
+    modules = [z]
+    requirements: dict[str, SetRequirementList] = {
+        "z": SetRequirementList(
+            "z",
+            [
+                SetRequirement(frozenset(), frozenset({attr.name}))
+                for attr in pair_attrs.values()
+            ],
+        )
+    }
+    empty: frozenset[str] = frozenset()
+    for (u, w), pairs in instance.relations.items():
+        inputs = [pair_attrs[(u, label)] for label in instance.labels]
+        inputs += [pair_attrs[(w, label)] for label in instance.labels]
+        output = Attribute(f"b_{u}_{w}", BOOLEAN, cost=0.0)
+        name = f"x_{u}_{w}"
+        modules.append(
+            Module(
+                name,
+                inputs,
+                [output],
+                _parity(output.name, [a.name for a in inputs]),
+                private=True,
+            )
+        )
+        requirements[name] = SetRequirementList(
+            name,
+            [
+                SetRequirement(
+                    frozenset({_pair_attr(u, l1), _pair_attr(w, l2)}), empty
+                )
+                for l1, l2 in sorted(pairs)
+            ],
+        )
+    workflow = Workflow(
+        modules,
+        name=f"labelcover-set[{len(instance.left)}+{len(instance.right)},L={len(instance.labels)}]",
+    )
+    hidable = frozenset(attr.name for attr in pair_attrs.values())
+    return SecureViewProblem(
+        workflow,
+        gamma=2,
+        requirements=requirements,
+        hidable_attributes=hidable,
+        meta={"reduction": "label_cover_set", "instance": instance},
+    )
+
+
+def label_cover_to_general_secure_view(
+    instance: LabelCoverInstance,
+) -> SecureViewProblem:
+    """The Figure-6 reduction (Theorem 10): cardinality constraints, general.
+
+    Private modules: ``v`` (hub), one ``y_{ℓ1,ℓ2}`` per label pair, one
+    ``x_{u,w}`` per edge.  Public modules: ``z_{u,ℓ}`` per (vertex, label)
+    pair, privatization cost 1.  All attributes cost 0.  Hiding the item
+    ``d_{u,w,ℓ1,ℓ2}`` that feeds ``x_{u,w}`` also forces privatizing
+    ``z_{u,ℓ1}`` and ``z_{w,ℓ2}``, so feasible solutions encode label
+    assignments of the same cost.
+    """
+    source = Attribute("ds", BOOLEAN, cost=0.0)
+    dv = Attribute("dv", BOOLEAN, cost=0.0)
+    hub = Module("v", [source], [dv], _broadcast([dv.name], source.name), private=True)
+    modules: list[Module] = [hub]
+
+    used_pairs = sorted(
+        {pair for pairs in instance.relations.values() for pair in pairs}
+    )
+    # Data item per (edge, label pair) and bookkeeping of who consumes what.
+    edge_pair_attrs: dict[tuple[str, str, int, int], Attribute] = {}
+    per_pair_outputs: dict[tuple[int, int], list[Attribute]] = {p: [] for p in used_pairs}
+    per_public_inputs: dict[tuple[str, int], list[Attribute]] = {}
+    per_edge_inputs: dict[tuple[str, str], list[Attribute]] = {
+        edge: [] for edge in instance.relations
+    }
+    for (u, w), pairs in instance.relations.items():
+        for l1, l2 in sorted(pairs):
+            attr = Attribute(f"d_{u}_{w}_{l1}_{l2}", BOOLEAN, cost=0.0)
+            edge_pair_attrs[(u, w, l1, l2)] = attr
+            per_pair_outputs[(l1, l2)].append(attr)
+            per_edge_inputs[(u, w)].append(attr)
+            per_public_inputs.setdefault((u, l1), []).append(attr)
+            per_public_inputs.setdefault((w, l2), []).append(attr)
+
+    requirements: dict[str, CardinalityRequirementList] = {
+        "v": CardinalityRequirementList("v", [CardinalityRequirement(0, 1)])
+    }
+
+    # Label-pair modules y_{l1,l2}: consume dv, produce the per-edge items
+    # plus a final output d_{l1,l2}.
+    for l1, l2 in used_pairs:
+        outputs = list(per_pair_outputs[(l1, l2)])
+        final = Attribute(f"dy_{l1}_{l2}", BOOLEAN, cost=0.0)
+        outputs.append(final)
+        name = f"y_{l1}_{l2}"
+        modules.append(
+            Module(
+                name,
+                [dv],
+                outputs,
+                _broadcast([a.name for a in outputs], dv.name),
+                private=True,
+            )
+        )
+        requirements[name] = CardinalityRequirementList(
+            name, [CardinalityRequirement(1, 0)]
+        )
+
+    # Public modules z_{u,l}: consume every edge item mentioning (u, l).
+    for (vertex, label), inputs in sorted(per_public_inputs.items()):
+        output = Attribute(f"dz_{vertex}_{label}", BOOLEAN, cost=0.0)
+        modules.append(
+            Module(
+                f"z_{vertex}_{label}",
+                inputs,
+                [output],
+                _parity(output.name, [a.name for a in inputs]),
+                private=False,
+                privatization_cost=1.0,
+            )
+        )
+
+    # Edge modules x_{u,w}: consume their per-pair items, need one hidden.
+    for (u, w), inputs in per_edge_inputs.items():
+        output = Attribute(f"dx_{u}_{w}", BOOLEAN, cost=0.0)
+        name = f"x_{u}_{w}"
+        modules.append(
+            Module(
+                name,
+                inputs,
+                [output],
+                _parity(output.name, [a.name for a in inputs]),
+                private=True,
+            )
+        )
+        requirements[name] = CardinalityRequirementList(
+            name, [CardinalityRequirement(1, 0)]
+        )
+
+    workflow = Workflow(
+        modules,
+        name=f"labelcover-general[{len(instance.left)}+{len(instance.right)},L={len(instance.labels)}]",
+    )
+    return SecureViewProblem(
+        workflow,
+        gamma=2,
+        requirements=requirements,
+        allow_privatization=True,
+        meta={"reduction": "label_cover_general", "instance": instance},
+    )

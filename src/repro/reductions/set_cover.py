@@ -1,0 +1,271 @@
+"""Set cover and its reductions to Secure-View.
+
+Two hardness proofs in the paper go through minimum set cover:
+
+* **Theorem 5 (lower bound)** — Secure-View with cardinality constraints in
+  all-private workflows is Ω(log n)-hard: element modules ``f_j`` demand one
+  hidden incoming data item, the extra module ``z`` demands one hidden
+  outgoing data item, and the only hidable data are the "subset" items
+  ``a_i`` shared between ``z`` and the elements ``u_j ∈ S_i``.
+* **Theorem 9** — in *general* workflows the problem stays Ω(log n)-hard even
+  without data sharing: subsets become public modules with privatization
+  cost 1, elements become private modules demanding one hidden incoming
+  edge, and every edge has cost 0 — paying happens only through
+  privatization.
+
+This module provides a set-cover instance type, exact and greedy set-cover
+solvers (the baselines the reduction benchmarks compare against), a random
+instance generator, and both workflow reductions.  Lemma "cover of size K
+⟺ secure view of cost K" is checked empirically by the tests/benchmarks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..core.attributes import Attribute, BOOLEAN
+from ..core.module import Module
+from ..core.requirements import (
+    CardinalityRequirement,
+    CardinalityRequirementList,
+)
+from ..core.secure_view import SecureViewProblem
+from ..core.workflow import Workflow
+from ..exceptions import InfeasibleError
+
+__all__ = [
+    "SetCoverInstance",
+    "random_set_cover",
+    "greedy_set_cover",
+    "exact_set_cover",
+    "set_cover_to_secure_view",
+    "set_cover_to_general_secure_view",
+]
+
+
+@dataclass(frozen=True)
+class SetCoverInstance:
+    """A minimum set cover instance (universe + family of subsets)."""
+
+    universe: frozenset[int]
+    subsets: tuple[frozenset[int], ...]
+
+    def __post_init__(self) -> None:
+        covered = frozenset().union(*self.subsets) if self.subsets else frozenset()
+        if not self.universe <= covered:
+            raise InfeasibleError("the subsets do not cover the universe")
+
+    @property
+    def n_elements(self) -> int:
+        return len(self.universe)
+
+    @property
+    def n_subsets(self) -> int:
+        return len(self.subsets)
+
+    def is_cover(self, selection: Sequence[int]) -> bool:
+        """Do the selected subset indices cover the universe?"""
+        covered: set[int] = set()
+        for index in selection:
+            covered |= self.subsets[index]
+        return self.universe <= covered
+
+
+def random_set_cover(
+    n_elements: int,
+    n_subsets: int,
+    element_probability: float = 0.3,
+    seed: int | None = 0,
+) -> SetCoverInstance:
+    """A random set-cover instance (each element joins each subset i.i.d.).
+
+    Every element is additionally forced into at least one subset so the
+    instance is always feasible.
+    """
+    rng = random.Random(seed)
+    universe = frozenset(range(n_elements))
+    subsets = [set() for _ in range(n_subsets)]
+    for element in universe:
+        joined = False
+        for subset in subsets:
+            if rng.random() < element_probability:
+                subset.add(element)
+                joined = True
+        if not joined:
+            subsets[rng.randrange(n_subsets)].add(element)
+    return SetCoverInstance(universe, tuple(frozenset(s) for s in subsets))
+
+
+def greedy_set_cover(instance: SetCoverInstance) -> list[int]:
+    """The classical greedy ln(n)-approximation for set cover."""
+    uncovered = set(instance.universe)
+    chosen: list[int] = []
+    while uncovered:
+        best_index = max(
+            range(instance.n_subsets),
+            key=lambda index: len(instance.subsets[index] & uncovered),
+        )
+        gain = instance.subsets[best_index] & uncovered
+        if not gain:
+            raise InfeasibleError("greedy set cover stalled; instance infeasible")
+        chosen.append(best_index)
+        uncovered -= gain
+    return chosen
+
+
+def exact_set_cover(instance: SetCoverInstance, max_subsets: int = 24) -> list[int]:
+    """Exact minimum set cover by exhaustive search over subset selections.
+
+    Intended for the small instances the reduction benchmarks use; raises
+    when the family is too large to enumerate.
+    """
+    if instance.n_subsets > max_subsets:
+        raise InfeasibleError(
+            f"exact_set_cover limited to {max_subsets} subsets "
+            f"(got {instance.n_subsets})"
+        )
+    indices = range(instance.n_subsets)
+    for size in range(0, instance.n_subsets + 1):
+        for selection in itertools.combinations(indices, size):
+            if instance.is_cover(selection):
+                return list(selection)
+    raise InfeasibleError("no cover exists")  # pragma: no cover - guarded by init
+
+
+def _parity_function(output_name: str, input_names: Sequence[str]):
+    def function(x: Mapping[str, int]) -> dict[str, int]:
+        value = 0
+        for name in input_names:
+            value ^= int(x[name])
+        return {output_name: value}
+
+    return function
+
+
+def _broadcast_function(output_names: Sequence[str], input_name: str):
+    def function(x: Mapping[str, int]) -> dict[str, int]:
+        return {name: int(x[input_name]) for name in output_names}
+
+    return function
+
+
+def set_cover_to_secure_view(instance: SetCoverInstance) -> SecureViewProblem:
+    """The Theorem-5 reduction: all-private workflow, cardinality constraints.
+
+    The workflow has one hub module ``z`` broadcasting a subset-item ``a_i``
+    per subset, and one module ``f_j`` per universe element consuming the
+    items of the subsets containing it.  Only the ``a_i`` are hidable (cost
+    1 each); ``z`` requires one hidden output and every ``f_j`` one hidden
+    input, so minimum-cost secure views correspond exactly to minimum set
+    covers.
+    """
+    subset_attrs = [
+        Attribute(f"a{i}", BOOLEAN, cost=1.0) for i in range(instance.n_subsets)
+    ]
+    source = Attribute("bs", BOOLEAN, cost=0.0)
+    z = Module(
+        "z",
+        [source],
+        subset_attrs,
+        _broadcast_function([a.name for a in subset_attrs], source.name),
+        private=True,
+    )
+    modules = [z]
+    for element in sorted(instance.universe):
+        member_attrs = [
+            subset_attrs[i]
+            for i in range(instance.n_subsets)
+            if element in instance.subsets[i]
+        ]
+        output = Attribute(f"b{element}", BOOLEAN, cost=0.0)
+        modules.append(
+            Module(
+                f"f{element}",
+                member_attrs,
+                [output],
+                _parity_function(output.name, [a.name for a in member_attrs]),
+                private=True,
+            )
+        )
+    workflow = Workflow(modules, name=f"setcover[{instance.n_elements}x{instance.n_subsets}]")
+
+    requirements: dict[str, CardinalityRequirementList] = {
+        "z": CardinalityRequirementList("z", [CardinalityRequirement(0, 1)]),
+    }
+    for element in sorted(instance.universe):
+        requirements[f"f{element}"] = CardinalityRequirementList(
+            f"f{element}", [CardinalityRequirement(1, 0)]
+        )
+    hidable = frozenset(a.name for a in subset_attrs)
+    return SecureViewProblem(
+        workflow,
+        gamma=2,
+        requirements=requirements,
+        hidable_attributes=hidable,
+        meta={"reduction": "set_cover", "instance": instance},
+    )
+
+
+def set_cover_to_general_secure_view(instance: SetCoverInstance) -> SecureViewProblem:
+    """The Theorem-9 reduction: general workflow, no data sharing.
+
+    Subsets become *public* modules with privatization cost 1, elements
+    become private modules requiring one hidden incoming edge, and all
+    attributes cost 0, so the entire solution cost comes from privatizing
+    the public "subset" modules touched by hidden edges — i.e. from the set
+    cover.
+    """
+    modules: list[Module] = []
+    element_inputs: dict[int, list[Attribute]] = {e: [] for e in instance.universe}
+    for i, subset in enumerate(instance.subsets):
+        source = Attribute(f"a{i}", BOOLEAN, cost=0.0)
+        edge_attrs = [
+            Attribute(f"b_{i}_{element}", BOOLEAN, cost=0.0)
+            for element in sorted(subset)
+        ]
+        if not edge_attrs:
+            # A subset containing no elements still needs an output attribute.
+            edge_attrs = [Attribute(f"b_{i}_none", BOOLEAN, cost=0.0)]
+        modules.append(
+            Module(
+                f"S{i}",
+                [source],
+                edge_attrs,
+                _broadcast_function([a.name for a in edge_attrs], source.name),
+                private=False,
+                privatization_cost=1.0,
+            )
+        )
+        for attr, element in zip(edge_attrs, sorted(subset)):
+            element_inputs[element].append(attr)
+    for element in sorted(instance.universe):
+        inputs = element_inputs[element]
+        output = Attribute(f"out_{element}", BOOLEAN, cost=0.0)
+        modules.append(
+            Module(
+                f"u{element}",
+                inputs,
+                [output],
+                _parity_function(output.name, [a.name for a in inputs]),
+                private=True,
+            )
+        )
+    workflow = Workflow(
+        modules, name=f"setcover-general[{instance.n_elements}x{instance.n_subsets}]"
+    )
+    requirements = {
+        f"u{element}": CardinalityRequirementList(
+            f"u{element}", [CardinalityRequirement(1, 0)]
+        )
+        for element in sorted(instance.universe)
+    }
+    return SecureViewProblem(
+        workflow,
+        gamma=2,
+        requirements=requirements,
+        allow_privatization=True,
+        meta={"reduction": "set_cover_general", "instance": instance},
+    )

@@ -1,0 +1,179 @@
+"""The Theorem-1 construction: Safe-View needs Ω(N) data-supplier calls.
+
+Theorem 1 reduces two-party set disjointness to the Safe-View decision
+problem.  Given sets ``A, B ⊆ {1..N}`` the module has input attributes
+``a, b, id`` and output ``y = a ∧ b``; row ``i ≤ N`` encodes membership of
+element ``i`` in ``A`` and ``B``, and row ``N+1`` is the fixed ``(1, 0)``
+row.  The safety question the proof actually exercises is "do both output
+values occur?", i.e.
+
+    the view hiding the inputs is safe for Γ = 2  ⇔  ``A ∩ B ≠ ∅``.
+
+Reproduction note: the paper states the checked view as ``V = {id, y}``, but
+its argument groups *all* rows together, which under Definition 2 is the
+grouping obtained when the row identifier is hidden as well.  We therefore
+check ``V = {y}`` (hidden ``{a, b, id}``); this preserves exactly the
+behaviour the theorem needs — the answer equals disjointness, and deciding
+it requires scanning Ω(N) rows through the data supplier.
+
+The :class:`CountingDataSupplier` hands out rows on demand and counts how
+many were requested, so the benchmark can demonstrate that deciding safety
+requires reading essentially the whole relation, while the reduction's
+correctness is asserted by the tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..core.attributes import Attribute, BOOLEAN, Schema, integer_domain
+from ..core.privacy import is_standalone_private
+from ..core.relation import Relation
+from ..exceptions import PrivacyError
+
+__all__ = [
+    "DisjointnessInstance",
+    "random_disjointness_instance",
+    "CountingDataSupplier",
+    "build_disjointness_relation",
+    "disjointness_schema",
+    "safe_view_decision",
+    "safe_view_via_supplier",
+]
+
+
+@dataclass(frozen=True)
+class DisjointnessInstance:
+    """Alice's set ``A`` and Bob's set ``B`` over the universe ``{1..n}``."""
+
+    universe_size: int
+    alice: frozenset[int]
+    bob: frozenset[int]
+
+    def __post_init__(self) -> None:
+        for name, side in (("alice", self.alice), ("bob", self.bob)):
+            if not all(1 <= element <= self.universe_size for element in side):
+                raise PrivacyError(f"{name}'s set leaves the universe")
+
+    @property
+    def intersects(self) -> bool:
+        return bool(self.alice & self.bob)
+
+
+def random_disjointness_instance(
+    universe_size: int,
+    density: float = 0.3,
+    force_disjoint: bool | None = None,
+    seed: int | None = 0,
+) -> DisjointnessInstance:
+    """Random instance; ``force_disjoint`` pins the answer when not ``None``."""
+    rng = random.Random(seed)
+    alice = {i for i in range(1, universe_size + 1) if rng.random() < density}
+    bob = {i for i in range(1, universe_size + 1) if rng.random() < density}
+    if force_disjoint is True:
+        bob -= alice
+    elif force_disjoint is False and not (alice & bob):
+        pick = rng.randint(1, universe_size)
+        alice.add(pick)
+        bob.add(pick)
+    return DisjointnessInstance(universe_size, frozenset(alice), frozenset(bob))
+
+
+def disjointness_schema(universe_size: int) -> Schema:
+    """Schema of the Theorem-1 relation: inputs a, b, id and output y."""
+    return Schema(
+        [
+            Attribute("a", BOOLEAN, cost=1.0),
+            Attribute("b", BOOLEAN, cost=1.0),
+            Attribute("id", integer_domain(universe_size + 1, start=1), cost=1.0),
+            Attribute("y", BOOLEAN, cost=1.0),
+        ]
+    )
+
+
+def _row(instance: DisjointnessInstance, index: int) -> dict[str, int]:
+    if index <= instance.universe_size:
+        a = 1 if index in instance.alice else 0
+        b = 1 if index in instance.bob else 0
+    else:  # the extra (1, 0) row of the construction
+        a, b = 1, 0
+    return {"a": a, "b": b, "id": index, "y": a & b}
+
+
+class CountingDataSupplier:
+    """The "data supplier" of Theorem 1: serves rows on demand, counts calls."""
+
+    def __init__(self, instance: DisjointnessInstance) -> None:
+        self.instance = instance
+        self.calls = 0
+
+    @property
+    def n_rows(self) -> int:
+        return self.instance.universe_size + 1
+
+    def fetch(self, index: int) -> dict[str, int]:
+        """Return row ``index`` (1-based) of the relation R."""
+        if not 1 <= index <= self.n_rows:
+            raise PrivacyError(f"row index {index} out of range")
+        self.calls += 1
+        return _row(self.instance, index)
+
+    def fetch_all(self) -> Iterable[dict[str, int]]:
+        for index in range(1, self.n_rows + 1):
+            yield self.fetch(index)
+
+
+def build_disjointness_relation(instance: DisjointnessInstance) -> Relation:
+    """Materialize the full Theorem-1 relation (N+1 rows)."""
+    schema = disjointness_schema(instance.universe_size)
+    rows = [_row(instance, index) for index in range(1, instance.universe_size + 2)]
+    return Relation(schema, rows)
+
+
+def safe_view_decision(instance: DisjointnessInstance, gamma: int = 2) -> bool:
+    """Ground truth: is the input-hiding view safe for Γ?
+
+    Checks Definition 2 on the materialized relation with visible set
+    ``{y}`` (see the module docstring for why the row identifier is hidden
+    along with ``a`` and ``b``); at Γ = 2 the answer equals ``A ∩ B ≠ ∅``.
+    """
+    relation = build_disjointness_relation(instance)
+    from ..core.module import Module
+    from ..core.privacy import standalone_out_counts
+
+    schema = disjointness_schema(instance.universe_size)
+
+    def function(x):  # pragma: no cover - never called on hidden-domain rows
+        return {"y": x["a"] & x["b"]}
+
+    module = Module(
+        "disjointness",
+        [schema["a"], schema["b"], schema["id"]],
+        [schema["y"]],
+        function,
+    )
+    counts = standalone_out_counts(module, {"y"}, relation=relation)
+    return min(counts.values()) >= gamma
+
+
+def safe_view_via_supplier(
+    supplier: CountingDataSupplier, gamma: int = 2
+) -> bool:
+    """Decide safety of V = {id, y} by scanning rows through the supplier.
+
+    Scans rows until two distinct ``y`` values are seen (early exit) or the
+    relation is exhausted.  The benchmark reports ``supplier.calls`` to show
+    that "no" instances require reading all N+1 rows, matching the Ω(N)
+    communication lower bound.
+    """
+    if gamma != 2:
+        raise PrivacyError("the Theorem-1 construction is stated for Γ = 2")
+    seen: set[int] = set()
+    for index in range(1, supplier.n_rows + 1):
+        row = supplier.fetch(index)
+        seen.add(row["y"])
+        if len(seen) >= gamma:
+            return True
+    return False

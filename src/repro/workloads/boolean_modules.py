@@ -1,0 +1,370 @@
+"""A library of finite-domain module functions.
+
+The paper's examples are built from boolean functions spanning the whole
+spectrum the analysis cares about:
+
+* **constant** functions (the problematic public module ``m'`` of Example 7),
+* **one-one / invertible** functions (identity, bit reversal, XOR masks,
+  random permutations — Examples 6 and 7, Proposition 2),
+* **lossy** functions (AND/OR gates, majority, parity, the Figure-1 module).
+
+Each factory returns a ready :class:`repro.core.Module` over boolean
+attributes; costs default to 1 and can be overridden per attribute.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping, Sequence
+
+from ..core.attributes import Attribute, BOOLEAN, boolean_attributes
+from ..core.module import Module
+from ..exceptions import SchemaError
+
+__all__ = [
+    "make_attributes",
+    "identity_module",
+    "bit_reversal_module",
+    "xor_mask_module",
+    "random_permutation_module",
+    "constant_module",
+    "and_module",
+    "or_module",
+    "parity_module",
+    "majority_module",
+    "threshold_module",
+    "figure1_m1_module",
+    "full_adder_module",
+    "projection_module",
+    "mux_module",
+]
+
+
+def make_attributes(
+    names: Sequence[str], costs: Mapping[str, float] | float | None = None
+) -> list[Attribute]:
+    """Boolean attributes with optional costs (thin re-export for workloads)."""
+    return boolean_attributes(names, costs)
+
+
+def _bits(inputs: Mapping[str, int], names: Sequence[str]) -> list[int]:
+    return [int(inputs[name]) for name in names]
+
+
+# ---------------------------------------------------------------------------
+# One-one / invertible functions
+# ---------------------------------------------------------------------------
+
+def identity_module(
+    name: str,
+    input_names: Sequence[str],
+    output_names: Sequence[str],
+    private: bool = True,
+    costs: Mapping[str, float] | float | None = None,
+) -> Module:
+    """The identity function: output bit i equals input bit i."""
+    if len(input_names) != len(output_names):
+        raise SchemaError("identity_module needs equally many inputs and outputs")
+    ins = make_attributes(input_names, costs)
+    outs = make_attributes(output_names, costs)
+
+    def function(x: Mapping[str, int]) -> dict[str, int]:
+        return {out: x[inp] for inp, out in zip(input_names, output_names)}
+
+    return Module(name, ins, outs, function, private=private)
+
+
+def bit_reversal_module(
+    name: str,
+    input_names: Sequence[str],
+    output_names: Sequence[str],
+    private: bool = True,
+    costs: Mapping[str, float] | float | None = None,
+) -> Module:
+    """Output bit i is the complement of input bit i (a one-one function).
+
+    This is the second module of the Proposition-2 chain ("reverses the
+    values of its k inputs").
+    """
+    if len(input_names) != len(output_names):
+        raise SchemaError("bit_reversal_module needs equally many inputs and outputs")
+    ins = make_attributes(input_names, costs)
+    outs = make_attributes(output_names, costs)
+
+    def function(x: Mapping[str, int]) -> dict[str, int]:
+        return {out: 1 - x[inp] for inp, out in zip(input_names, output_names)}
+
+    return Module(name, ins, outs, function, private=private)
+
+
+def xor_mask_module(
+    name: str,
+    input_names: Sequence[str],
+    output_names: Sequence[str],
+    mask: Sequence[int],
+    private: bool = True,
+    costs: Mapping[str, float] | float | None = None,
+) -> Module:
+    """Output bit i is input bit i XOR mask[i] (invertible for any mask)."""
+    if not (len(input_names) == len(output_names) == len(mask)):
+        raise SchemaError("xor_mask_module needs inputs, outputs and mask of equal length")
+    ins = make_attributes(input_names, costs)
+    outs = make_attributes(output_names, costs)
+    mask = [int(bit) & 1 for bit in mask]
+
+    def function(x: Mapping[str, int]) -> dict[str, int]:
+        return {
+            out: x[inp] ^ bit
+            for inp, out, bit in zip(input_names, output_names, mask)
+        }
+
+    return Module(name, ins, outs, function, private=private)
+
+
+def random_permutation_module(
+    name: str,
+    input_names: Sequence[str],
+    output_names: Sequence[str],
+    seed: int | None = None,
+    private: bool = True,
+    costs: Mapping[str, float] | float | None = None,
+) -> Module:
+    """A random bijection on the boolean cube (a generic one-one module)."""
+    if len(input_names) != len(output_names):
+        raise SchemaError(
+            "random_permutation_module needs equally many inputs and outputs"
+        )
+    k = len(input_names)
+    rng = random.Random(seed)
+    codes = list(range(2**k))
+    shuffled = codes[:]
+    rng.shuffle(shuffled)
+    table = dict(zip(codes, shuffled))
+    ins = make_attributes(input_names, costs)
+    outs = make_attributes(output_names, costs)
+
+    def function(x: Mapping[str, int]) -> dict[str, int]:
+        code = 0
+        for bit_index, inp in enumerate(input_names):
+            code |= (x[inp] & 1) << bit_index
+        image = table[code]
+        return {
+            out: (image >> bit_index) & 1
+            for bit_index, out in enumerate(output_names)
+        }
+
+    return Module(name, ins, outs, function, private=private)
+
+
+# ---------------------------------------------------------------------------
+# Constant and lossy functions
+# ---------------------------------------------------------------------------
+
+def constant_module(
+    name: str,
+    input_names: Sequence[str],
+    output_names: Sequence[str],
+    value: int = 0,
+    private: bool = False,
+    costs: Mapping[str, float] | float | None = None,
+) -> Module:
+    """A constant function (every input maps to the same output tuple).
+
+    Example 7 uses a public constant module feeding a private module to show
+    standalone guarantees do not compose next to public modules.
+    """
+    ins = make_attributes(input_names, costs)
+    outs = make_attributes(output_names, costs)
+    value = int(value) & 1
+
+    def function(x: Mapping[str, int]) -> dict[str, int]:
+        return {out: value for out in output_names}
+
+    return Module(name, ins, outs, function, private=private)
+
+
+def and_module(
+    name: str,
+    input_names: Sequence[str],
+    output_name: str,
+    private: bool = True,
+    costs: Mapping[str, float] | float | None = None,
+) -> Module:
+    """Single-output AND of all inputs (the Theorem-1 construction's core)."""
+    ins = make_attributes(input_names, costs)
+    outs = make_attributes([output_name], costs)
+
+    def function(x: Mapping[str, int]) -> dict[str, int]:
+        result = 1
+        for bit in _bits(x, input_names):
+            result &= bit
+        return {output_name: result}
+
+    return Module(name, ins, outs, function, private=private)
+
+
+def or_module(
+    name: str,
+    input_names: Sequence[str],
+    output_name: str,
+    private: bool = True,
+    costs: Mapping[str, float] | float | None = None,
+) -> Module:
+    """Single-output OR of all inputs."""
+    ins = make_attributes(input_names, costs)
+    outs = make_attributes([output_name], costs)
+
+    def function(x: Mapping[str, int]) -> dict[str, int]:
+        result = 0
+        for bit in _bits(x, input_names):
+            result |= bit
+        return {output_name: result}
+
+    return Module(name, ins, outs, function, private=private)
+
+
+def parity_module(
+    name: str,
+    input_names: Sequence[str],
+    output_name: str,
+    private: bool = True,
+    costs: Mapping[str, float] | float | None = None,
+) -> Module:
+    """Single-output XOR (parity) of all inputs."""
+    ins = make_attributes(input_names, costs)
+    outs = make_attributes([output_name], costs)
+
+    def function(x: Mapping[str, int]) -> dict[str, int]:
+        result = 0
+        for bit in _bits(x, input_names):
+            result ^= bit
+        return {output_name: result}
+
+    return Module(name, ins, outs, function, private=private)
+
+
+def threshold_module(
+    name: str,
+    input_names: Sequence[str],
+    output_name: str,
+    threshold: int,
+    private: bool = True,
+    costs: Mapping[str, float] | float | None = None,
+) -> Module:
+    """Output 1 iff at least ``threshold`` inputs are 1."""
+    ins = make_attributes(input_names, costs)
+    outs = make_attributes([output_name], costs)
+
+    def function(x: Mapping[str, int]) -> dict[str, int]:
+        return {output_name: 1 if sum(_bits(x, input_names)) >= threshold else 0}
+
+    return Module(name, ins, outs, function, private=private)
+
+
+def majority_module(
+    name: str,
+    input_names: Sequence[str],
+    output_name: str,
+    private: bool = True,
+    costs: Mapping[str, float] | float | None = None,
+) -> Module:
+    """Majority of 2k inputs (Example 6: output 1 iff at least k inputs are 1)."""
+    k = len(input_names)
+    return threshold_module(
+        name, input_names, output_name, threshold=(k + 1) // 2, private=private, costs=costs
+    )
+
+
+def figure1_m1_module(
+    name: str = "m1",
+    input_names: Sequence[str] = ("a1", "a2"),
+    output_names: Sequence[str] = ("a3", "a4", "a5"),
+    private: bool = True,
+    costs: Mapping[str, float] | float | None = None,
+) -> Module:
+    """The top module of Figure 1: a3 = a1∨a2, a4 = ¬(a1∧a2), a5 = ¬(a1⊕a2)."""
+    if len(input_names) != 2 or len(output_names) != 3:
+        raise SchemaError("figure1_m1_module takes exactly 2 inputs and 3 outputs")
+    a1, a2 = input_names
+    a3, a4, a5 = output_names
+    ins = make_attributes(input_names, costs)
+    outs = make_attributes(output_names, costs)
+
+    def function(x: Mapping[str, int]) -> dict[str, int]:
+        return {
+            a3: x[a1] | x[a2],
+            a4: 1 - (x[a1] & x[a2]),
+            a5: 1 - (x[a1] ^ x[a2]),
+        }
+
+    return Module(name, ins, outs, function, private=private)
+
+
+def full_adder_module(
+    name: str,
+    input_names: Sequence[str],
+    output_names: Sequence[str],
+    private: bool = True,
+    costs: Mapping[str, float] | float | None = None,
+) -> Module:
+    """A 3-input/2-output full adder (sum, carry) — a small arithmetic module."""
+    if len(input_names) != 3 or len(output_names) != 2:
+        raise SchemaError("full_adder_module takes exactly 3 inputs and 2 outputs")
+    a, b, cin = input_names
+    s, cout = output_names
+    ins = make_attributes(input_names, costs)
+    outs = make_attributes(output_names, costs)
+
+    def function(x: Mapping[str, int]) -> dict[str, int]:
+        total = x[a] + x[b] + x[cin]
+        return {s: total & 1, cout: (total >> 1) & 1}
+
+    return Module(name, ins, outs, function, private=private)
+
+
+def projection_module(
+    name: str,
+    input_names: Sequence[str],
+    output_names: Sequence[str],
+    kept: Sequence[int],
+    private: bool = False,
+    costs: Mapping[str, float] | float | None = None,
+) -> Module:
+    """Copy a subset of the inputs to the outputs (a typical public reformatter).
+
+    ``kept[i]`` is the index (into ``input_names``) copied to output ``i``.
+    """
+    if len(kept) != len(output_names):
+        raise SchemaError("projection_module needs one kept index per output")
+    ins = make_attributes(input_names, costs)
+    outs = make_attributes(output_names, costs)
+    kept = list(kept)
+
+    def function(x: Mapping[str, int]) -> dict[str, int]:
+        return {
+            out: x[input_names[index]] for out, index in zip(output_names, kept)
+        }
+
+    return Module(name, ins, outs, function, private=private)
+
+
+def mux_module(
+    name: str,
+    select_name: str,
+    input_names: Sequence[str],
+    output_name: str,
+    private: bool = True,
+    costs: Mapping[str, float] | float | None = None,
+) -> Module:
+    """A 2-way multiplexer: output = inputs[select]."""
+    if len(input_names) != 2:
+        raise SchemaError("mux_module takes exactly two data inputs")
+    all_inputs = [select_name, *input_names]
+    ins = make_attributes(all_inputs, costs)
+    outs = make_attributes([output_name], costs)
+
+    def function(x: Mapping[str, int]) -> dict[str, int]:
+        chosen = input_names[1] if x[select_name] else input_names[0]
+        return {output_name: x[chosen]}
+
+    return Module(name, ins, outs, function, private=private)

@@ -1,0 +1,231 @@
+"""The worked examples of the paper as executable workflows.
+
+* :func:`figure1_workflow` — the 3-module boolean workflow of Figure 1 used
+  by Examples 1–4,
+* :func:`example5_workflow` / :func:`example5_problem` — the (n+2)-module
+  star workflow of Example 5 exhibiting the Ω(n) gap between the union of
+  standalone optima and the workflow optimum,
+* :func:`proposition2_chain` — the two-module one-one chain of
+  Proposition 2,
+* :func:`example7_chain` — the public→private→public chain of Examples 7/8
+  where standalone privacy fails to compose,
+* :func:`example6_one_one_module` / :func:`example6_majority_module` — the
+  modules of Example 6 whose set-constraint lists blow up exponentially
+  while their cardinality lists stay constant-size.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..core.attributes import Attribute, BOOLEAN
+from ..core.module import Module
+from ..core.requirements import (
+    CardinalityRequirement,
+    CardinalityRequirementList,
+    SetRequirement,
+    SetRequirementList,
+)
+from ..core.secure_view import SecureViewProblem
+from ..core.workflow import Workflow
+from .boolean_modules import (
+    bit_reversal_module,
+    constant_module,
+    figure1_m1_module,
+    identity_module,
+    majority_module,
+    make_attributes,
+    or_module,
+    random_permutation_module,
+    xor_mask_module,
+)
+
+__all__ = [
+    "figure1_workflow",
+    "figure1_view_attributes",
+    "example5_workflow",
+    "example5_problem",
+    "proposition2_chain",
+    "example7_chain",
+    "example6_one_one_module",
+    "example6_majority_module",
+]
+
+
+def figure1_workflow(costs: Mapping[str, float] | float | None = None) -> Workflow:
+    """The workflow of Figure 1 (modules m1, m2, m3 over a1..a7).
+
+    ``m1`` computes a3 = a1∨a2, a4 = ¬(a1∧a2), a5 = ¬(a1⊕a2); ``m2``
+    computes a6 = ¬(a3∧a4) and ``m3`` computes a7 = ¬(a4∧a5) — these
+    reproduce exactly the executions listed in Figure 1b.
+    """
+    m1 = figure1_m1_module(costs=costs)
+
+    a3, a4, a5 = make_attributes(["a3", "a4", "a5"], costs)
+    a6, = make_attributes(["a6"], costs)
+    a7, = make_attributes(["a7"], costs)
+
+    def f2(x: Mapping[str, int]) -> dict[str, int]:
+        return {"a6": 1 - (x["a3"] & x["a4"])}
+
+    def f3(x: Mapping[str, int]) -> dict[str, int]:
+        return {"a7": 1 - (x["a4"] & x["a5"])}
+
+    m2 = Module("m2", [a3, a4], [a6], f2)
+    m3 = Module("m3", [a4, a5], [a7], f3)
+    return Workflow([m1, m2, m3], name="figure1")
+
+
+def figure1_view_attributes() -> frozenset[str]:
+    """The visible set V = {a1, a3, a5} used in Examples 2–3 and Figure 1d."""
+    return frozenset({"a1", "a3", "a5"})
+
+
+def example5_workflow(
+    n: int, epsilon: float = 0.1, gamma: int = 2
+) -> Workflow:
+    """The star workflow of Example 5 with ``n`` middle modules.
+
+    Module ``m`` copies the initial input ``a1`` (cost 1) to the shared data
+    item ``a2`` (cost 1+ε), which is fed to every middle module ``m_i``; each
+    ``m_i`` outputs ``b_i`` (cost 1) to the collector module ``m'`` which
+    produces the final output ``c`` (cost 1).  All modules are private.
+    """
+    if n < 1:
+        raise ValueError("example5_workflow needs n >= 1")
+    a1 = Attribute("a1", BOOLEAN, cost=1.0)
+    a2 = Attribute("a2", BOOLEAN, cost=1.0 + epsilon)
+    b_attrs = [Attribute(f"b{i}", BOOLEAN, cost=1.0) for i in range(1, n + 1)]
+    c = Attribute("c", BOOLEAN, cost=1.0)
+
+    def copy_function(x: Mapping[str, int]) -> dict[str, int]:
+        return {"a2": x["a1"]}
+
+    head = Module("m", [a1], [a2], copy_function)
+    middles = []
+    for i in range(1, n + 1):
+        out_name = f"b{i}"
+
+        def middle_function(x: Mapping[str, int], _out: str = out_name) -> dict[str, int]:
+            return {_out: 1 - x["a2"]}
+
+        middles.append(Module(f"m_{i}", [a2], [b_attrs[i - 1]], middle_function))
+
+    def collector_function(x: Mapping[str, int]) -> dict[str, int]:
+        result = 0
+        for i in range(1, n + 1):
+            result ^= x[f"b{i}"]
+        return {"c": result}
+
+    collector = Module("m_prime", b_attrs, [c], collector_function)
+    return Workflow([head, *middles, collector], name=f"example5[n={n}]")
+
+
+def example5_problem(
+    n: int, epsilon: float = 0.1
+) -> SecureViewProblem:
+    """The Secure-View instance of Example 5 (set constraints).
+
+    Requirement lists follow the example verbatim: ``m`` is safe if its
+    incoming data ``a1`` *or* its outgoing data ``a2`` is hidden, each
+    ``m_i`` is safe if ``a2`` or ``b_i`` is hidden, and ``m'`` is safe if any
+    one of the ``b_i`` is hidden.  The union of standalone optima costs
+    ``n + 1`` while the workflow optimum hides ``a2`` and one ``b_i`` for a
+    cost of ``2 + ε``.
+    """
+    workflow = example5_workflow(n, epsilon)
+    empty: frozenset[str] = frozenset()
+    requirements: dict[str, SetRequirementList] = {
+        "m": SetRequirementList(
+            "m",
+            [
+                SetRequirement(frozenset({"a1"}), empty),
+                SetRequirement(empty, frozenset({"a2"})),
+            ],
+        ),
+        "m_prime": SetRequirementList(
+            "m_prime",
+            [
+                SetRequirement(frozenset({f"b{i}"}), empty)
+                for i in range(1, n + 1)
+            ],
+        ),
+    }
+    for i in range(1, n + 1):
+        requirements[f"m_{i}"] = SetRequirementList(
+            f"m_{i}",
+            [
+                SetRequirement(frozenset({"a2"}), empty),
+                SetRequirement(empty, frozenset({f"b{i}"})),
+            ],
+        )
+    return SecureViewProblem(workflow, gamma=2, requirements=requirements)
+
+
+def proposition2_chain(k: int, private: bool = True) -> Workflow:
+    """The Proposition-2 chain: identity followed by bit reversal, k bits each.
+
+    Both modules are one-one; hiding ``log Γ`` of the intermediate
+    attributes keeps each module Γ-private, yet the number of workflow
+    worlds collapses doubly exponentially compared to the standalone worlds.
+    """
+    if k < 1:
+        raise ValueError("proposition2_chain needs k >= 1")
+    inputs = [f"x{i}" for i in range(k)]
+    mids = [f"y{i}" for i in range(k)]
+    outs = [f"z{i}" for i in range(k)]
+    m1 = identity_module("m1", inputs, mids, private=private)
+    m2 = bit_reversal_module("m2", mids, outs, private=private)
+    return Workflow([m1, m2], name=f"proposition2[k={k}]")
+
+
+def example7_chain(
+    k: int,
+    seed: int | None = 7,
+    public_head: bool = True,
+    public_tail: bool = True,
+) -> Workflow:
+    """The chain m' → m → m'' of Examples 7 and 8.
+
+    ``m'`` is a public constant module, ``m`` a private one-one module (a
+    random permutation of the k-bit cube), and ``m''`` a public invertible
+    module (an XOR mask).  With both neighbours public and visible, hiding
+    only inputs or only outputs of ``m`` cannot make it Γ-workflow-private;
+    privatizing the offending public module restores Theorem 8's guarantee.
+    """
+    if k < 1:
+        raise ValueError("example7_chain needs k >= 1")
+    sources = [f"s{i}" for i in range(k)]
+    xs = [f"x{i}" for i in range(k)]
+    ys = [f"y{i}" for i in range(k)]
+    zs = [f"z{i}" for i in range(k)]
+    head = constant_module(
+        "m_head", sources, xs, value=0, private=not public_head
+    )
+    middle = random_permutation_module("m_mid", xs, ys, seed=seed, private=True)
+    tail = xor_mask_module(
+        "m_tail", ys, zs, mask=[1] * k, private=not public_tail
+    )
+    return Workflow([head, middle, tail], name=f"example7[k={k}]")
+
+
+def example6_one_one_module(k: int, seed: int | None = 11) -> Module:
+    """Example 6 (first half): a one-one function on k boolean inputs/outputs.
+
+    Hiding any k inputs or any k outputs guarantees 2^k-privacy, so listing
+    the safe sets explicitly needs Ω(C(2k, k)) entries, while the cardinality
+    list is just [(k, 0), (0, k)].
+    """
+    inputs = [f"u{i}" for i in range(k)]
+    outputs = [f"v{i}" for i in range(k)]
+    return random_permutation_module("one_one", inputs, outputs, seed=seed)
+
+
+def example6_majority_module(k: int) -> Module:
+    """Example 6 (second half): majority on 2k boolean inputs, one output.
+
+    Hiding k+1 inputs or the single output guarantees 2-privacy; the
+    cardinality list is [(k+1, 0), (0, 1)].
+    """
+    inputs = [f"u{i}" for i in range(2 * k)]
+    return majority_module("majority", inputs, "v0")

@@ -1,0 +1,412 @@
+"""Random workflow and Secure-View instance generators.
+
+The paper's algorithms are evaluated here on synthetic workflows because no
+public corpus ships the abstract relations the model needs (see DESIGN.md).
+Three layers of generators are provided:
+
+* **topology generators** — chains, layered DAGs and random DAGs with a
+  controllable data-sharing degree γ (Definition 3),
+* **requirement generators** — random non-redundant cardinality or set
+  requirement lists of bounded length ℓ_max, usable on workflows far too
+  large for exhaustive standalone analysis,
+* **problem generators** — glue the two into ready
+  :class:`repro.core.SecureViewProblem` instances with random costs.
+
+All generators are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping, Sequence
+
+from ..core.attributes import Attribute, BOOLEAN
+from ..core.module import Module
+from ..core.requirements import (
+    CardinalityRequirement,
+    CardinalityRequirementList,
+    RequirementList,
+    SetRequirement,
+    SetRequirementList,
+)
+from ..core.secure_view import SecureViewProblem
+from ..core.workflow import Workflow
+from ..exceptions import WorkflowError
+
+__all__ = [
+    "chain_workflow",
+    "layered_workflow",
+    "random_workflow",
+    "random_cardinality_requirements",
+    "random_set_requirements",
+    "random_requirements",
+    "random_problem",
+]
+
+
+def _gate_function(output_names: Sequence[str], input_names: Sequence[str], kind_per_output: Sequence[str]):
+    """A deterministic boolean function mixing its inputs per output."""
+
+    def function(x: Mapping[str, int]) -> dict[str, int]:
+        bits = [int(x[name]) for name in input_names]
+        result: dict[str, int] = {}
+        for index, (out, kind) in enumerate(zip(output_names, kind_per_output)):
+            if not bits:
+                result[out] = index & 1
+            elif kind == "and":
+                value = 1
+                for bit in bits:
+                    value &= bit
+                result[out] = value
+            elif kind == "or":
+                value = 0
+                for bit in bits:
+                    value |= bit
+                result[out] = value
+            else:  # parity, offset by the output index so outputs differ
+                value = index & 1
+                for bit in bits:
+                    value ^= bit
+                result[out] = value
+        return result
+
+    return function
+
+
+def _make_module(
+    name: str,
+    input_attrs: Sequence[Attribute],
+    n_outputs: int,
+    rng: random.Random,
+    private: bool,
+    cost_range: tuple[float, float],
+    privatization_cost_range: tuple[float, float],
+    attr_prefix: str,
+) -> Module:
+    output_attrs = [
+        Attribute(
+            f"{attr_prefix}_{i}",
+            BOOLEAN,
+            cost=round(rng.uniform(*cost_range), 3),
+        )
+        for i in range(n_outputs)
+    ]
+    kinds = [rng.choice(["and", "or", "xor"]) for _ in range(n_outputs)]
+    function = _gate_function(
+        [a.name for a in output_attrs], [a.name for a in input_attrs], kinds
+    )
+    return Module(
+        name,
+        list(input_attrs),
+        output_attrs,
+        function,
+        private=private,
+        privatization_cost=round(rng.uniform(*privatization_cost_range), 3),
+    )
+
+
+def chain_workflow(
+    n_modules: int,
+    width: int = 2,
+    seed: int | None = 0,
+    private_fraction: float = 1.0,
+    cost_range: tuple[float, float] = (1.0, 5.0),
+) -> Workflow:
+    """A chain of ``n_modules`` modules, each passing ``width`` attributes on.
+
+    Data sharing degree is 1 (no attribute feeds two modules), which is the
+    regime of Theorem 7's greedy algorithm.
+    """
+    if n_modules < 1 or width < 1:
+        raise WorkflowError("chain_workflow needs n_modules >= 1 and width >= 1")
+    rng = random.Random(seed)
+    current = [
+        Attribute(f"in_{i}", BOOLEAN, cost=round(rng.uniform(*cost_range), 3))
+        for i in range(width)
+    ]
+    modules = []
+    for index in range(n_modules):
+        private = rng.random() < private_fraction
+        module = _make_module(
+            f"m{index}",
+            current,
+            width,
+            rng,
+            private,
+            cost_range,
+            (1.0, 5.0),
+            attr_prefix=f"d{index}",
+        )
+        modules.append(module)
+        current = list(module.output_schema.attributes)
+    return Workflow(modules, name=f"chain[n={n_modules},w={width}]")
+
+
+def layered_workflow(
+    layers: int,
+    modules_per_layer: int,
+    inputs_per_module: int = 2,
+    outputs_per_module: int = 2,
+    seed: int | None = 0,
+    private_fraction: float = 1.0,
+    max_sharing: int | None = None,
+    cost_range: tuple[float, float] = (1.0, 5.0),
+) -> Workflow:
+    """A layered DAG: every module draws its inputs from the previous layer.
+
+    ``max_sharing`` caps how many modules a single attribute may feed
+    (the γ of Definition 3); ``None`` leaves it unconstrained.
+    """
+    if layers < 1 or modules_per_layer < 1:
+        raise WorkflowError("layered_workflow needs at least one layer and module")
+    rng = random.Random(seed)
+    previous_layer = [
+        Attribute(f"src_{i}", BOOLEAN, cost=round(rng.uniform(*cost_range), 3))
+        for i in range(max(modules_per_layer * outputs_per_module, inputs_per_module))
+    ]
+    usage: dict[str, int] = {attr.name: 0 for attr in previous_layer}
+    modules = []
+    for layer in range(layers):
+        next_layer: list[Attribute] = []
+        for position in range(modules_per_layer):
+            available = [
+                attr
+                for attr in previous_layer
+                if max_sharing is None or usage[attr.name] < max_sharing
+            ]
+            if len(available) < inputs_per_module:
+                available = list(previous_layer)
+            chosen = rng.sample(available, min(inputs_per_module, len(available)))
+            for attr in chosen:
+                usage[attr.name] = usage.get(attr.name, 0) + 1
+            private = rng.random() < private_fraction
+            module = _make_module(
+                f"m{layer}_{position}",
+                chosen,
+                outputs_per_module,
+                rng,
+                private,
+                cost_range,
+                (1.0, 5.0),
+                attr_prefix=f"d{layer}_{position}",
+            )
+            modules.append(module)
+            outs = list(module.output_schema.attributes)
+            next_layer.extend(outs)
+            for attr in outs:
+                usage[attr.name] = 0
+        previous_layer = next_layer
+    return Workflow(
+        modules, name=f"layered[{layers}x{modules_per_layer}]"
+    )
+
+
+def random_workflow(
+    n_modules: int,
+    seed: int | None = 0,
+    private_fraction: float = 1.0,
+    max_inputs: int = 3,
+    max_outputs: int = 2,
+    max_sharing: int | None = None,
+    fresh_input_probability: float = 0.2,
+    cost_range: tuple[float, float] = (1.0, 5.0),
+) -> Workflow:
+    """A random DAG workflow built module by module in topological order.
+
+    Each new module draws inputs from previously produced attributes (or
+    fresh initial inputs with probability ``fresh_input_probability``),
+    respecting the optional ``max_sharing`` bound γ.
+    """
+    if n_modules < 1:
+        raise WorkflowError("random_workflow needs n_modules >= 1")
+    rng = random.Random(seed)
+    pool: list[Attribute] = [
+        Attribute(f"src_{i}", BOOLEAN, cost=round(rng.uniform(*cost_range), 3))
+        for i in range(2)
+    ]
+    usage: dict[str, int] = {attr.name: 0 for attr in pool}
+    fresh_counter = len(pool)
+    modules = []
+    for index in range(n_modules):
+        n_inputs = rng.randint(1, max_inputs)
+        chosen: list[Attribute] = []
+        for _ in range(n_inputs):
+            candidates = [
+                attr
+                for attr in pool
+                if attr not in chosen
+                and (max_sharing is None or usage[attr.name] < max_sharing)
+            ]
+            if not candidates or rng.random() < fresh_input_probability:
+                attr = Attribute(
+                    f"src_{fresh_counter}",
+                    BOOLEAN,
+                    cost=round(rng.uniform(*cost_range), 3),
+                )
+                fresh_counter += 1
+                pool.append(attr)
+                usage[attr.name] = 0
+                chosen.append(attr)
+            else:
+                chosen.append(rng.choice(candidates))
+        for attr in chosen:
+            usage[attr.name] += 1
+        private = rng.random() < private_fraction
+        module = _make_module(
+            f"m{index}",
+            chosen,
+            rng.randint(1, max_outputs),
+            rng,
+            private,
+            cost_range,
+            (1.0, 5.0),
+            attr_prefix=f"d{index}",
+        )
+        modules.append(module)
+        for attr in module.output_schema.attributes:
+            pool.append(attr)
+            usage[attr.name] = 0
+    return Workflow(modules, name=f"random[n={n_modules},seed={seed}]")
+
+
+# ---------------------------------------------------------------------------
+# Requirement generators
+# ---------------------------------------------------------------------------
+
+def random_cardinality_requirements(
+    workflow: Workflow,
+    seed: int | None = 0,
+    max_list_length: int = 3,
+) -> dict[str, CardinalityRequirementList]:
+    """Random non-redundant cardinality lists for every private module.
+
+    Each list holds up to ``max_list_length`` Pareto-incomparable pairs
+    ``(α, β)`` with ``α ≤ |I_i|``, ``β ≤ |O_i|`` and ``α + β >= 1``.
+    """
+    rng = random.Random(seed)
+    lists: dict[str, CardinalityRequirementList] = {}
+    for module in workflow.private_modules:
+        n_in = len(module.input_names)
+        n_out = len(module.output_names)
+        options: list[CardinalityRequirement] = []
+        attempts = 0
+        target = rng.randint(1, max_list_length)
+        while len(options) < target and attempts < 20 * max_list_length:
+            attempts += 1
+            alpha = rng.randint(0, n_in)
+            beta = rng.randint(0, n_out)
+            if alpha + beta == 0:
+                continue
+            candidate = CardinalityRequirement(alpha, beta)
+            if any(
+                existing.dominates(candidate) or candidate.dominates(existing)
+                for existing in options
+            ):
+                continue
+            options.append(candidate)
+        if not options:
+            options.append(CardinalityRequirement(min(1, n_in), min(1, n_out) if n_in == 0 else 0))
+        lists[module.name] = CardinalityRequirementList(module.name, options).normalized()
+    return lists
+
+
+def random_set_requirements(
+    workflow: Workflow,
+    seed: int | None = 0,
+    max_list_length: int = 3,
+    max_option_size: int = 2,
+) -> dict[str, SetRequirementList]:
+    """Random set-constraint lists for every private module.
+
+    Each option is a random subset of the module's attributes of size at
+    most ``max_option_size`` (and at least 1); dominated options are removed.
+    """
+    rng = random.Random(seed)
+    lists: dict[str, SetRequirementList] = {}
+    for module in workflow.private_modules:
+        attributes = list(module.attribute_names)
+        inputs = set(module.input_names)
+        options: list[SetRequirement] = []
+        target = rng.randint(1, max_list_length)
+        attempts = 0
+        while len(options) < target and attempts < 20 * max_list_length:
+            attempts += 1
+            size = rng.randint(1, min(max_option_size, len(attributes)))
+            chosen = frozenset(rng.sample(attributes, size))
+            option = SetRequirement(
+                frozenset(chosen & inputs), frozenset(chosen - inputs)
+            )
+            if any(
+                existing.attributes <= option.attributes
+                or option.attributes <= existing.attributes
+                for existing in options
+            ):
+                continue
+            options.append(option)
+        if not options:
+            chosen = frozenset({attributes[0]})
+            options.append(
+                SetRequirement(frozenset(chosen & inputs), frozenset(chosen - inputs))
+            )
+        lists[module.name] = SetRequirementList(module.name, options).normalized()
+    return lists
+
+
+def random_requirements(
+    workflow: Workflow,
+    kind: str = "cardinality",
+    seed: int | None = 0,
+    max_list_length: int = 3,
+    max_option_size: int = 2,
+) -> dict[str, RequirementList]:
+    """Dispatch to the cardinality or set requirement generator."""
+    if kind == "cardinality":
+        return random_cardinality_requirements(
+            workflow, seed=seed, max_list_length=max_list_length
+        )
+    if kind == "set":
+        return random_set_requirements(
+            workflow,
+            seed=seed,
+            max_list_length=max_list_length,
+            max_option_size=max_option_size,
+        )
+    raise WorkflowError(f"unknown requirement kind {kind!r}")
+
+
+def random_problem(
+    n_modules: int = 10,
+    kind: str = "cardinality",
+    seed: int | None = 0,
+    gamma: int = 2,
+    topology: str = "random",
+    private_fraction: float = 1.0,
+    max_sharing: int | None = None,
+    max_list_length: int = 3,
+) -> SecureViewProblem:
+    """A complete random Secure-View instance (workflow + requirement lists)."""
+    if topology == "chain":
+        workflow = chain_workflow(
+            n_modules, seed=seed, private_fraction=private_fraction
+        )
+    elif topology == "layered":
+        per_layer = max(2, int(round(n_modules**0.5)))
+        layers = max(1, n_modules // per_layer)
+        workflow = layered_workflow(
+            layers,
+            per_layer,
+            seed=seed,
+            private_fraction=private_fraction,
+            max_sharing=max_sharing,
+        )
+    else:
+        workflow = random_workflow(
+            n_modules,
+            seed=seed,
+            private_fraction=private_fraction,
+            max_sharing=max_sharing,
+        )
+    requirements = random_requirements(
+        workflow, kind=kind, seed=seed, max_list_length=max_list_length
+    )
+    return SecureViewProblem(workflow, gamma=gamma, requirements=requirements)

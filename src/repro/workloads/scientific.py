@@ -1,0 +1,198 @@
+"""Synthetic "scientific workflow"-shaped instances.
+
+The paper motivates the model with workflow systems such as myGrid/Taverna,
+Kepler and VisTrails and cites myExperiment [1] for the observation that
+individual modules typically have fewer than 10 attributes while workflows
+can contain many modules.  No public corpus provides the abstract
+finite-domain relations this library works on, so this module synthesizes
+workflows whose *shape statistics* follow those observations (see the
+substitution table in DESIGN.md):
+
+* a small set of source (data-staging) modules fanning out reference data,
+* a long middle section of analysis modules with 1–4 inputs and 1–3 outputs,
+* a few aggregation modules near the sinks with larger fan-in,
+* a configurable fraction of public modules (format converters, sorters),
+* log-normal-ish attribute costs so "expensive" data items exist.
+
+The generated instances are used by the scalability benchmark (experiment
+E18 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..core.attributes import Attribute, BOOLEAN
+from ..core.module import Module
+from ..core.secure_view import SecureViewProblem
+from ..core.workflow import Workflow
+from .generators import random_requirements
+
+__all__ = ["ScientificWorkflowConfig", "scientific_workflow", "scientific_suite"]
+
+
+@dataclass(frozen=True)
+class ScientificWorkflowConfig:
+    """Shape parameters of a synthetic scientific workflow."""
+
+    n_modules: int = 30
+    source_fraction: float = 0.15
+    aggregator_fraction: float = 0.1
+    public_fraction: float = 0.3
+    max_inputs: int = 4
+    max_outputs: int = 3
+    max_sharing: int = 3
+    cost_mean: float = 3.0
+    cost_sigma: float = 0.6
+    seed: int = 0
+
+
+def _cost(rng: random.Random, config: ScientificWorkflowConfig) -> float:
+    return round(rng.lognormvariate(config.cost_mean**0.5, config.cost_sigma), 3)
+
+
+def _analysis_function(input_names: Sequence[str], output_names: Sequence[str]):
+    def function(x):
+        bits = [int(x[name]) for name in input_names]
+        result = {}
+        for index, out in enumerate(output_names):
+            value = index & 1
+            for offset, bit in enumerate(bits):
+                if (offset + index) % 2 == 0:
+                    value ^= bit
+                else:
+                    value |= bit
+            result[out] = value & 1
+        return result
+
+    return function
+
+
+def scientific_workflow(config: ScientificWorkflowConfig | None = None) -> Workflow:
+    """Generate one synthetic scientific workflow following ``config``."""
+    config = config or ScientificWorkflowConfig()
+    rng = random.Random(config.seed)
+    n_sources = max(1, int(config.n_modules * config.source_fraction))
+    n_aggregators = max(1, int(config.n_modules * config.aggregator_fraction))
+    n_analysis = max(1, config.n_modules - n_sources - n_aggregators)
+
+    modules: list[Module] = []
+    pool: list[Attribute] = []
+    usage: dict[str, int] = {}
+
+    def new_attribute(prefix: str, index: int) -> Attribute:
+        attr = Attribute(f"{prefix}_{index}", BOOLEAN, cost=_cost(rng, config))
+        usage[attr.name] = 0
+        return attr
+
+    # Source modules: one external input each, fan out reference data.
+    attr_counter = 0
+    for source_index in range(n_sources):
+        external = new_attribute("raw", attr_counter)
+        attr_counter += 1
+        outputs = [
+            new_attribute("ref", attr_counter + j)
+            for j in range(rng.randint(1, config.max_outputs))
+        ]
+        attr_counter += len(outputs)
+        module = Module(
+            f"stage_{source_index}",
+            [external],
+            outputs,
+            _analysis_function([external.name], [a.name for a in outputs]),
+            private=rng.random() > config.public_fraction,
+            privatization_cost=_cost(rng, config),
+        )
+        modules.append(module)
+        pool.extend(outputs)
+
+    def draw_inputs(count: int) -> list[Attribute]:
+        chosen: list[Attribute] = []
+        for _ in range(count):
+            candidates = [
+                attr
+                for attr in pool
+                if attr not in chosen and usage[attr.name] < config.max_sharing
+            ]
+            if not candidates:
+                candidates = [attr for attr in pool if attr not in chosen]
+            if not candidates:
+                break
+            attr = rng.choice(candidates)
+            usage[attr.name] += 1
+            chosen.append(attr)
+        return chosen
+
+    # Analysis modules.
+    for analysis_index in range(n_analysis):
+        inputs = draw_inputs(rng.randint(1, config.max_inputs))
+        if not inputs:
+            inputs = [new_attribute("raw", attr_counter)]
+            attr_counter += 1
+        outputs = [
+            new_attribute("data", attr_counter + j)
+            for j in range(rng.randint(1, config.max_outputs))
+        ]
+        attr_counter += len(outputs)
+        module = Module(
+            f"analyze_{analysis_index}",
+            inputs,
+            outputs,
+            _analysis_function([a.name for a in inputs], [a.name for a in outputs]),
+            private=rng.random() > config.public_fraction,
+            privatization_cost=_cost(rng, config),
+        )
+        modules.append(module)
+        pool.extend(outputs)
+
+    # Aggregator modules: larger fan-in, single result.
+    for agg_index in range(n_aggregators):
+        inputs = draw_inputs(min(len(pool), config.max_inputs + 2))
+        if not inputs:
+            inputs = [new_attribute("raw", attr_counter)]
+            attr_counter += 1
+        output = new_attribute("result", attr_counter)
+        attr_counter += 1
+        module = Module(
+            f"aggregate_{agg_index}",
+            inputs,
+            [output],
+            _analysis_function([a.name for a in inputs], [output.name]),
+            private=True,
+            privatization_cost=_cost(rng, config),
+        )
+        modules.append(module)
+        pool.append(output)
+
+    return Workflow(modules, name=f"scientific[n={config.n_modules},seed={config.seed}]")
+
+
+def scientific_problem(
+    config: ScientificWorkflowConfig | None = None,
+    kind: str = "cardinality",
+    gamma: int = 2,
+    max_list_length: int = 3,
+) -> SecureViewProblem:
+    """A Secure-View instance over one synthetic scientific workflow."""
+    config = config or ScientificWorkflowConfig()
+    workflow = scientific_workflow(config)
+    requirements = random_requirements(
+        workflow, kind=kind, seed=config.seed, max_list_length=max_list_length
+    )
+    return SecureViewProblem(workflow, gamma=gamma, requirements=requirements)
+
+
+def scientific_suite(
+    sizes: Sequence[int] = (10, 20, 40, 80),
+    seed: int = 0,
+    kind: str = "cardinality",
+    public_fraction: float = 0.0,
+) -> Iterator[SecureViewProblem]:
+    """A suite of instances of increasing size (the E18 scalability sweep)."""
+    for index, size in enumerate(sizes):
+        config = ScientificWorkflowConfig(
+            n_modules=size, seed=seed + index, public_fraction=public_fraction
+        )
+        yield scientific_problem(config, kind=kind)

@@ -1,0 +1,76 @@
+"""Tests for the solver-comparison and sweep harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import compare_solvers, sweep, time_solver
+from repro.workloads import example5_problem, random_problem
+
+
+class TestTimeSolver:
+    def test_successful_run(self, small_set_problem):
+        run = time_solver(small_set_problem, "greedy")
+        assert run.succeeded
+        assert run.cost > 0
+        assert run.seconds >= 0
+        assert run.as_record()["method"] == "greedy"
+
+    def test_failed_run_is_captured(self, small_set_problem):
+        run = time_solver(small_set_problem, "lp_rounding")  # wrong constraint kind
+        assert not run.succeeded
+        assert run.cost == float("inf")
+        assert run.error
+
+
+class TestCompareSolvers:
+    def test_records_include_exact_and_ratios(self, small_cardinality_problem):
+        records = compare_solvers(
+            small_cardinality_problem,
+            ["lp_rounding", "greedy"],
+            seeds=(0, 1),
+        )
+        methods = [record["method"] for record in records]
+        assert methods[0] == "exact_ip"
+        assert methods.count("lp_rounding") == 2
+        ratios = [record["ratio"] for record in records if "ratio" in record]
+        assert all(ratio >= 1.0 - 1e-9 for ratio in ratios)
+
+    def test_without_exact(self, small_set_problem):
+        records = compare_solvers(
+            small_set_problem, ["set_lp", "greedy"], include_exact=False
+        )
+        assert all("ratio" not in record for record in records)
+
+    def test_solver_failures_reported_not_raised(self, small_set_problem):
+        records = compare_solvers(
+            small_set_problem, ["lp_rounding"], include_exact=False
+        )
+        assert records[0]["cost"] == float("inf")
+        assert "error" in records[0]
+
+
+class TestSweep:
+    def test_sweep_tags_parameter(self):
+        records = sweep(
+            lambda n: example5_problem(int(n)),
+            [2, 4],
+            methods=["greedy"],
+            parameter_name="n",
+        )
+        assert {record["n"] for record in records} == {2, 4}
+        assert any(record["method"] == "greedy" for record in records)
+
+    def test_sweep_ratio_grows_for_example5(self):
+        records = sweep(
+            lambda n: example5_problem(int(n)),
+            [3, 8],
+            methods=["union_standalone"],
+            parameter_name="n",
+        )
+        ratios = {
+            record["n"]: record["ratio"]
+            for record in records
+            if record["method"] == "union_of_standalone_optima"
+        }
+        assert ratios[8] > ratios[3]

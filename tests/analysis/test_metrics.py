@@ -1,0 +1,62 @@
+"""Tests for the experiment metrics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    approximation_ratio,
+    hidden_fraction,
+    privacy_margin,
+    solution_summary,
+    summarize_ratios,
+)
+from repro.exceptions import SolverError
+from repro.optim import solve_greedy
+
+
+class TestRatios:
+    def test_basic_ratio(self):
+        assert approximation_ratio(6.0, 3.0) == pytest.approx(2.0)
+
+    def test_zero_optimum_conventions(self):
+        assert approximation_ratio(0.0, 0.0) == 1.0
+        assert approximation_ratio(2.0, 0.0) == math.inf
+
+    def test_negative_rejected(self):
+        with pytest.raises(SolverError):
+            approximation_ratio(-1.0, 1.0)
+
+    def test_privacy_margin(self):
+        assert privacy_margin(4, 2) == pytest.approx(2.0)
+        with pytest.raises(SolverError):
+            privacy_margin(4, 0)
+
+    def test_summary_statistics(self):
+        summary = summarize_ratios([1.0, 2.0, 3.0])
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.median == pytest.approx(2.0)
+        assert summary.maximum == pytest.approx(3.0)
+        assert summary.minimum == pytest.approx(1.0)
+        assert len(summary.as_row()) == 5
+
+    def test_summary_requires_values(self):
+        with pytest.raises(SolverError):
+            summarize_ratios([])
+
+
+class TestSolutionSummary:
+    def test_summary_fields(self, small_set_problem):
+        solution = solve_greedy(small_set_problem)
+        record = solution_summary(small_set_problem, solution, optimum=solution.cost())
+        assert record["method"] == "greedy"
+        assert record["ratio"] == pytest.approx(1.0)
+        assert 0.0 < record["hidden_fraction"] <= 1.0
+        assert record["n_modules"] == len(small_set_problem.workflow)
+
+    def test_hidden_fraction_bounds(self, small_set_problem):
+        solution = solve_greedy(small_set_problem)
+        assert 0.0 <= hidden_fraction(solution) <= 1.0

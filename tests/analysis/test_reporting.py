@@ -1,0 +1,65 @@
+"""Tests for the fixed-width reporting helpers."""
+
+from __future__ import annotations
+
+from repro.analysis import Report, format_records, format_table, format_value
+
+
+class TestFormatValue:
+    def test_floats_rounded(self):
+        assert format_value(1.23456) == "1.235"
+        assert format_value(1.23456, precision=1) == "1.2"
+
+    def test_booleans(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_special_floats(self):
+        assert format_value(float("nan")) == "nan"
+        assert format_value(float("inf")) == "inf"
+        assert format_value(float("-inf")) == "-inf"
+
+    def test_other_types(self):
+        assert format_value("text") == "text"
+        assert format_value(7) == "7"
+
+
+class TestFormatTable:
+    def test_alignment_and_caption(self):
+        table = format_table(
+            ["name", "value"], [["alpha", 1.0], ["b", 22.5]], caption="demo"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "demo"
+        assert lines[1].startswith("name")
+        assert len(lines) == 5
+
+    def test_column_widths_accommodate_long_cells(self):
+        table = format_table(["h"], [["a-very-long-cell"]])
+        header, separator, row = table.splitlines()
+        assert len(separator) == len("a-very-long-cell")
+
+    def test_format_records(self):
+        records = [{"a": 1, "b": 2.5}, {"a": 3, "b": 4.0}]
+        text = format_records(records)
+        assert "a" in text and "b" in text
+        assert "2.500" in text
+
+    def test_format_records_empty(self):
+        assert "(no records)" in format_records([], caption="cap")
+
+    def test_format_records_column_selection(self):
+        records = [{"a": 1, "b": 2}]
+        text = format_records(records, columns=["b"])
+        assert "b" in text and "a" not in text.splitlines()[0]
+
+
+class TestReport:
+    def test_render_contains_sections(self):
+        report = Report("Demo")
+        report.add_text("intro")
+        report.add_table("t1", ["x"], [[1]])
+        report.add_records("t2", [{"y": 2}])
+        rendered = report.render()
+        assert rendered.startswith("== Demo ==")
+        assert "intro" in rendered and "t1" in rendered and "t2" in rendered

@@ -1,0 +1,73 @@
+"""Shared fixtures: the paper's running example and a few small instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Module, SecureViewProblem, Workflow, boolean_attributes
+from repro.workloads import (
+    example5_problem,
+    figure1_m1_module,
+    figure1_workflow,
+    random_problem,
+)
+
+
+@pytest.fixture
+def m1() -> Module:
+    """The Figure-1 top module m1 (2 boolean inputs, 3 boolean outputs)."""
+    return figure1_m1_module()
+
+
+@pytest.fixture
+def figure1() -> Workflow:
+    """The full Figure-1 workflow (m1, m2, m3 over a1..a7)."""
+    return figure1_workflow()
+
+
+@pytest.fixture
+def figure1_problem(figure1: Workflow) -> SecureViewProblem:
+    """Figure-1 Secure-View instance with set constraints derived at Γ=2."""
+    return SecureViewProblem.from_standalone_analysis(figure1, gamma=2, kind="set")
+
+
+@pytest.fixture
+def example5() -> SecureViewProblem:
+    """The Example-5 star instance with n=5 middle modules."""
+    return example5_problem(5)
+
+
+@pytest.fixture
+def small_cardinality_problem() -> SecureViewProblem:
+    """A small random cardinality-constraint instance (8 modules)."""
+    return random_problem(n_modules=8, kind="cardinality", seed=11)
+
+
+@pytest.fixture
+def small_set_problem() -> SecureViewProblem:
+    """A small random set-constraint instance (8 modules)."""
+    return random_problem(n_modules=8, kind="set", seed=13)
+
+
+@pytest.fixture
+def mixed_problem() -> SecureViewProblem:
+    """A small instance with both private and public modules."""
+    return random_problem(
+        n_modules=8, kind="set", seed=17, private_fraction=0.6
+    )
+
+
+@pytest.fixture
+def tiny_chain() -> Workflow:
+    """A 2-module chain over 2-bit data, small enough for brute-force worlds."""
+    a0, a1, b0, b1, c0 = boolean_attributes(["a0", "a1", "b0", "b1", "c0"])
+
+    def swap(x):
+        return {"b0": x["a1"], "b1": x["a0"]}
+
+    def parity(x):
+        return {"c0": x["b0"] ^ x["b1"]}
+
+    first = Module("first", [a0, a1], [b0, b1], swap)
+    second = Module("second", [b0, b1], [c0], parity)
+    return Workflow([first, second], name="tiny_chain")

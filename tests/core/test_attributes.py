@@ -1,0 +1,163 @@
+"""Unit tests for domains, attributes and schemas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BOOLEAN, Attribute, Domain, Schema, boolean_attributes, integer_domain
+from repro.exceptions import DomainError, SchemaError
+
+
+class TestDomain:
+    def test_boolean_domain_has_two_values(self):
+        assert BOOLEAN.size == 2
+        assert list(BOOLEAN) == [0, 1]
+
+    def test_values_are_deduplicated_preserving_order(self):
+        domain = Domain([3, 1, 3, 2, 1])
+        assert domain.values == (3, 1, 2)
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(DomainError):
+            Domain([])
+
+    def test_contains(self):
+        domain = Domain(["x", "y"])
+        assert "x" in domain
+        assert "z" not in domain
+
+    def test_index(self):
+        domain = Domain([10, 20, 30])
+        assert domain.index(20) == 1
+
+    def test_validate_accepts_member(self):
+        assert BOOLEAN.validate(1) == 1
+
+    def test_validate_rejects_non_member(self):
+        with pytest.raises(DomainError):
+            BOOLEAN.validate(2)
+
+    def test_integer_domain_range(self):
+        domain = integer_domain(4, start=1)
+        assert domain.values == (1, 2, 3, 4)
+
+    def test_integer_domain_requires_positive_size(self):
+        with pytest.raises(DomainError):
+            integer_domain(0)
+
+    def test_default_name(self):
+        domain = Domain([1, 2, 3])
+        assert domain.name == "domain3"
+
+
+class TestAttribute:
+    def test_defaults_boolean_unit_cost(self):
+        attr = Attribute("a")
+        assert attr.domain == BOOLEAN
+        assert attr.cost == 1.0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("a", BOOLEAN, cost=-1.0)
+
+    def test_with_cost_returns_new_attribute(self):
+        attr = Attribute("a", BOOLEAN, cost=1.0)
+        other = attr.with_cost(5.0)
+        assert other.cost == 5.0
+        assert attr.cost == 1.0
+        assert other.name == "a"
+
+    def test_boolean_attributes_with_mapping_costs(self):
+        attrs = boolean_attributes(["a", "b"], {"a": 2.0})
+        assert attrs[0].cost == 2.0
+        assert attrs[1].cost == 1.0
+
+    def test_boolean_attributes_with_scalar_cost(self):
+        attrs = boolean_attributes(["a", "b"], 3.5)
+        assert all(attr.cost == 3.5 for attr in attrs)
+
+
+class TestSchema:
+    def make(self) -> Schema:
+        return Schema(boolean_attributes(["a", "b", "c"]))
+
+    def test_len_and_iteration_order(self):
+        schema = self.make()
+        assert len(schema) == 3
+        assert schema.names == ("a", "b", "c")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(boolean_attributes(["a", "a"]))
+
+    def test_getitem_and_contains(self):
+        schema = self.make()
+        assert schema["b"].name == "b"
+        assert "c" in schema
+        assert "z" not in schema
+
+    def test_getitem_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            self.make()["z"]
+
+    def test_total_cost_all_and_subset(self):
+        schema = Schema(boolean_attributes(["a", "b", "c"], {"a": 2.0, "b": 3.0}))
+        assert schema.total_cost() == pytest.approx(6.0)
+        assert schema.total_cost(["a", "c"]) == pytest.approx(3.0)
+
+    def test_subset_preserves_order(self):
+        schema = self.make()
+        sub = schema.subset(["c", "a"])
+        assert sub.names == ("a", "c")
+
+    def test_subset_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            self.make().subset(["z"])
+
+    def test_union_merges_and_checks_conflicts(self):
+        left = Schema(boolean_attributes(["a", "b"]))
+        right = Schema(boolean_attributes(["b", "c"]))
+        merged = left.union(right)
+        assert merged.names == ("a", "b", "c")
+
+    def test_union_conflicting_declaration_raises(self):
+        left = Schema([Attribute("a", BOOLEAN, cost=1.0)])
+        right = Schema([Attribute("a", BOOLEAN, cost=2.0)])
+        with pytest.raises(SchemaError):
+            left.union(right)
+
+    def test_project_order(self):
+        schema = self.make()
+        assert schema.project_order(["c", "a"]) == ("a", "c")
+
+    def test_iter_assignments_counts(self):
+        schema = self.make()
+        assignments = list(schema.iter_assignments(["a", "b"]))
+        assert len(assignments) == 4
+        assert {"a": 0, "b": 0} in assignments
+
+    def test_assignment_count(self):
+        schema = Schema(
+            [Attribute("a", BOOLEAN), Attribute("i", integer_domain(3))]
+        )
+        assert schema.assignment_count() == 6
+        assert schema.assignment_count(["i"]) == 3
+
+    def test_validate_assignment(self):
+        schema = self.make()
+        schema.validate_assignment({"a": 0, "b": 1})
+        with pytest.raises(DomainError):
+            schema.validate_assignment({"a": 7})
+
+    def test_equality_and_hash(self):
+        assert self.make() == self.make()
+        assert hash(self.make()) == hash(self.make())
+
+    def test_domain_and_cost_accessors(self):
+        schema = Schema(boolean_attributes(["a"], {"a": 4.0}))
+        assert schema.domain_of("a") == BOOLEAN
+        assert schema.cost_of("a") == 4.0

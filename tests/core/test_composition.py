@@ -1,0 +1,158 @@
+"""Tests for the flipping machinery and the Theorem-4/8 assembly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    assemble_all_private_solution,
+    assemble_general_solution,
+    build_flipped_world,
+    flip_assignment,
+    flip_module,
+    is_gamma_private_workflow,
+    is_workflow_world,
+    lemma2_witness,
+    privatization_closure,
+    standalone_out_set,
+)
+from repro.exceptions import PrivacyError
+from repro.workloads import example7_chain, figure1_view_attributes
+
+
+class TestFlip:
+    def test_flip_is_involution(self):
+        p = {"a": 0, "b": 1}
+        q = {"a": 1, "b": 0}
+        x = {"a": 0, "b": 0, "c": 1}
+        flipped = flip_assignment(x, p, q)
+        assert flip_assignment(flipped, p, q) == x
+
+    def test_flip_swaps_matching_values(self):
+        p = {"a": 0}
+        q = {"a": 1}
+        assert flip_assignment({"a": 0}, p, q) == {"a": 1}
+        assert flip_assignment({"a": 1}, p, q) == {"a": 0}
+
+    def test_flip_leaves_other_values_untouched(self):
+        p = {"a": 0}
+        q = {"a": 0}
+        assert flip_assignment({"a": 1}, p, q) == {"a": 1}
+
+    def test_flip_module_schema_preserved(self, m1):
+        p = {"a1": 0, "a2": 0, "a3": 0, "a4": 1, "a5": 1}
+        q = {"a1": 0, "a2": 1, "a3": 1, "a4": 1, "a5": 0}
+        flipped = flip_module(m1, p, q)
+        assert flipped.input_names == m1.input_names
+        assert flipped.output_names == m1.output_names
+
+    def test_flip_module_maps_p_input_to_p_output(self, m1):
+        # g(x) = FLIP(m(FLIP(x))): on input p|I it returns p|O when q = (x', m(x')).
+        x = {"a1": 0, "a2": 0}
+        y = {"a3": 1, "a4": 0, "a5": 0}
+        x_prime, y_prime = lemma2_witness(m1, x, y, figure1_view_attributes())
+        p = {**x, **y}
+        q = {**x_prime, **y_prime}
+        flipped = flip_module(m1, p, q)
+        assert flipped.apply(x) == y
+
+
+class TestLemma2Witness:
+    def test_witness_shares_visible_values(self, m1):
+        x = {"a1": 0, "a2": 0}
+        y = {"a3": 0, "a4": 0, "a5": 1}
+        x_prime, y_prime = lemma2_witness(m1, x, y, figure1_view_attributes())
+        assert x_prime["a1"] == x["a1"]
+        assert y_prime["a3"] == y["a3"] and y_prime["a5"] == y["a5"]
+
+    def test_witness_is_an_execution(self, m1):
+        x = {"a1": 0, "a2": 0}
+        y = {"a3": 1, "a4": 1, "a5": 0}
+        x_prime, y_prime = lemma2_witness(m1, x, y, figure1_view_attributes())
+        assert m1.apply(x_prime) == y_prime
+
+    def test_non_candidate_output_rejected(self, m1):
+        x = {"a1": 0, "a2": 0}
+        # a3 = 1 with a5 = 1 never co-occurs with a1 = 0 in the view.
+        y = {"a3": 1, "a4": 0, "a5": 1}
+        with pytest.raises(PrivacyError):
+            lemma2_witness(m1, x, y, figure1_view_attributes())
+
+
+class TestFlippedWorld:
+    def test_flipped_world_is_a_possible_world(self, figure1):
+        visible = set(figure1.attribute_names) - {"a2", "a4"}
+        m1 = figure1.module("m1")
+        x = {"a1": 0, "a2": 0}
+        for y_tuple in standalone_out_set(m1, x, {"a1", "a3", "a5"}):
+            y = dict(zip(m1.output_names, y_tuple))
+            world = build_flipped_world(figure1, "m1", x, y, visible)
+            assert is_workflow_world(world, figure1, visible)
+
+    def test_flipped_world_realizes_target_output(self, figure1):
+        visible = set(figure1.attribute_names) - {"a2", "a4"}
+        m1 = figure1.module("m1")
+        x = {"a1": 0, "a2": 0}
+        y = {"a3": 0, "a4": 0, "a5": 1}
+        world = build_flipped_world(figure1, "m1", x, y, visible)
+        matching = [
+            row
+            for row in world
+            if all(row[name] == x[name] for name in m1.input_names)
+        ]
+        assert matching
+        assert all(
+            all(row[name] == y[name] for name in m1.output_names)
+            for row in matching
+        )
+
+
+class TestAssembly:
+    def test_all_private_assembly_is_gamma_private(self, figure1):
+        solution = assemble_all_private_solution(figure1, 2)
+        visible = solution.visible_attributes
+        assert is_gamma_private_workflow(figure1, visible, 2)
+
+    def test_all_private_assembly_records_per_module_choices(self, figure1):
+        solution = assemble_all_private_solution(figure1, 2)
+        assert set(solution.meta["per_module_hidden"]) == {"m1", "m2", "m3"}
+
+    def test_all_private_assembly_with_explicit_choices(self, figure1):
+        solution = assemble_all_private_solution(
+            figure1,
+            2,
+            hidden_per_module={"m1": {"a4"}, "m2": {"a6"}, "m3": {"a7"}},
+        )
+        assert solution.hidden_attributes == {"a4", "a6", "a7"}
+        assert is_gamma_private_workflow(figure1, solution.visible_attributes, 2)
+
+    def test_all_private_assembly_rejects_public_workflows(self):
+        workflow = example7_chain(1)
+        with pytest.raises(PrivacyError):
+            assemble_all_private_solution(workflow, 2)
+
+    def test_privatization_closure(self):
+        workflow = example7_chain(2)
+        closure = privatization_closure(workflow, {"x0"})
+        assert closure == {"m_head"}
+        closure = privatization_closure(workflow, {"x0", "z1"})
+        assert closure == {"m_head", "m_tail"}
+        assert privatization_closure(workflow, {"s0"}) == {"m_head"}
+
+    def test_general_assembly_is_gamma_private(self):
+        workflow = example7_chain(2)
+        solution = assemble_general_solution(workflow, 2)
+        assert is_gamma_private_workflow(
+            workflow,
+            solution.visible_attributes,
+            2,
+            hidden_public_modules=solution.privatized_modules,
+        )
+
+    def test_general_assembly_privatizes_touched_public_modules(self):
+        workflow = example7_chain(2)
+        solution = assemble_general_solution(
+            workflow, 2, hidden_per_module={"m_mid": {"x0", "x1"}}
+        )
+        assert solution.hidden_attributes == {"x0", "x1"}
+        assert solution.privatized_modules == {"m_head"}

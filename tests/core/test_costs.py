@@ -1,0 +1,73 @@
+"""Tests for the additive cost helpers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    attribute_cost_map,
+    privatization_cost_map,
+    random_attribute_costs,
+    solution_cost,
+    uniform_attribute_costs,
+)
+from repro.exceptions import SchemaError
+from repro.workloads import example7_chain
+
+
+class TestCostMaps:
+    def test_uniform_costs(self):
+        costs = uniform_attribute_costs(["a", "b"], 2.5)
+        assert costs == {"a": 2.5, "b": 2.5}
+
+    def test_uniform_costs_negative_rejected(self):
+        with pytest.raises(SchemaError):
+            uniform_attribute_costs(["a"], -1.0)
+
+    def test_random_costs_within_range_and_deterministic(self):
+        rng = random.Random(7)
+        costs = random_attribute_costs(["a", "b", "c"], 1.0, 2.0, rng=rng)
+        assert all(1.0 <= value <= 2.0 for value in costs.values())
+        again = random_attribute_costs(["a", "b", "c"], 1.0, 2.0, rng=random.Random(7))
+        assert costs == again
+
+    def test_random_costs_bad_range(self):
+        with pytest.raises(SchemaError):
+            random_attribute_costs(["a"], 5.0, 1.0)
+
+    def test_attribute_cost_map_reflects_schema(self, figure1):
+        costs = attribute_cost_map(figure1)
+        assert set(costs) == set(figure1.attribute_names)
+        assert all(value == 1.0 for value in costs.values())
+
+    def test_privatization_cost_map_public_modules_only(self):
+        workflow = example7_chain(1)
+        costs = privatization_cost_map(workflow)
+        assert set(costs) == {"m_head", "m_tail"}
+
+
+class TestSolutionCost:
+    def test_attribute_only(self, figure1):
+        assert solution_cost(figure1, ["a4", "a5"]) == pytest.approx(2.0)
+
+    def test_with_privatization(self):
+        workflow = example7_chain(1)
+        cost = solution_cost(workflow, ["x0"], ["m_head"])
+        assert cost == pytest.approx(
+            workflow.attribute_cost(["x0"]) + workflow.privatization_cost(["m_head"])
+        )
+
+    def test_privatizing_private_module_costs_nothing(self, figure1):
+        assert solution_cost(figure1, [], ["m1"]) == pytest.approx(0.0)
+
+    def test_cost_override(self, figure1):
+        cost = solution_cost(
+            figure1, ["a4"], attribute_costs={"a4": 10.0}
+        )
+        assert cost == pytest.approx(10.0)
+
+    def test_unknown_attribute_rejected(self, figure1):
+        with pytest.raises(SchemaError):
+            solution_cost(figure1, ["zzz"])

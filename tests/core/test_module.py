@@ -1,0 +1,138 @@
+"""Unit tests for modules (functionality relations with FD I -> O)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Module, boolean_attributes, tabulate_function
+from repro.exceptions import SchemaError, WiringError
+from repro.workloads import (
+    constant_module,
+    figure1_m1_module,
+    identity_module,
+    parity_module,
+    random_permutation_module,
+    xor_mask_module,
+)
+
+
+class TestConstruction:
+    def test_input_output_overlap_rejected(self):
+        a, b = boolean_attributes(["a", "b"])
+        with pytest.raises(WiringError):
+            Module("m", [a, b], [a], lambda x: {"a": 0})
+
+    def test_empty_output_rejected(self):
+        a, = boolean_attributes(["a"])
+        with pytest.raises(WiringError):
+            Module("m", [a], [], lambda x: {})
+
+    def test_empty_name_rejected(self):
+        a, b = boolean_attributes(["a", "b"])
+        with pytest.raises(SchemaError):
+            Module("", [a], [b], lambda x: {"b": x["a"]})
+
+    def test_negative_privatization_cost_rejected(self):
+        a, b = boolean_attributes(["a", "b"])
+        with pytest.raises(SchemaError):
+            Module("m", [a], [b], lambda x: {"b": x["a"]}, privatization_cost=-1)
+
+    def test_schema_accessors(self, m1):
+        assert m1.input_names == ("a1", "a2")
+        assert m1.output_names == ("a3", "a4", "a5")
+        assert m1.attribute_names == ("a1", "a2", "a3", "a4", "a5")
+        assert set(m1.schema.names) == set(m1.attribute_names)
+
+    def test_public_private_flags(self):
+        module = constant_module("c", ["a"], ["b"], private=False)
+        assert module.public and not module.private
+        private = module.as_private()
+        assert private.private
+
+
+class TestEvaluation:
+    def test_apply_matches_figure1(self, m1):
+        assert m1.apply({"a1": 0, "a2": 0}) == {"a3": 0, "a4": 1, "a5": 1}
+        assert m1.apply({"a1": 1, "a2": 1}) == {"a3": 1, "a4": 0, "a5": 1}
+
+    def test_apply_ignores_extra_attributes(self, m1):
+        out = m1.apply({"a1": 1, "a2": 0, "junk": 9})
+        assert out == {"a3": 1, "a4": 1, "a5": 0}
+
+    def test_apply_validates_input_domain(self, m1):
+        with pytest.raises(Exception):
+            m1.apply({"a1": 3, "a2": 0})
+
+    def test_callable_protocol(self, m1):
+        assert m1({"a1": 0, "a2": 1}) == m1.apply({"a1": 0, "a2": 1})
+
+    def test_bad_function_output_detected(self):
+        a, b = boolean_attributes(["a", "b"])
+        module = Module("m", [a], [b], lambda x: {"wrong": 1})
+        with pytest.raises(SchemaError):
+            module.apply({"a": 0})
+
+
+class TestRelation:
+    def test_relation_size_equals_domain(self, m1):
+        rel = m1.relation()
+        assert len(rel) == 4
+        rel.assert_fd(m1.input_names, m1.output_names)
+
+    def test_relation_matches_figure1c(self, m1):
+        rel = m1.relation()
+        assert {"a1": 0, "a2": 1, "a3": 1, "a4": 1, "a5": 0} in rel
+
+    def test_relation_is_cached(self, m1):
+        assert m1.relation() is m1.relation()
+
+    def test_relation_for_inputs_restricts(self, m1):
+        rel = m1.relation_for_inputs([{"a1": 0, "a2": 0}, {"a1": 0, "a2": 0}])
+        assert len(rel) == 1
+
+    def test_tabulate_function(self, m1):
+        table = tabulate_function(m1)
+        assert table[(0, 0)] == (0, 1, 1)
+        assert len(table) == 4
+
+
+class TestClassification:
+    def test_identity_is_one_to_one_and_invertible(self):
+        module = identity_module("id", ["a", "b"], ["c", "d"])
+        assert module.is_one_to_one()
+        assert module.is_invertible()
+        assert not module.is_constant()
+
+    def test_constant_module_classification(self):
+        module = constant_module("c", ["a", "b"], ["z"])
+        assert module.is_constant()
+        assert not module.is_one_to_one()
+
+    def test_parity_not_one_to_one(self):
+        module = parity_module("p", ["a", "b"], "z")
+        assert not module.is_one_to_one()
+
+    def test_random_permutation_is_bijection(self):
+        module = random_permutation_module("perm", ["a", "b"], ["c", "d"], seed=1)
+        assert module.is_invertible()
+        assert len(module.image()) == 4
+
+    def test_xor_mask_is_invertible(self):
+        module = xor_mask_module("x", ["a", "b"], ["c", "d"], mask=[1, 0])
+        assert module.is_invertible()
+
+    def test_domain_and_range_sizes(self, m1):
+        assert m1.domain_size() == 4
+        assert m1.range_size() == 8
+
+
+class TestDerivedModules:
+    def test_renamed_keeps_behaviour(self, m1):
+        clone = m1.renamed("other")
+        assert clone.name == "other"
+        assert clone.apply({"a1": 1, "a2": 0}) == m1.apply({"a1": 1, "a2": 0})
+
+    def test_with_function_replaces_behaviour(self, m1):
+        flipped = m1.with_function(lambda x: {"a3": 0, "a4": 0, "a5": 0})
+        assert flipped.apply({"a1": 1, "a2": 1}) == {"a3": 0, "a4": 0, "a5": 0}
+        assert flipped.name == m1.name

@@ -1,0 +1,128 @@
+"""Tests for the possible-worlds enumerators (Definitions 1, 4 and 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Relation,
+    count_standalone_worlds,
+    enumerate_standalone_worlds,
+    enumerate_workflow_worlds,
+    is_standalone_world,
+    is_workflow_world,
+    standalone_out_set,
+    workflow_out_set,
+    workflow_out_sets,
+)
+from repro.exceptions import PrivacyError
+from repro.workloads import example7_chain, figure1_view_attributes
+
+
+FIGURE2_WORLDS = [
+    # R1^1 .. R1^4 from Figure 2 of the paper, as (a1, a2, a3, a4, a5) tuples.
+    [(0, 0, 0, 0, 1), (0, 1, 1, 0, 0), (1, 0, 1, 0, 0), (1, 1, 1, 0, 1)],
+    [(0, 0, 0, 1, 1), (0, 1, 1, 1, 0), (1, 0, 1, 0, 0), (1, 1, 1, 0, 1)],
+    [(0, 0, 1, 0, 0), (0, 1, 0, 0, 1), (1, 0, 1, 0, 0), (1, 1, 1, 0, 1)],
+    [(0, 0, 1, 1, 0), (0, 1, 0, 1, 1), (1, 0, 1, 0, 0), (1, 1, 1, 0, 1)],
+]
+
+
+class TestStandaloneWorlds:
+    def test_example2_counts_64_worlds(self, m1):
+        assert count_standalone_worlds(m1, figure1_view_attributes()) == 64
+
+    def test_enumeration_matches_count(self, m1):
+        worlds = list(enumerate_standalone_worlds(m1, figure1_view_attributes()))
+        assert len(worlds) == 64
+        # Worlds are distinct relations.
+        assert len(set(worlds)) == 64
+
+    def test_true_relation_is_a_world(self, m1):
+        assert is_standalone_world(m1.relation(), m1, figure1_view_attributes())
+
+    def test_figure2_sample_relations_are_worlds(self, m1):
+        for tuples in FIGURE2_WORLDS:
+            candidate = Relation.from_tuples(m1.schema, tuples)
+            assert is_standalone_world(candidate, m1, figure1_view_attributes())
+
+    def test_fd_violating_relation_is_not_a_world(self, m1):
+        tuples = [(0, 0, 0, 1, 1), (0, 0, 1, 1, 1)]
+        candidate = Relation.from_tuples(m1.schema, tuples)
+        assert not is_standalone_world(candidate, m1, figure1_view_attributes())
+
+    def test_wrong_projection_is_not_a_world(self, m1):
+        tuples = [(0, 0, 1, 1, 1), (0, 1, 1, 1, 0), (1, 0, 1, 1, 0), (1, 1, 1, 0, 1)]
+        candidate = Relation.from_tuples(m1.schema, tuples)
+        assert not is_standalone_world(candidate, m1, figure1_view_attributes())
+
+    def test_all_visible_single_world(self, m1):
+        assert count_standalone_worlds(m1, set(m1.attribute_names)) == 1
+
+    def test_enumeration_respects_max_worlds(self, m1):
+        worlds = list(
+            enumerate_standalone_worlds(m1, figure1_view_attributes(), max_worlds=5)
+        )
+        assert len(worlds) == 5
+
+    def test_work_limit_guard(self, m1):
+        with pytest.raises(PrivacyError):
+            list(enumerate_standalone_worlds(m1, set(), work_limit=1))
+
+    def test_out_set_consistent_with_world_enumeration(self, m1):
+        visible = figure1_view_attributes()
+        expected = standalone_out_set(m1, {"a1": 0, "a2": 0}, visible)
+        observed = set()
+        for world in enumerate_standalone_worlds(m1, visible):
+            for row in world:
+                if row["a1"] == 0 and row["a2"] == 0:
+                    observed.add((row["a3"], row["a4"], row["a5"]))
+        assert observed == expected
+
+
+class TestWorkflowWorlds:
+    def test_true_provenance_relation_is_a_world(self, figure1):
+        relation = figure1.provenance_relation()
+        assert is_workflow_world(relation, figure1, set(figure1.attribute_names))
+
+    def test_world_count_everything_visible_is_one(self, figure1):
+        worlds = list(
+            enumerate_workflow_worlds(figure1, set(figure1.attribute_names))
+        )
+        assert len(worlds) == 1
+
+    def test_worlds_respect_public_modules(self):
+        workflow = example7_chain(1)
+        visible = set(workflow.attribute_names) - {"x0"}
+        with_public = list(enumerate_workflow_worlds(workflow, visible))
+        without_public = list(
+            enumerate_workflow_worlds(
+                workflow, visible, hidden_public_modules={"m_head"}
+            )
+        )
+        assert len(without_public) >= len(with_public)
+
+    def test_workflow_out_sets_cover_all_inputs(self, figure1):
+        visible = set(figure1.attribute_names) - {"a4", "a5"}
+        sets = workflow_out_sets(figure1, "m1", visible)
+        assert set(sets) == {(0, 0), (0, 1), (1, 0), (1, 1)}
+        assert all(len(out) == 4 for out in sets.values())
+
+    def test_workflow_out_set_single_input(self, figure1):
+        visible = set(figure1.attribute_names) - {"a4", "a5"}
+        out = workflow_out_set(figure1, "m1", {"a1": 0, "a2": 0}, visible)
+        assert len(out) == 4
+
+    def test_work_limit_guard(self, figure1):
+        with pytest.raises(PrivacyError):
+            list(enumerate_workflow_worlds(figure1, set(), work_limit=1))
+
+    def test_candidate_with_wrong_visible_projection_rejected(self, figure1):
+        relation = figure1.provenance_relation()
+        # Flip a visible attribute value in one row.
+        rows = [dict(row) for row in relation]
+        rows[0]["a1"] = 1 - rows[0]["a1"]
+        candidate = Relation(figure1.schema, rows, check_domains=False)
+        assert not is_workflow_world(
+            candidate, figure1, set(figure1.attribute_names) - {"a4"}
+        )

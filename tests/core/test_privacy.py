@@ -1,0 +1,126 @@
+"""Tests of Γ-privacy: standalone counting check and workflow brute force.
+
+These encode the numbers worked out in Examples 2–4 of the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    hidden_output_completions,
+    is_gamma_private_workflow,
+    is_standalone_private,
+    is_workflow_private,
+    standalone_out_counts,
+    standalone_out_set,
+    standalone_privacy_level,
+    workflow_privacy_level,
+)
+from repro.exceptions import PrivacyError
+from repro.workloads import constant_module, identity_module, parity_module
+
+
+class TestStandalonePrivacy:
+    def test_example3_visible_a1_a3_a5_is_safe_for_gamma_4(self, m1):
+        assert standalone_privacy_level(m1, {"a1", "a3", "a5"}) == 4
+        assert is_standalone_private(m1, {"a1", "a3", "a5"}, 4)
+
+    def test_example3_hiding_two_outputs_is_safe_for_gamma_4(self, m1):
+        # V = {a1, a2, a3}: hide outputs a4, a5.
+        assert standalone_privacy_level(m1, {"a1", "a2", "a3"}) == 4
+
+    def test_example3_hiding_only_inputs_gives_three_outputs(self, m1):
+        # V = {a3, a4, a5}: only 3 possible outputs, so not 4-private.
+        assert standalone_privacy_level(m1, {"a3", "a4", "a5"}) == 3
+        assert not is_standalone_private(m1, {"a3", "a4", "a5"}, 4)
+        assert is_standalone_private(m1, {"a3", "a4", "a5"}, 3)
+
+    def test_all_visible_gives_level_one(self, m1):
+        assert standalone_privacy_level(m1, set(m1.attribute_names)) == 1
+
+    def test_all_hidden_gives_range_size(self, m1):
+        assert standalone_privacy_level(m1, set()) == m1.range_size()
+
+    def test_hidden_output_completions(self, m1):
+        assert hidden_output_completions(m1, {"a1", "a3", "a5"}) == 2
+        assert hidden_output_completions(m1, set(m1.attribute_names)) == 1
+        assert hidden_output_completions(m1, {"a1", "a2"}) == 8
+
+    def test_out_counts_keyed_by_visible_input(self, m1):
+        counts = standalone_out_counts(m1, {"a1", "a3", "a5"})
+        assert set(counts) == {(0,), (1,)}
+        assert all(value == 4 for value in counts.values())
+
+    def test_out_set_example2(self, m1):
+        # From Figure 2: input (0,0) can map to (0,0,1), (0,1,1), (1,0,0), (1,1,0).
+        out = standalone_out_set(m1, {"a1": 0, "a2": 0}, {"a1", "a3", "a5"})
+        assert out == {(0, 0, 1), (0, 1, 1), (1, 0, 0), (1, 1, 0)}
+
+    def test_gamma_must_be_positive(self, m1):
+        with pytest.raises(PrivacyError):
+            is_standalone_private(m1, {"a1"}, 0)
+
+    def test_constant_module_levels(self):
+        module = constant_module("c", ["a", "b"], ["z"])
+        # Output visible: the constant value is revealed exactly.
+        assert standalone_privacy_level(module, {"a", "b", "z"}) == 1
+        # Output hidden: two completions remain possible.
+        assert standalone_privacy_level(module, {"a", "b"}) == 2
+        assert standalone_privacy_level(module, set()) == 2
+
+    def test_identity_module_input_or_output_hiding(self):
+        module = identity_module("id", ["a", "b"], ["c", "d"])
+        # Hiding both inputs (one-one function): 4 possible outputs.
+        assert standalone_privacy_level(module, {"c", "d"}) == 4
+        # Hiding both outputs: 4 completions.
+        assert standalone_privacy_level(module, {"a", "b"}) == 4
+        # Hiding one output only halves the uncertainty.
+        assert standalone_privacy_level(module, {"a", "b", "c"}) == 2
+
+    def test_parity_module_level(self):
+        module = parity_module("p", ["a", "b"], "z")
+        # Hiding only the output, or only one input, leaves two candidates.
+        assert standalone_privacy_level(module, {"a", "b"}) == 2
+        assert standalone_privacy_level(module, {"a", "z"}) == 2
+        # Everything visible pins the output down exactly.
+        assert standalone_privacy_level(module, {"a", "b", "z"}) == 1
+
+    def test_restricted_relation_changes_level(self, m1):
+        restricted = m1.relation_for_inputs([{"a1": 0, "a2": 0}, {"a1": 0, "a2": 1}])
+        level = standalone_privacy_level(m1, {"a1", "a3", "a5"}, relation=restricted)
+        assert level == 4
+
+
+class TestWorkflowPrivacy:
+    def test_everything_visible_gives_level_one(self, figure1):
+        level = workflow_privacy_level(figure1, "m1", set(figure1.attribute_names))
+        assert level == 1
+
+    def test_hiding_standalone_safe_set_preserves_gamma_4(self, figure1):
+        visible = set(figure1.attribute_names) - {"a4", "a5"}
+        assert workflow_privacy_level(figure1, "m1", visible) == 4
+        assert is_workflow_private(figure1, "m1", visible, 4)
+
+    def test_workflow_privacy_monotone_in_hiding(self, figure1):
+        small = set(figure1.attribute_names) - {"a4"}
+        large = set(figure1.attribute_names) - {"a4", "a5", "a2"}
+        assert workflow_privacy_level(figure1, "m1", large) >= workflow_privacy_level(
+            figure1, "m1", small
+        )
+
+    def test_whole_workflow_gamma_private(self, figure1):
+        visible = set(figure1.attribute_names) - {"a3", "a4", "a5", "a6", "a7"}
+        assert is_gamma_private_workflow(figure1, visible, 2)
+
+    def test_whole_workflow_not_private_when_everything_visible(self, figure1):
+        assert not is_gamma_private_workflow(figure1, set(figure1.attribute_names), 2)
+
+    def test_gamma_validation(self, figure1):
+        with pytest.raises(PrivacyError):
+            is_workflow_private(figure1, "m1", set(), 0)
+
+    def test_tiny_chain_privacy(self, tiny_chain):
+        visible = set(tiny_chain.attribute_names) - {"b0", "b1"}
+        assert is_workflow_private(tiny_chain, "first", visible, 4)
+        assert is_workflow_private(tiny_chain, "second", visible, 2)

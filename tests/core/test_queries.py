@@ -1,0 +1,85 @@
+"""Tests for structural provenance queries over workflows and views."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ProvenanceView,
+    attribute_dependency_graph,
+    depends_on,
+    downstream_attributes,
+    execution_lineage,
+    module_lineage,
+    producing_path,
+    upstream_attributes,
+    view_dependency_pairs,
+    visible_upstream,
+)
+from repro.exceptions import SchemaError
+
+
+class TestDependencyGraph:
+    def test_graph_edges_follow_modules(self, figure1):
+        graph = attribute_dependency_graph(figure1)
+        assert graph.has_edge("a1", "a3")
+        assert graph.has_edge("a4", "a6")
+        assert graph.has_edge("a4", "a7")
+        assert not graph.has_edge("a6", "a7")
+        assert graph.edges["a1", "a3"]["module"] == "m1"
+
+    def test_upstream_attributes(self, figure1):
+        assert upstream_attributes(figure1, "a6") == {"a1", "a2", "a3", "a4"}
+        assert upstream_attributes(figure1, "a1") == frozenset()
+
+    def test_downstream_attributes(self, figure1):
+        assert downstream_attributes(figure1, "a4") == {"a6", "a7"}
+        assert downstream_attributes(figure1, "a7") == frozenset()
+
+    def test_depends_on(self, figure1):
+        assert depends_on(figure1, "a7", "a1")
+        assert depends_on(figure1, "a7", "a7")
+        assert not depends_on(figure1, "a3", "a6")
+
+    def test_unknown_attribute_rejected(self, figure1):
+        with pytest.raises(SchemaError):
+            upstream_attributes(figure1, "zzz")
+        with pytest.raises(SchemaError):
+            depends_on(figure1, "a7", "zzz")
+
+    def test_producing_path(self, figure1):
+        assert producing_path(figure1, "a1", "a6") == ["m1", "m2"]
+        assert producing_path(figure1, "a6", "a1") == []
+
+    def test_module_lineage(self, figure1):
+        assert module_lineage(figure1, "a7") == {"m1", "m3"}
+        assert module_lineage(figure1, "a3") == {"m1"}
+        assert module_lineage(figure1, "a1") == frozenset()
+
+    def test_execution_lineage(self, figure1):
+        lineage = execution_lineage(figure1, {"a1": 1, "a2": 1}, "a6")
+        assert set(lineage) == {"a1", "a2", "a3", "a4", "a6"}
+        assert lineage["a6"] == 1
+
+
+class TestViewQueries:
+    def test_visible_upstream(self, figure1):
+        view = ProvenanceView.from_hidden(figure1, {"a3", "a4"})
+        assert visible_upstream(view, "a6") == {"a1", "a2"}
+
+    def test_view_dependency_pairs_preserved(self, figure1):
+        full = ProvenanceView.from_hidden(figure1, set())
+        partial = ProvenanceView.from_hidden(figure1, {"a4"})
+        full_pairs = view_dependency_pairs(full)
+        partial_pairs = view_dependency_pairs(partial)
+        # Hiding a4 only removes pairs that mention a4; visible-to-visible
+        # dependencies survive (the paper's utility claim for projections).
+        assert partial_pairs <= full_pairs
+        removed = full_pairs - partial_pairs
+        assert all("a4" in pair for pair in removed)
+        assert ("a1", "a7") in partial_pairs
+
+    def test_dependency_pairs_are_transitive(self, figure1):
+        view = ProvenanceView.from_hidden(figure1, set())
+        pairs = view_dependency_pairs(view)
+        assert ("a1", "a6") in pairs and ("a2", "a7") in pairs

@@ -1,0 +1,155 @@
+"""Unit tests for the relation algebra."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Relation, Schema, boolean_attributes
+from repro.exceptions import FunctionalDependencyError, SchemaError
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema(boolean_attributes(["x", "y", "z"]))
+
+
+@pytest.fixture
+def relation(schema: Schema) -> Relation:
+    return Relation.from_tuples(schema, [(0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 0)])
+
+
+class TestConstruction:
+    def test_len_and_iteration(self, relation):
+        assert len(relation) == 4
+        rows = list(relation)
+        assert rows[0] == {"x": 0, "y": 0, "z": 0}
+
+    def test_duplicate_rows_collapse(self, schema):
+        rel = Relation.from_tuples(schema, [(0, 0, 0), (0, 0, 0)])
+        assert len(rel) == 1
+
+    def test_from_tuples_wrong_arity(self, schema):
+        with pytest.raises(SchemaError):
+            Relation.from_tuples(schema, [(0, 0)])
+
+    def test_missing_attribute_raises(self, schema):
+        with pytest.raises(SchemaError):
+            Relation(schema, [{"x": 0, "y": 0}])
+
+    def test_domain_checked(self, schema):
+        with pytest.raises(Exception):
+            Relation(schema, [{"x": 5, "y": 0, "z": 0}])
+
+    def test_empty_relation(self, schema):
+        rel = Relation.empty(schema)
+        assert len(rel) == 0
+
+    def test_contains(self, relation):
+        assert {"x": 0, "y": 1, "z": 1} in relation
+        assert {"x": 1, "y": 1, "z": 1} not in relation
+
+    def test_row_accessor(self, relation):
+        assert relation.row(1) == {"x": 0, "y": 1, "z": 1}
+
+    def test_column_and_distinct(self, relation):
+        assert relation.column("z") == (0, 1, 1, 0)
+        assert relation.distinct_values("z") == {0, 1}
+
+    def test_equality_ignores_row_order(self, schema):
+        a = Relation.from_tuples(schema, [(0, 0, 0), (1, 1, 1)])
+        b = Relation.from_tuples(schema, [(1, 1, 1), (0, 0, 0)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestAlgebra:
+    def test_project_collapses_duplicates(self, relation):
+        projected = relation.project(["x"])
+        assert len(projected) == 2
+        assert projected.attribute_names == ("x",)
+
+    def test_project_keeps_schema_order(self, relation):
+        projected = relation.project(["z", "x"])
+        assert projected.attribute_names == ("x", "z")
+
+    def test_select_predicate(self, relation):
+        selected = relation.select(lambda row: row["z"] == 1)
+        assert len(selected) == 2
+
+    def test_select_equals(self, relation):
+        selected = relation.select_equals({"x": 0})
+        assert len(selected) == 2
+        assert all(row["x"] == 0 for row in selected)
+
+    def test_natural_join_on_shared_attribute(self, schema):
+        left = Relation.from_tuples(
+            Schema(boolean_attributes(["x", "y"])), [(0, 0), (1, 1)]
+        )
+        right = Relation.from_tuples(
+            Schema(boolean_attributes(["y", "z"])), [(0, 1), (1, 0)]
+        )
+        joined = left.natural_join(right)
+        assert joined.attribute_names == ("x", "y", "z")
+        assert len(joined) == 2
+        assert {"x": 0, "y": 0, "z": 1} in joined
+
+    def test_natural_join_without_shared_is_cross_product(self):
+        left = Relation.from_tuples(Schema(boolean_attributes(["x"])), [(0,), (1,)])
+        right = Relation.from_tuples(Schema(boolean_attributes(["y"])), [(0,), (1,)])
+        joined = left.natural_join(right)
+        assert len(joined) == 4
+
+    def test_rename(self, relation):
+        renamed = relation.rename({"x": "a"})
+        assert renamed.attribute_names == ("a", "y", "z")
+        assert len(renamed) == len(relation)
+
+    def test_union_and_difference(self, schema):
+        a = Relation.from_tuples(schema, [(0, 0, 0), (1, 1, 1)])
+        b = Relation.from_tuples(schema, [(1, 1, 1), (1, 0, 0)])
+        assert len(a.union(b)) == 3
+        assert len(a.difference(b)) == 1
+
+    def test_union_schema_mismatch(self, schema):
+        other = Relation.from_tuples(Schema(boolean_attributes(["x", "y"])), [(0, 0)])
+        a = Relation.from_tuples(schema, [(0, 0, 0)])
+        with pytest.raises(SchemaError):
+            a.union(other)
+
+    def test_group_by(self, relation):
+        groups = relation.group_by(["x"])
+        assert set(groups) == {(0,), (1,)}
+        assert len(groups[(0,)]) == 2
+
+    def test_group_by_multiple_attributes(self, relation):
+        groups = relation.group_by(["x", "y"])
+        assert len(groups) == 4
+
+
+class TestFunctionalDependencies:
+    def test_satisfied_fd(self, relation):
+        assert relation.satisfies_fd(["x", "y"], ["z"])
+
+    def test_violated_fd(self, schema):
+        rel = Relation.from_tuples(schema, [(0, 0, 0), (0, 0, 1)])
+        assert not rel.satisfies_fd(["x", "y"], ["z"])
+
+    def test_assert_fd_raises(self, schema):
+        rel = Relation.from_tuples(schema, [(0, 0, 0), (0, 0, 1)])
+        with pytest.raises(FunctionalDependencyError):
+            rel.assert_fd(["x", "y"], ["z"])
+
+    def test_fd_with_unknown_attribute(self, relation):
+        with pytest.raises(SchemaError):
+            relation.satisfies_fd(["nope"], ["z"])
+
+
+class TestRendering:
+    def test_to_text_contains_headers_and_rows(self, relation):
+        text = relation.to_text()
+        assert "x" in text and "z" in text
+        assert len(text.splitlines()) == 2 + len(relation)
+
+    def test_to_text_max_rows(self, relation):
+        text = relation.to_text(max_rows=2)
+        assert "more rows" in text

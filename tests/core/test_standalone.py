@@ -1,0 +1,153 @@
+"""Tests for the standalone Secure-View machinery (Section 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    SafeViewOracle,
+    enumerate_safe_hidden_subsets,
+    minimal_safe_cardinality_pairs,
+    minimal_safe_hidden_subsets,
+    minimum_cost_safe_subset,
+    safe_cardinality_pairs,
+)
+from repro.exceptions import InfeasibleError, PrivacyError
+from repro.workloads import (
+    example6_majority_module,
+    example6_one_one_module,
+    figure1_m1_module,
+    identity_module,
+    parity_module,
+)
+
+
+class TestSafeViewOracle:
+    def test_counts_calls_and_memoizes(self, m1):
+        oracle = SafeViewOracle(m1, 4)
+        assert oracle.is_safe({"a1", "a3", "a5"})
+        assert oracle.is_safe({"a1", "a3", "a5"})
+        assert oracle.calls == 2  # calls are counted even when memoized
+
+    def test_hidden_side_interface(self, m1):
+        oracle = SafeViewOracle(m1, 4)
+        assert oracle.is_safe_hidden({"a2", "a4"})
+        assert not oracle.is_safe_hidden({"a1"})
+
+    def test_reset_counter(self, m1):
+        oracle = SafeViewOracle(m1, 2)
+        oracle.is_safe({"a1"})
+        oracle.reset_counter()
+        assert oracle.calls == 0
+
+    def test_gamma_validation(self, m1):
+        with pytest.raises(PrivacyError):
+            SafeViewOracle(m1, 0)
+
+
+class TestMinimumCostSafeSubset:
+    def test_figure1_m1_gamma4_cost(self):
+        # With unit costs, hiding any 2 attributes that work is optimal.
+        module = figure1_m1_module()
+        solution = minimum_cost_safe_subset(module, 4)
+        assert solution.cost == pytest.approx(2.0)
+        assert len(solution.hidden_attributes) == 2
+
+    def test_respects_attribute_costs(self):
+        module = figure1_m1_module(costs={"a4": 10.0, "a5": 10.0, "a2": 10.0})
+        solution = minimum_cost_safe_subset(module, 4)
+        # Cheap safe pairs avoid the expensive attributes.
+        assert solution.cost < 10.0
+
+    def test_gamma_one_requires_nothing(self, m1):
+        solution = minimum_cost_safe_subset(m1, 1)
+        assert solution.cost == 0.0
+        assert solution.hidden_attributes == frozenset()
+
+    def test_infeasible_gamma_raises(self):
+        module = parity_module("p", ["a", "b"], "z")
+        with pytest.raises(InfeasibleError):
+            minimum_cost_safe_subset(module, 4)  # range size is only 2
+
+    def test_cost_limit_decision_version(self, m1):
+        with pytest.raises(InfeasibleError):
+            minimum_cost_safe_subset(m1, 4, cost_limit=1.0)
+        solution = minimum_cost_safe_subset(m1, 4, cost_limit=2.0)
+        assert solution.cost <= 2.0
+
+    def test_hidable_restriction(self, m1):
+        solution = minimum_cost_safe_subset(m1, 4, hidable=["a3", "a4", "a5"])
+        assert solution.hidden_attributes <= {"a3", "a4", "a5"}
+
+    def test_solution_records_oracle_calls(self, m1):
+        solution = minimum_cost_safe_subset(m1, 4)
+        assert solution.oracle_calls > 0
+        assert solution.gamma == 4
+        assert solution.meta["privacy_level"] >= 4
+
+    def test_solution_is_actually_safe(self, m1):
+        from repro.core import is_standalone_private
+
+        solution = minimum_cost_safe_subset(m1, 4)
+        assert is_standalone_private(m1, solution.visible_attributes, 4)
+
+
+class TestEnumeration:
+    def test_safe_hidden_subsets_are_upward_closed(self, m1):
+        safe = enumerate_safe_hidden_subsets(m1, 4)
+        safe_set = set(safe)
+        all_attrs = set(m1.attribute_names)
+        for hidden in safe:
+            for extra in all_attrs - hidden:
+                assert frozenset(hidden | {extra}) in safe_set
+
+    def test_minimal_subsets_form_antichain(self, m1):
+        minimal = minimal_safe_hidden_subsets(m1, 4)
+        for a in minimal:
+            for b in minimal:
+                if a != b:
+                    assert not a <= b
+
+    def test_minimal_subsets_cover_all_safe_sets(self, m1):
+        minimal = minimal_safe_hidden_subsets(m1, 4)
+        for hidden in enumerate_safe_hidden_subsets(m1, 4):
+            assert any(m <= hidden for m in minimal)
+
+    def test_identity_minimal_hidden_sets(self):
+        module = identity_module("id", ["a", "b"], ["c", "d"])
+        minimal = minimal_safe_hidden_subsets(module, 4)
+        # Hiding both inputs or both outputs are the canonical options; any
+        # other minimal option must also hide two attributes.
+        assert frozenset({"a", "b"}) in minimal
+        assert frozenset({"c", "d"}) in minimal
+        assert all(len(m) == 2 for m in minimal)
+
+
+class TestCardinalityPairs:
+    def test_example6_one_one_pairs(self):
+        module = example6_one_one_module(2)
+        pairs = minimal_safe_cardinality_pairs(module, 4)
+        assert (2, 0) in pairs
+        assert (0, 2) in pairs
+
+    def test_example6_majority_pairs(self):
+        module = example6_majority_module(2)  # 4 inputs, threshold 2
+        pairs = minimal_safe_cardinality_pairs(module, 2)
+        assert (0, 1) in pairs
+        alphas = [alpha for alpha, beta in pairs if beta == 0]
+        assert alphas and min(alphas) == 3  # k + 1 hidden inputs
+
+    def test_pairs_are_monotone_upward(self, m1):
+        pairs = set(safe_cardinality_pairs(m1, 4))
+        n_in, n_out = 2, 3
+        for alpha, beta in list(pairs):
+            for a2 in range(alpha, n_in + 1):
+                for b2 in range(beta, n_out + 1):
+                    assert (a2, b2) in pairs
+
+    def test_minimal_pairs_are_pareto(self, m1):
+        minimal = minimal_safe_cardinality_pairs(m1, 4)
+        for a in minimal:
+            for b in minimal:
+                if a != b:
+                    assert not (a[0] <= b[0] and a[1] <= b[1])

@@ -1,0 +1,93 @@
+"""Tests for provenance views and secure-view solution objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ProvenanceView, SecureViewSolution
+from repro.exceptions import SchemaError
+
+
+class TestProvenanceView:
+    def test_visible_hidden_partition(self, figure1):
+        view = ProvenanceView(figure1, frozenset({"a1", "a3", "a5"}))
+        assert view.hidden_attributes == {"a2", "a4", "a6", "a7"}
+
+    def test_from_hidden(self, figure1):
+        view = ProvenanceView.from_hidden(figure1, {"a4", "a5"})
+        assert view.visible_attributes == set(figure1.attribute_names) - {"a4", "a5"}
+
+    def test_unknown_attribute_rejected(self, figure1):
+        with pytest.raises(SchemaError):
+            ProvenanceView(figure1, frozenset({"zzz"}))
+
+    def test_unknown_module_rejected(self, figure1):
+        with pytest.raises(SchemaError):
+            ProvenanceView(figure1, frozenset({"a1"}), frozenset({"nope"}))
+
+    def test_relation_is_projection(self, figure1):
+        view = ProvenanceView(figure1, frozenset({"a1", "a3", "a5"}))
+        relation = view.relation()
+        assert set(relation.attribute_names) == {"a1", "a3", "a5"}
+        # Figure 1d: the projection has 4 distinct rows.
+        assert len(relation) == 4
+        assert {"a1": 0, "a3": 0, "a5": 1} in relation
+
+    def test_costs(self, figure1):
+        view = ProvenanceView.from_hidden(figure1, {"a4", "a5"})
+        assert view.hiding_cost() == pytest.approx(2.0)
+        assert view.privatization_cost() == pytest.approx(0.0)
+        assert view.total_cost() == pytest.approx(2.0)
+
+    def test_restrict_narrows_visible_set(self, figure1):
+        view = ProvenanceView(figure1, frozenset({"a1", "a3", "a5"}))
+        narrower = view.restrict({"a1", "a2"})
+        assert narrower.visible_attributes == {"a1"}
+
+    def test_visible_public_modules(self):
+        from repro.workloads import example7_chain
+
+        workflow = example7_chain(1)
+        view = ProvenanceView(
+            workflow,
+            frozenset(workflow.attribute_names),
+            hidden_public_modules=frozenset({"m_head"}),
+        )
+        assert view.visible_public_modules == {"m_tail"}
+
+
+class TestSecureViewSolution:
+    def test_cost_accounts_for_attributes_and_modules(self):
+        from repro.workloads import example7_chain
+
+        workflow = example7_chain(1)
+        solution = SecureViewSolution(
+            workflow,
+            frozenset({"x0"}),
+            frozenset({"m_head"}),
+        )
+        expected = workflow.attribute_cost(["x0"]) + workflow.privatization_cost(
+            ["m_head"]
+        )
+        assert solution.cost() == pytest.approx(expected)
+
+    def test_visible_attributes_complement(self, figure1):
+        solution = SecureViewSolution(figure1, frozenset({"a4"}))
+        assert solution.visible_attributes == set(figure1.attribute_names) - {"a4"}
+
+    def test_unknown_names_rejected(self, figure1):
+        with pytest.raises(SchemaError):
+            SecureViewSolution(figure1, frozenset({"zzz"}))
+        with pytest.raises(SchemaError):
+            SecureViewSolution(figure1, frozenset(), frozenset({"zzz"}))
+
+    def test_view_round_trip(self, figure1):
+        solution = SecureViewSolution(figure1, frozenset({"a4", "a5"}))
+        view = solution.view()
+        assert view.hidden_attributes == {"a4", "a5"}
+
+    def test_with_extra_hidden(self, figure1):
+        solution = SecureViewSolution(figure1, frozenset({"a4"}))
+        extended = solution.with_extra_hidden({"a5"})
+        assert extended.hidden_attributes == {"a4", "a5"}
+        assert solution.hidden_attributes == {"a4"}

@@ -1,0 +1,198 @@
+"""Integration tests reproducing the paper's worked examples end to end.
+
+Experiment ids refer to the per-experiment index in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ProvenanceView,
+    count_standalone_worlds,
+    is_standalone_private,
+    is_workflow_private,
+    minimum_cost_safe_subset,
+    standalone_out_set,
+    standalone_privacy_level,
+    workflow_privacy_level,
+)
+from repro.optim import solve_exact_ip, union_of_standalone_optima
+from repro.reductions import make_m1, make_m2, input_names
+from repro.workloads import (
+    example5_problem,
+    example6_majority_module,
+    example6_one_one_module,
+    example7_chain,
+    figure1_view_attributes,
+    figure1_workflow,
+    proposition2_chain,
+)
+from repro.core import derive_cardinality_requirements, derive_set_requirements
+
+
+class TestE1Figure1:
+    """E1: the Figure-1 workflow, its relations and the view of Figure 1d."""
+
+    def test_provenance_relation_has_four_executions(self):
+        workflow = figure1_workflow()
+        assert len(workflow.provenance_relation()) == 4
+
+    def test_m1_functionality_matches_figure_1c(self):
+        workflow = figure1_workflow()
+        relation = workflow.module("m1").relation()
+        assert len(relation) == 4
+        assert {"a1": 1, "a2": 0, "a3": 1, "a4": 1, "a5": 0} in relation
+
+    def test_view_matches_figure_1d(self):
+        workflow = figure1_workflow()
+        view = ProvenanceView(workflow, figure1_view_attributes() | {"a2", "a4", "a6", "a7"})
+        m1_view = workflow.module("m1").relation().project(["a1", "a3", "a5"])
+        expected = {(0, 0, 1), (0, 1, 0), (1, 1, 0), (1, 1, 1)}
+        assert {tuple(row[n] for n in ("a1", "a3", "a5")) for row in m1_view} == expected
+
+
+class TestE2PossibleWorlds:
+    """E2: Example 2/3 — 64 worlds, Γ=4 safety, 3-output failure case."""
+
+    def test_sixty_four_worlds(self):
+        workflow = figure1_workflow()
+        m1 = workflow.module("m1")
+        assert count_standalone_worlds(m1, figure1_view_attributes()) == 64
+
+    def test_gamma4_safety_of_the_view(self):
+        workflow = figure1_workflow()
+        m1 = workflow.module("m1")
+        assert is_standalone_private(m1, figure1_view_attributes(), 4)
+
+    def test_out_set_for_input_00(self):
+        workflow = figure1_workflow()
+        m1 = workflow.module("m1")
+        out = standalone_out_set(m1, {"a1": 0, "a2": 0}, figure1_view_attributes())
+        assert out == {(0, 0, 1), (0, 1, 1), (1, 0, 0), (1, 1, 0)}
+
+    def test_hiding_only_inputs_is_not_4_private(self):
+        workflow = figure1_workflow()
+        m1 = workflow.module("m1")
+        assert standalone_privacy_level(m1, {"a3", "a4", "a5"}) == 3
+
+
+class TestE7Proposition2:
+    """E7: the one-one chain — workflow worlds collapse but privacy survives."""
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_world_count_ratio_is_large(self, k):
+        workflow = proposition2_chain(k)
+        m1 = workflow.module("m1")
+        gamma = 2
+        hidden = {f"y0"}
+        visible_m1 = set(m1.attribute_names) - hidden
+        standalone_worlds = count_standalone_worlds(m1, visible_m1)
+        # Standalone world count is Γ^(2^k); the workflow count is (Γ!)^(2^k/Γ),
+        # which for Γ=2 equals 2^(2^k / 2) — strictly smaller for k >= 1.
+        assert standalone_worlds == gamma ** (2**k)
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_privacy_is_preserved_despite_the_collapse(self, k):
+        workflow = proposition2_chain(k)
+        hidden = {"y0"}
+        visible = set(workflow.attribute_names) - hidden
+        assert is_workflow_private(workflow, "m1", visible, 2)
+        assert is_workflow_private(workflow, "m2", visible, 2)
+
+
+class TestE9Example5:
+    """E9: the Ω(n) gap between standalone assembly and the workflow optimum."""
+
+    @pytest.mark.parametrize("n", [3, 6, 9])
+    def test_costs_match_the_example(self, n):
+        epsilon = 0.1
+        problem = example5_problem(n, epsilon=epsilon)
+        baseline = union_of_standalone_optima(problem).cost()
+        optimum = solve_exact_ip(problem).cost()
+        assert baseline == pytest.approx(n + 1)
+        assert optimum == pytest.approx(2 + epsilon)
+
+    def test_gap_is_linear_in_n(self):
+        ratios = []
+        for n in (4, 8, 12):
+            problem = example5_problem(n)
+            ratios.append(
+                union_of_standalone_optima(problem).cost()
+                / solve_exact_ip(problem).cost()
+            )
+        # Ratios grow roughly like n / 2.1.
+        assert ratios[1] / ratios[0] == pytest.approx(9 / 5, rel=0.05)
+        assert ratios[2] > ratios[1] > ratios[0]
+
+
+class TestE14Example6:
+    """E14: set lists blow up while cardinality lists stay tiny."""
+
+    def test_one_one_module_lists(self):
+        module = example6_one_one_module(2)
+        set_list = derive_set_requirements(module, 4)
+        card_list = derive_cardinality_requirements(module, 4)
+        assert len(card_list) <= 3
+        assert len(set_list) >= 2
+        assert len(set_list) > len(card_list)
+
+    def test_majority_module_lists(self):
+        module = example6_majority_module(2)
+        card_list = derive_cardinality_requirements(module, 2)
+        pairs = {(o.alpha, o.beta) for o in card_list}
+        assert pairs == {(3, 0), (0, 1)}
+
+
+class TestE15Example7:
+    """E15: standalone safety fails next to public modules; privatization repairs it."""
+
+    def test_hiding_inputs_fails_next_to_constant_public_module(self):
+        workflow = example7_chain(2)
+        middle = workflow.module("m_mid")
+        hidden = set(middle.input_names)
+        visible = set(workflow.attribute_names) - hidden
+        assert is_standalone_private(middle, set(middle.attribute_names) - hidden, 4)
+        assert workflow_privacy_level(workflow, "m_mid", visible) == 1
+
+    def test_hiding_outputs_fails_next_to_invertible_public_module(self):
+        workflow = example7_chain(2)
+        middle = workflow.module("m_mid")
+        hidden = set(middle.output_names)
+        visible = set(workflow.attribute_names) - hidden
+        assert workflow_privacy_level(workflow, "m_mid", visible) == 1
+
+    def test_privatization_restores_privacy(self):
+        workflow = example7_chain(2)
+        middle = workflow.module("m_mid")
+        hidden = set(middle.input_names)
+        visible = set(workflow.attribute_names) - hidden
+        level = workflow_privacy_level(
+            workflow, "m_mid", visible, hidden_public_modules={"m_head"}
+        )
+        assert level >= 4
+
+    def test_example8_choice_of_privatized_module_follows_hidden_side(self):
+        workflow = example7_chain(2)
+        middle = workflow.module("m_mid")
+        hidden_outputs = set(middle.output_names)
+        visible = set(workflow.attribute_names) - hidden_outputs
+        assert (
+            workflow_privacy_level(
+                workflow, "m_mid", visible, hidden_public_modules={"m_tail"}
+            )
+            >= 4
+        )
+
+
+class TestE5Theorem3Gap:
+    """E5: the cost gap between m1 and m2 of the oracle lower bound."""
+
+    def test_cost_gap_is_three_halves(self):
+        ell = 8
+        m1_cost = minimum_cost_safe_subset(make_m1(ell), 2, hidable=input_names(ell)).cost
+        m2_cost = minimum_cost_safe_subset(
+            make_m2(ell, input_names(ell)[: ell // 2]), 2, hidable=input_names(ell)
+        ).cost
+        assert m2_cost == pytest.approx(ell / 2)
+        assert m1_cost > 1.5 * m2_cost - 1

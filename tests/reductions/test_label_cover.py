@@ -1,0 +1,121 @@
+"""Tests for label cover and the Figure-4 / Figure-6 reductions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InfeasibleError
+from repro.optim import solve_exact_ip
+from repro.reductions import (
+    LabelCoverInstance,
+    exact_label_cover,
+    greedy_label_cover,
+    label_cover_to_general_secure_view,
+    label_cover_to_set_secure_view,
+    random_label_cover,
+)
+
+
+@pytest.fixture
+def instance() -> LabelCoverInstance:
+    return LabelCoverInstance(
+        left=("u0", "u1"),
+        right=("w0",),
+        labels=(0, 1),
+        relations={
+            ("u0", "w0"): frozenset({(0, 1)}),
+            ("u1", "w0"): frozenset({(1, 1), (0, 0)}),
+        },
+    )
+
+
+class TestLabelCover:
+    def test_empty_relation_rejected(self):
+        with pytest.raises(InfeasibleError):
+            LabelCoverInstance(("u0",), ("w0",), (0,), {("u0", "w0"): frozenset()})
+
+    def test_unknown_vertex_rejected(self):
+        with pytest.raises(InfeasibleError):
+            LabelCoverInstance(("u0",), ("w0",), (0,), {("u0", "zz"): frozenset({(0, 0)})})
+
+    def test_feasibility_check(self, instance):
+        good = {
+            "u0": frozenset({0}),
+            "u1": frozenset({1}),
+            "w0": frozenset({1}),
+        }
+        assert instance.is_feasible(good)
+        assert instance.cost(good) == 3
+        bad = {"u0": frozenset({1}), "u1": frozenset({1}), "w0": frozenset({1})}
+        assert not instance.is_feasible(bad)
+
+    def test_exact_solution_minimal_and_feasible(self, instance):
+        assignment = exact_label_cover(instance)
+        assert instance.is_feasible(assignment)
+        assert instance.cost(assignment) == 3
+
+    def test_greedy_solution_feasible(self, instance):
+        assignment = greedy_label_cover(instance)
+        assert instance.is_feasible(assignment)
+        assert instance.cost(assignment) >= instance.cost(exact_label_cover(instance))
+
+    def test_random_instance_structure(self):
+        instance = random_label_cover(3, 2, 2, seed=1)
+        assert len(instance.left) == 3
+        assert instance.edges
+        assert instance.is_feasible(greedy_label_cover(instance))
+
+
+class TestFigure4Reduction:
+    def test_structure(self, instance):
+        problem = label_cover_to_set_secure_view(instance)
+        workflow = problem.workflow
+        assert workflow.is_all_private
+        # One hub plus one module per edge.
+        assert len(workflow) == 1 + len(instance.edges)
+        # Only the (vertex, label) items are hidable.
+        assert len(problem.hidable_attributes) == len(instance.vertices) * len(
+            instance.labels
+        )
+
+    def test_optimum_matches_label_cover(self, instance):
+        problem = label_cover_to_set_secure_view(instance)
+        optimum = solve_exact_ip(problem).cost()
+        assert optimum == pytest.approx(instance.cost(exact_label_cover(instance)))
+
+    def test_hidden_attributes_encode_assignment(self, instance):
+        problem = label_cover_to_set_secure_view(instance)
+        solution = solve_exact_ip(problem)
+        assignment: dict[str, set[int]] = {v: set() for v in instance.vertices}
+        for name in solution.hidden_attributes:
+            _, vertex, label = name.split("_")
+            assignment[vertex].add(int(label))
+        frozen = {v: frozenset(s) for v, s in assignment.items()}
+        assert instance.is_feasible(frozen)
+
+    def test_random_instances_preserve_optimum(self):
+        instance = random_label_cover(2, 2, 2, seed=3)
+        problem = label_cover_to_set_secure_view(instance)
+        assert solve_exact_ip(problem).cost() == pytest.approx(
+            instance.cost(exact_label_cover(instance))
+        )
+
+
+class TestFigure6Reduction:
+    def test_structure(self, instance):
+        problem = label_cover_to_general_secure_view(instance)
+        workflow = problem.workflow
+        assert problem.constraint_kind == "cardinality"
+        assert workflow.public_modules
+        # All attributes are free; the cost is carried by privatization.
+        assert workflow.attribute_cost(workflow.attribute_names) == 0.0
+
+    def test_optimum_matches_label_cover(self, instance):
+        problem = label_cover_to_general_secure_view(instance)
+        optimum = solve_exact_ip(problem).cost()
+        assert optimum == pytest.approx(instance.cost(exact_label_cover(instance)))
+
+    def test_solution_cost_is_privatization_count(self, instance):
+        problem = label_cover_to_general_secure_view(instance)
+        solution = solve_exact_ip(problem)
+        assert solution.cost() == pytest.approx(len(solution.privatized_modules))

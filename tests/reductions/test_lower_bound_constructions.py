@@ -1,0 +1,193 @@
+"""Tests for the Theorem 1–3 constructions (set disjointness, UNSAT, oracle game)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core import SafeViewOracle, is_standalone_private, minimum_cost_safe_subset
+from repro.exceptions import PrivacyError
+from repro.reductions import (
+    AdversarialSafeViewOracle,
+    CNFFormula,
+    CountingDataSupplier,
+    DisjointnessInstance,
+    brute_force_satisfiable,
+    build_disjointness_relation,
+    candidate_special_sets,
+    input_names,
+    make_m1,
+    make_m2,
+    random_cnf,
+    random_disjointness_instance,
+    safe_view_decision,
+    safe_view_via_supplier,
+    unsat_safe_view_decision,
+    unsat_to_module,
+)
+
+
+class TestTheorem1SetDisjointness:
+    def test_membership_encoding(self):
+        instance = DisjointnessInstance(4, frozenset({1, 3}), frozenset({2, 3}))
+        relation = build_disjointness_relation(instance)
+        assert len(relation) == 5
+        assert {"a": 1, "b": 1, "id": 3, "y": 1} in relation
+        assert {"a": 1, "b": 0, "id": 5, "y": 0} in relation
+
+    def test_out_of_universe_rejected(self):
+        with pytest.raises(PrivacyError):
+            DisjointnessInstance(3, frozenset({5}), frozenset())
+
+    def test_safety_equals_intersection(self):
+        for seed in range(4):
+            for force in (True, False):
+                instance = random_disjointness_instance(
+                    16, force_disjoint=force, seed=seed
+                )
+                assert safe_view_decision(instance) == instance.intersects
+
+    def test_supplier_scan_agrees_with_ground_truth(self):
+        for seed in range(4):
+            instance = random_disjointness_instance(12, seed=seed)
+            supplier = CountingDataSupplier(instance)
+            assert safe_view_via_supplier(supplier) == safe_view_decision(instance)
+
+    def test_disjoint_instances_require_full_scan(self):
+        instance = random_disjointness_instance(20, force_disjoint=True, seed=1)
+        supplier = CountingDataSupplier(instance)
+        assert not safe_view_via_supplier(supplier)
+        assert supplier.calls == supplier.n_rows
+
+    def test_supplier_counts_and_bounds(self):
+        instance = random_disjointness_instance(8, seed=0)
+        supplier = CountingDataSupplier(instance)
+        with pytest.raises(PrivacyError):
+            supplier.fetch(0)
+        list(supplier.fetch_all())
+        assert supplier.calls == supplier.n_rows
+
+    def test_gamma_other_than_two_rejected(self):
+        instance = random_disjointness_instance(4, seed=0)
+        with pytest.raises(PrivacyError):
+            safe_view_via_supplier(CountingDataSupplier(instance), gamma=3)
+
+
+class TestTheorem2Unsat:
+    def test_unsatisfiable_formula_gives_safe_view(self):
+        formula = CNFFormula(2, ((1,), (-1,), (2,)))
+        assert not brute_force_satisfiable(formula)
+        assert unsat_safe_view_decision(formula)
+
+    def test_satisfiable_formula_gives_unsafe_view(self):
+        formula = CNFFormula(2, ((1, 2),))
+        assert brute_force_satisfiable(formula)
+        assert not unsat_safe_view_decision(formula)
+
+    def test_equivalence_on_random_formulas(self):
+        for seed in range(6):
+            formula = random_cnf(4, 6, seed=seed)
+            assert unsat_safe_view_decision(formula) == (
+                not brute_force_satisfiable(formula)
+            )
+
+    def test_module_semantics(self):
+        formula = CNFFormula(1, ((1,),))
+        module = unsat_to_module(formula)
+        # g is satisfied by x1=1, so z = 0 regardless of y there.
+        assert module.apply({"x1": 1, "y": 0}) == {"z": 0}
+        assert module.apply({"x1": 1, "y": 1}) == {"z": 0}
+        # g is falsified by x1=0, so z = ¬y.
+        assert module.apply({"x1": 0, "y": 0}) == {"z": 1}
+        assert module.apply({"x1": 0, "y": 1}) == {"z": 0}
+
+    def test_malformed_formulas_rejected(self):
+        with pytest.raises(PrivacyError):
+            CNFFormula(1, ((),))
+        with pytest.raises(PrivacyError):
+            CNFFormula(1, ((2,),))
+
+
+class TestTheorem3OracleGame:
+    def test_ell_must_be_multiple_of_four(self):
+        with pytest.raises(PrivacyError):
+            make_m1(6)
+
+    def test_claimed_safety_pattern_matches_real_privacy_for_m1(self):
+        ell = 4
+        module = make_m1(ell)
+        names = input_names(ell)
+        for size in range(ell + 1):
+            for visible in itertools.combinations(names, size):
+                expected = size < ell // 4
+                actual = is_standalone_private(
+                    module, set(visible) | {"y"}, 2
+                )
+                assert actual == expected
+
+    def test_claimed_safety_pattern_matches_real_privacy_for_m2(self):
+        ell = 4
+        special = {"x1", "x2"}
+        module = make_m2(ell, special)
+        names = input_names(ell)
+        for size in range(ell + 1):
+            for visible in itertools.combinations(names, size):
+                visible_set = set(visible)
+                expected = size < ell // 4 or visible_set <= special
+                actual = is_standalone_private(module, visible_set | {"y"}, 2)
+                assert actual == expected
+
+    def test_optimal_costs_match_the_proof(self):
+        ell = 8
+        oracle = AdversarialSafeViewOracle(ell)
+        m1_cost = minimum_cost_safe_subset(make_m1(ell), 2, hidable=input_names(ell)).cost
+        m2_cost = minimum_cost_safe_subset(
+            make_m2(ell, input_names(ell)[: ell // 2]), 2, hidable=input_names(ell)
+        ).cost
+        assert m1_cost == pytest.approx(oracle.m1_optimal_cost())
+        assert m2_cost == pytest.approx(oracle.m2_optimal_cost())
+
+    def test_oracle_answers_and_candidate_tracking(self):
+        oracle = AdversarialSafeViewOracle(8)
+        assert oracle.is_safe(["x1"])  # size 1 < 2
+        assert not oracle.is_safe(["x1", "x2"])
+        assert oracle.calls == 2
+        assert oracle.remaining_candidates < oracle.total_candidates
+        assert oracle.eliminated <= oracle.max_eliminated_per_query()
+
+    def test_candidates_survive_few_queries(self):
+        ell = 8
+        oracle = AdversarialSafeViewOracle(ell)
+        names = input_names(ell)
+        for visible in itertools.combinations(names, 2):
+            oracle.is_safe(visible)
+            if oracle.remaining_candidates == 0:
+                break
+        # Far more queries than the lower bound are needed to empty the space;
+        # after C(8,2)=28 queries of size 2 some candidates may remain or not,
+        # but the per-query elimination bound always holds.
+        assert oracle.calls <= 28
+        assert oracle.query_lower_bound() > 1
+
+    def test_resolution_contradicts_the_algorithm(self):
+        oracle = AdversarialSafeViewOracle(8)
+        oracle.is_safe(["x1", "x2"])
+        cheap_claimed = oracle.resolve(True)
+        assert cheap_claimed.name == "m1"
+        expensive_claimed = oracle.resolve(False)
+        assert expensive_claimed.name == "m2"
+
+    def test_hidden_side_interface(self):
+        oracle = AdversarialSafeViewOracle(8)
+        names = input_names(8)
+        assert oracle.is_safe_hidden(names[1:])  # only one input visible
+        assert not oracle.is_safe_hidden(names[4:])
+
+    def test_unknown_attribute_rejected(self):
+        oracle = AdversarialSafeViewOracle(8)
+        with pytest.raises(PrivacyError):
+            oracle.is_safe(["zzz"])
+
+    def test_candidate_special_sets_count(self):
+        assert len(candidate_special_sets(4)) == 6

@@ -1,0 +1,112 @@
+"""Tests for set cover and its two Secure-View reductions (Theorems 5 and 9)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InfeasibleError
+from repro.optim import solve_exact_ip
+from repro.reductions import (
+    SetCoverInstance,
+    exact_set_cover,
+    greedy_set_cover,
+    random_set_cover,
+    set_cover_to_general_secure_view,
+    set_cover_to_secure_view,
+)
+
+
+@pytest.fixture
+def instance() -> SetCoverInstance:
+    return SetCoverInstance(
+        frozenset(range(5)),
+        (
+            frozenset({0, 1, 2}),
+            frozenset({2, 3}),
+            frozenset({3, 4}),
+            frozenset({0, 4}),
+        ),
+    )
+
+
+class TestSetCover:
+    def test_uncovered_universe_rejected(self):
+        with pytest.raises(InfeasibleError):
+            SetCoverInstance(frozenset({0, 1}), (frozenset({0}),))
+
+    def test_is_cover(self, instance):
+        assert instance.is_cover([0, 2])
+        assert not instance.is_cover([1, 2])
+
+    def test_exact_cover_is_minimal(self, instance):
+        cover = exact_set_cover(instance)
+        assert instance.is_cover(cover)
+        assert len(cover) == 2
+
+    def test_greedy_cover_is_feasible(self, instance):
+        cover = greedy_set_cover(instance)
+        assert instance.is_cover(cover)
+        assert len(cover) >= len(exact_set_cover(instance))
+
+    def test_random_instance_always_coverable(self):
+        for seed in range(5):
+            instance = random_set_cover(10, 6, seed=seed)
+            assert instance.is_cover(range(instance.n_subsets))
+
+    def test_exact_cover_size_guard(self):
+        instance = random_set_cover(5, 30, seed=0)
+        with pytest.raises(InfeasibleError):
+            exact_set_cover(instance, max_subsets=10)
+
+
+class TestTheorem5Reduction:
+    def test_structure(self, instance):
+        problem = set_cover_to_secure_view(instance)
+        workflow = problem.workflow
+        assert len(workflow) == instance.n_elements + 1
+        assert workflow.is_all_private
+        assert len(problem.hidable_attributes) == instance.n_subsets
+
+    def test_optimum_equals_set_cover_optimum(self, instance):
+        problem = set_cover_to_secure_view(instance)
+        assert solve_exact_ip(problem).cost() == pytest.approx(
+            len(exact_set_cover(instance))
+        )
+
+    def test_hidden_attributes_encode_a_cover(self, instance):
+        problem = set_cover_to_secure_view(instance)
+        solution = solve_exact_ip(problem)
+        chosen = [
+            int(name[1:]) for name in solution.hidden_attributes if name.startswith("a")
+        ]
+        assert instance.is_cover(chosen)
+
+    def test_random_instances_preserve_optimum(self):
+        for seed in range(3):
+            instance = random_set_cover(6, 5, seed=seed)
+            problem = set_cover_to_secure_view(instance)
+            assert solve_exact_ip(problem).cost() == pytest.approx(
+                len(exact_set_cover(instance))
+            )
+
+
+class TestTheorem9Reduction:
+    def test_structure(self, instance):
+        problem = set_cover_to_general_secure_view(instance)
+        workflow = problem.workflow
+        assert len(workflow.public_modules) == instance.n_subsets
+        assert len(workflow.private_modules) == instance.n_elements
+        # No data sharing: every attribute feeds at most one module.
+        assert workflow.data_sharing_degree() == 1
+
+    def test_optimum_equals_set_cover_optimum(self, instance):
+        problem = set_cover_to_general_secure_view(instance)
+        assert solve_exact_ip(problem).cost() == pytest.approx(
+            len(exact_set_cover(instance))
+        )
+
+    def test_cost_comes_only_from_privatization(self, instance):
+        problem = set_cover_to_general_secure_view(instance)
+        solution = solve_exact_ip(problem)
+        assert problem.workflow.attribute_cost(solution.hidden_attributes) == 0.0
+        assert len(solution.privatized_modules) == pytest.approx(solution.cost())

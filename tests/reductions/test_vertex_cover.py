@@ -1,0 +1,87 @@
+"""Tests for vertex cover and the Figure-5 reduction (Theorem 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InfeasibleError
+from repro.optim import solve_exact_ip, solve_greedy
+from repro.reductions import (
+    VertexCoverInstance,
+    exact_vertex_cover,
+    greedy_vertex_cover,
+    random_cubic_graph,
+    vertex_cover_to_secure_view,
+)
+
+
+@pytest.fixture
+def triangle_plus_pendant() -> VertexCoverInstance:
+    return VertexCoverInstance((0, 1, 2, 3), ((0, 1), (1, 2), (0, 2), (2, 3)))
+
+
+class TestVertexCover:
+    def test_self_loop_rejected(self):
+        with pytest.raises(InfeasibleError):
+            VertexCoverInstance((0,), ((0, 0),))
+
+    def test_unknown_vertex_rejected(self):
+        with pytest.raises(InfeasibleError):
+            VertexCoverInstance((0, 1), ((0, 5),))
+
+    def test_degree_and_is_cover(self, triangle_plus_pendant):
+        assert triangle_plus_pendant.degree(2) == 3
+        assert triangle_plus_pendant.is_cover([0, 2])
+        assert not triangle_plus_pendant.is_cover([3])
+
+    def test_exact_cover(self, triangle_plus_pendant):
+        cover = exact_vertex_cover(triangle_plus_pendant)
+        assert triangle_plus_pendant.is_cover(cover)
+        assert len(cover) == 2
+
+    def test_greedy_cover_within_factor_two(self, triangle_plus_pendant):
+        greedy = greedy_vertex_cover(triangle_plus_pendant)
+        assert triangle_plus_pendant.is_cover(greedy)
+        assert len(greedy) <= 2 * len(exact_vertex_cover(triangle_plus_pendant))
+
+    def test_random_cubic_graph_is_regular(self):
+        instance = random_cubic_graph(10, seed=3)
+        assert instance.n_vertices == 10
+        assert all(instance.degree(v) == 3 for v in instance.vertices)
+
+    def test_random_cubic_graph_minimum_size(self):
+        with pytest.raises(InfeasibleError):
+            random_cubic_graph(3)
+
+
+class TestFigure5Reduction:
+    def test_structure_no_data_sharing(self, triangle_plus_pendant):
+        problem = vertex_cover_to_secure_view(triangle_plus_pendant)
+        workflow = problem.workflow
+        assert workflow.data_sharing_degree() == 1
+        assert len(workflow) == (
+            triangle_plus_pendant.n_edges + triangle_plus_pendant.n_vertices + 1
+        )
+
+    def test_optimum_is_edges_plus_cover(self, triangle_plus_pendant):
+        problem = vertex_cover_to_secure_view(triangle_plus_pendant)
+        optimum = solve_exact_ip(problem).cost()
+        expected = triangle_plus_pendant.n_edges + len(
+            exact_vertex_cover(triangle_plus_pendant)
+        )
+        assert optimum == pytest.approx(expected)
+
+    def test_random_cubic_instances_preserve_optimum(self):
+        for seed in range(2):
+            instance = random_cubic_graph(8, seed=seed)
+            problem = vertex_cover_to_secure_view(instance)
+            optimum = solve_exact_ip(problem).cost()
+            expected = instance.n_edges + len(exact_vertex_cover(instance))
+            assert optimum == pytest.approx(expected)
+
+    def test_greedy_respects_gamma_plus_one_guarantee(self, triangle_plus_pendant):
+        problem = vertex_cover_to_secure_view(triangle_plus_pendant)
+        greedy_cost = solve_greedy(problem).cost()
+        optimum = solve_exact_ip(problem).cost()
+        gamma = problem.workflow.data_sharing_degree()
+        assert greedy_cost <= (gamma + 1) * optimum + 1e-6

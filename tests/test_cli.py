@@ -1,0 +1,90 @@
+"""Tests for the command-line interface (python -m repro.cli)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import SecureViewProblem
+from repro.workloads import dump_problem, figure1_workflow
+
+
+@pytest.fixture
+def problem_file(tmp_path) -> str:
+    workflow = figure1_workflow()
+    problem = SecureViewProblem.from_standalone_analysis(workflow, 2, kind="set")
+    path = tmp_path / "figure1.json"
+    dump_problem(problem, str(path))
+    return str(path)
+
+
+class TestInfoAndSolve:
+    def test_info_prints_summary(self, problem_file, capsys):
+        assert main(["info", problem_file]) == 0
+        out = capsys.readouterr().out
+        assert "modules" in out and "Γ" in out
+        assert "m1" in out
+
+    def test_solve_writes_solution(self, problem_file, tmp_path, capsys):
+        out_path = tmp_path / "solution.json"
+        code = main(["solve", problem_file, "--method", "exact", "--output", str(out_path)])
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["cost"] > 0
+        assert payload["hidden_attributes"]
+
+    def test_solve_with_local_search(self, problem_file, capsys):
+        assert main(["solve", problem_file, "--method", "greedy", "--local-search"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["hidden_attributes"]
+
+
+class TestVerifyAndAttack:
+    def _solve(self, problem_file, tmp_path) -> str:
+        out_path = tmp_path / "solution.json"
+        main(["solve", problem_file, "--method", "exact", "--output", str(out_path)])
+        return str(out_path)
+
+    def test_verify_accepts_good_solution(self, problem_file, tmp_path):
+        solution_file = self._solve(problem_file, tmp_path)
+        assert main(["verify", problem_file, solution_file, "--brute-force"]) == 0
+
+    def test_verify_rejects_bad_solution(self, problem_file, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"hidden_attributes": [], "privatized_modules": []}))
+        assert main(["verify", problem_file, str(bad)]) == 1
+
+    def test_attack_respects_gamma(self, problem_file, tmp_path, capsys):
+        solution_file = self._solve(problem_file, tmp_path)
+        assert main(["attack", problem_file, solution_file, "m1"]) == 0
+        out = capsys.readouterr().out
+        assert "achieved Γ" in out
+
+    def test_attack_flags_breach(self, problem_file, tmp_path):
+        empty = tmp_path / "empty.json"
+        empty.write_text(json.dumps({"hidden_attributes": [], "privatized_modules": []}))
+        assert main(["attack", problem_file, str(empty), "m1"]) == 1
+
+
+class TestGenerateAndCompare:
+    def test_generate_random_problem(self, tmp_path, capsys):
+        out_path = tmp_path / "generated.json"
+        assert main(
+            ["generate", str(out_path), "--modules", "6", "--kind", "cardinality", "--seed", "3"]
+        ) == 0
+        payload = json.loads(out_path.read_text())
+        assert len(payload["workflow"]["modules"]) == 6
+
+    def test_generate_scientific_problem(self, tmp_path):
+        out_path = tmp_path / "sci.json"
+        assert main(
+            ["generate", str(out_path), "--modules", "10", "--shape", "scientific"]
+        ) == 0
+        assert out_path.exists()
+
+    def test_compare_prints_table(self, problem_file, capsys):
+        assert main(["compare", problem_file, "--methods", "greedy", "set_lp"]) == 0
+        out = capsys.readouterr().out
+        assert "greedy" in out and "cost" in out

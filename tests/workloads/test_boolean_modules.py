@@ -1,0 +1,123 @@
+"""Tests for the boolean module function library."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.workloads import (
+    and_module,
+    bit_reversal_module,
+    constant_module,
+    figure1_m1_module,
+    full_adder_module,
+    identity_module,
+    majority_module,
+    make_attributes,
+    mux_module,
+    or_module,
+    parity_module,
+    projection_module,
+    random_permutation_module,
+    threshold_module,
+    xor_mask_module,
+)
+
+
+class TestOneOneModules:
+    def test_identity(self):
+        module = identity_module("id", ["a", "b"], ["c", "d"])
+        assert module.apply({"a": 1, "b": 0}) == {"c": 1, "d": 0}
+        assert module.is_invertible()
+
+    def test_identity_arity_mismatch(self):
+        with pytest.raises(SchemaError):
+            identity_module("id", ["a"], ["c", "d"])
+
+    def test_bit_reversal(self):
+        module = bit_reversal_module("rev", ["a", "b"], ["c", "d"])
+        assert module.apply({"a": 1, "b": 0}) == {"c": 0, "d": 1}
+        assert module.is_invertible()
+
+    def test_xor_mask(self):
+        module = xor_mask_module("x", ["a", "b"], ["c", "d"], mask=[1, 0])
+        assert module.apply({"a": 0, "b": 1}) == {"c": 1, "d": 1}
+
+    def test_xor_mask_length_mismatch(self):
+        with pytest.raises(SchemaError):
+            xor_mask_module("x", ["a"], ["c"], mask=[1, 0])
+
+    def test_random_permutation_deterministic_per_seed(self):
+        first = random_permutation_module("p", ["a", "b"], ["c", "d"], seed=3)
+        second = random_permutation_module("p", ["a", "b"], ["c", "d"], seed=3)
+        for a in (0, 1):
+            for b in (0, 1):
+                assert first.apply({"a": a, "b": b}) == second.apply({"a": a, "b": b})
+
+    def test_random_permutation_is_bijective(self):
+        module = random_permutation_module("p", ["a", "b", "c"], ["d", "e", "f"], seed=5)
+        assert module.is_invertible()
+
+
+class TestLossyModules:
+    def test_constant(self):
+        module = constant_module("c", ["a"], ["z"], value=1)
+        assert module.apply({"a": 0}) == {"z": 1}
+        assert module.apply({"a": 1}) == {"z": 1}
+        assert module.public
+
+    def test_and_or_parity(self):
+        land = and_module("and", ["a", "b"], "z")
+        lor = or_module("or", ["a", "b"], "z")
+        xor = parity_module("xor", ["a", "b"], "z")
+        assert land.apply({"a": 1, "b": 0})["z"] == 0
+        assert lor.apply({"a": 1, "b": 0})["z"] == 1
+        assert xor.apply({"a": 1, "b": 1})["z"] == 0
+
+    def test_threshold(self):
+        module = threshold_module("t", ["a", "b", "c"], "z", threshold=2)
+        assert module.apply({"a": 1, "b": 1, "c": 0})["z"] == 1
+        assert module.apply({"a": 1, "b": 0, "c": 0})["z"] == 0
+
+    def test_majority(self):
+        module = majority_module("m", ["a", "b", "c", "d"], "z")
+        assert module.apply({"a": 1, "b": 1, "c": 0, "d": 0})["z"] == 1
+        assert module.apply({"a": 1, "b": 0, "c": 0, "d": 0})["z"] == 0
+
+    def test_figure1_m1_truth_table(self):
+        module = figure1_m1_module()
+        assert module.apply({"a1": 0, "a2": 1}) == {"a3": 1, "a4": 1, "a5": 0}
+
+    def test_figure1_m1_arity_checked(self):
+        with pytest.raises(SchemaError):
+            figure1_m1_module(input_names=("a",), output_names=("b", "c", "d"))
+
+    def test_full_adder(self):
+        module = full_adder_module("fa", ["a", "b", "cin"], ["s", "cout"])
+        assert module.apply({"a": 1, "b": 1, "cin": 1}) == {"s": 1, "cout": 1}
+        assert module.apply({"a": 1, "b": 0, "cin": 0}) == {"s": 1, "cout": 0}
+
+    def test_full_adder_arity(self):
+        with pytest.raises(SchemaError):
+            full_adder_module("fa", ["a", "b"], ["s", "cout"])
+
+    def test_projection(self):
+        module = projection_module("proj", ["a", "b", "c"], ["x", "y"], kept=[2, 0])
+        assert module.apply({"a": 1, "b": 0, "c": 0}) == {"x": 0, "y": 1}
+
+    def test_projection_arity(self):
+        with pytest.raises(SchemaError):
+            projection_module("proj", ["a"], ["x", "y"], kept=[0])
+
+    def test_mux(self):
+        module = mux_module("mux", "sel", ["a", "b"], "z")
+        assert module.apply({"sel": 0, "a": 1, "b": 0})["z"] == 1
+        assert module.apply({"sel": 1, "a": 1, "b": 0})["z"] == 0
+
+    def test_mux_requires_two_inputs(self):
+        with pytest.raises(SchemaError):
+            mux_module("mux", "sel", ["a"], "z")
+
+    def test_make_attributes_costs(self):
+        attrs = make_attributes(["a", "b"], {"a": 4.0})
+        assert attrs[0].cost == 4.0 and attrs[1].cost == 1.0

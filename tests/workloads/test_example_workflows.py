@@ -1,0 +1,111 @@
+"""Tests for the paper's example workflows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import standalone_privacy_level
+from repro.workloads import (
+    example5_problem,
+    example5_workflow,
+    example6_majority_module,
+    example6_one_one_module,
+    example7_chain,
+    figure1_view_attributes,
+    figure1_workflow,
+    proposition2_chain,
+)
+
+
+class TestFigure1:
+    def test_executions_match_figure_1b(self):
+        workflow = figure1_workflow()
+        relation = workflow.provenance_relation()
+        expected_rows = [
+            (0, 0, 0, 1, 1, 1, 0),
+            (0, 1, 1, 1, 0, 0, 1),
+            (1, 0, 1, 1, 0, 0, 1),
+            (1, 1, 1, 0, 1, 1, 1),
+        ]
+        names = ("a1", "a2", "a3", "a4", "a5", "a6", "a7")
+        for row in expected_rows:
+            assert dict(zip(names, row)) in relation
+        assert len(relation) == 4
+
+    def test_view_attributes_constant(self):
+        assert figure1_view_attributes() == {"a1", "a3", "a5"}
+
+    def test_costs_can_be_overridden(self):
+        workflow = figure1_workflow(costs={"a4": 9.0})
+        assert workflow.schema["a4"].cost == 9.0
+
+
+class TestExample5:
+    def test_workflow_shape(self):
+        workflow = example5_workflow(4)
+        assert len(workflow) == 6
+        assert workflow.data_sharing_degree() == 4  # a2 feeds every middle module
+
+    def test_costs_follow_the_example(self):
+        workflow = example5_workflow(3, epsilon=0.5)
+        assert workflow.schema["a1"].cost == 1.0
+        assert workflow.schema["a2"].cost == 1.5
+        assert workflow.schema["b1"].cost == 1.0
+
+    def test_problem_requirements(self):
+        problem = example5_problem(3)
+        assert set(problem.requirements) == {"m", "m_prime", "m_1", "m_2", "m_3"}
+        assert problem.lmax == 3  # the collector lists one option per b_i
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(ValueError):
+            example5_workflow(0)
+
+
+class TestProposition2Chain:
+    def test_both_modules_one_one(self):
+        workflow = proposition2_chain(2)
+        assert workflow.module("m1").is_invertible()
+        assert workflow.module("m2").is_invertible()
+
+    def test_hiding_log_gamma_outputs_is_standalone_private(self):
+        workflow = proposition2_chain(2)
+        m1 = workflow.module("m1")
+        # Hide one of m1's outputs: Γ = 2 standalone privacy.
+        level = standalone_privacy_level(m1, set(m1.attribute_names) - {"y0"})
+        assert level >= 2
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            proposition2_chain(0)
+
+
+class TestExample7Chain:
+    def test_module_roles(self):
+        workflow = example7_chain(2)
+        assert workflow.module("m_head").public
+        assert workflow.module("m_head").is_constant()
+        assert workflow.module("m_mid").private
+        assert workflow.module("m_mid").is_invertible()
+        assert workflow.module("m_tail").public
+        assert workflow.module("m_tail").is_invertible()
+
+    def test_privacy_flags_configurable(self):
+        workflow = example7_chain(2, public_head=False, public_tail=False)
+        assert workflow.is_all_private
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            example7_chain(0)
+
+
+class TestExample6Modules:
+    def test_one_one_module_shape(self):
+        module = example6_one_one_module(3)
+        assert len(module.input_names) == 3
+        assert module.is_invertible()
+
+    def test_majority_module_shape(self):
+        module = example6_majority_module(3)
+        assert len(module.input_names) == 6
+        assert len(module.output_names) == 1

@@ -1,0 +1,124 @@
+"""Tests for the random workflow / requirement / problem generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CardinalityRequirementList, SetRequirementList
+from repro.exceptions import WorkflowError
+from repro.workloads import (
+    chain_workflow,
+    layered_workflow,
+    random_cardinality_requirements,
+    random_problem,
+    random_requirements,
+    random_set_requirements,
+    random_workflow,
+)
+
+
+class TestTopologies:
+    def test_chain_workflow_shape_and_sharing(self):
+        workflow = chain_workflow(6, width=2, seed=1)
+        assert len(workflow) == 6
+        assert workflow.data_sharing_degree() == 1
+
+    def test_chain_workflow_validation(self):
+        with pytest.raises(WorkflowError):
+            chain_workflow(0)
+
+    def test_chain_workflow_deterministic(self):
+        a = chain_workflow(4, seed=9)
+        b = chain_workflow(4, seed=9)
+        assert a.attribute_names == b.attribute_names
+
+    def test_layered_workflow_shape(self):
+        workflow = layered_workflow(3, 3, seed=2)
+        assert len(workflow) == 9
+
+    def test_layered_workflow_respects_max_sharing(self):
+        workflow = layered_workflow(3, 3, seed=2, max_sharing=2)
+        assert workflow.data_sharing_degree() <= 3  # soft cap; fallback may exceed by 1
+
+    def test_layered_workflow_validation(self):
+        with pytest.raises(WorkflowError):
+            layered_workflow(0, 3)
+
+    def test_random_workflow_is_dag_with_requested_size(self):
+        workflow = random_workflow(15, seed=3)
+        assert len(workflow) == 15
+        assert len(workflow.attribute_names) > 15
+
+    def test_random_workflow_private_fraction(self):
+        workflow = random_workflow(20, seed=4, private_fraction=0.0)
+        assert not workflow.private_modules
+
+    def test_random_workflow_executes(self):
+        workflow = random_workflow(6, seed=5)
+        inputs = {name: 0 for name in workflow.initial_inputs}
+        result = workflow.run(inputs)
+        assert set(result) == set(workflow.attribute_names)
+
+    def test_random_workflow_validation(self):
+        with pytest.raises(WorkflowError):
+            random_workflow(0)
+
+
+class TestRequirementGenerators:
+    def test_cardinality_lists_cover_private_modules(self):
+        workflow = random_workflow(10, seed=6)
+        lists = random_cardinality_requirements(workflow, seed=6)
+        assert set(lists) == {m.name for m in workflow.private_modules}
+        for name, requirement in lists.items():
+            assert isinstance(requirement, CardinalityRequirementList)
+            requirement.validate_against(workflow.module(name))
+
+    def test_cardinality_lists_non_trivial(self):
+        workflow = random_workflow(10, seed=7)
+        lists = random_cardinality_requirements(workflow, seed=7)
+        for requirement in lists.values():
+            for option in requirement:
+                assert option.alpha + option.beta >= 1
+
+    def test_set_lists_valid(self):
+        workflow = random_workflow(10, seed=8)
+        lists = random_set_requirements(workflow, seed=8)
+        for name, requirement in lists.items():
+            assert isinstance(requirement, SetRequirementList)
+            requirement.validate_against(workflow.module(name))
+
+    def test_requirements_dispatch(self):
+        workflow = random_workflow(6, seed=9)
+        assert random_requirements(workflow, kind="set", seed=1)
+        assert random_requirements(workflow, kind="cardinality", seed=1)
+        with pytest.raises(WorkflowError):
+            random_requirements(workflow, kind="nope")
+
+    def test_generators_deterministic(self):
+        workflow = random_workflow(8, seed=10)
+        first = random_cardinality_requirements(workflow, seed=2)
+        second = random_cardinality_requirements(workflow, seed=2)
+        assert {
+            name: [(o.alpha, o.beta) for o in req] for name, req in first.items()
+        } == {
+            name: [(o.alpha, o.beta) for o in req] for name, req in second.items()
+        }
+
+
+class TestProblemGenerator:
+    @pytest.mark.parametrize("topology", ["chain", "layered", "random"])
+    def test_problem_topologies(self, topology):
+        problem = random_problem(n_modules=8, kind="set", seed=1, topology=topology)
+        assert problem.requirements
+        assert problem.constraint_kind == "set"
+
+    def test_problem_is_solvable(self):
+        problem = random_problem(n_modules=8, kind="cardinality", seed=2)
+        solution = problem.solve(method="greedy")
+        problem.validate_solution(solution)
+
+    def test_problem_respects_max_sharing(self):
+        problem = random_problem(
+            n_modules=12, kind="cardinality", seed=3, max_sharing=1
+        )
+        assert problem.workflow.data_sharing_degree() <= 2

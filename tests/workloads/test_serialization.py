@@ -1,0 +1,112 @@
+"""Tests for JSON serialization of workflows, problems and solutions."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import SecureViewProblem
+from repro.exceptions import SchemaError
+from repro.optim import solve_exact_ip
+from repro.workloads import (
+    dump_problem,
+    dump_workflow,
+    example7_chain,
+    figure1_workflow,
+    load_problem,
+    load_workflow,
+    problem_from_dict,
+    problem_to_dict,
+    random_problem,
+    solution_from_dict,
+    solution_to_dict,
+    workflow_from_dict,
+    workflow_to_dict,
+)
+
+
+class TestWorkflowRoundTrip:
+    def test_figure1_round_trip_preserves_relation(self):
+        workflow = figure1_workflow()
+        clone = workflow_from_dict(workflow_to_dict(workflow))
+        assert clone.provenance_relation() == workflow.provenance_relation()
+        assert clone.attribute_names == workflow.attribute_names
+
+    def test_round_trip_preserves_privacy_flags_and_costs(self):
+        workflow = example7_chain(2)
+        clone = workflow_from_dict(workflow_to_dict(workflow))
+        assert [m.private for m in clone.modules] == [m.private for m in workflow.modules]
+        assert clone.module("m_head").privatization_cost == pytest.approx(
+            workflow.module("m_head").privatization_cost
+        )
+        assert clone.schema["x0"].cost == workflow.schema["x0"].cost
+
+    def test_payload_is_json_serializable(self):
+        payload = workflow_to_dict(figure1_workflow())
+        text = json.dumps(payload)
+        assert "m1" in text
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "workflow.json"
+        dump_workflow(figure1_workflow(), str(path))
+        clone = load_workflow(str(path))
+        assert len(clone) == 3
+
+    def test_tabulated_function_rejects_unknown_inputs(self):
+        workflow = figure1_workflow()
+        clone = workflow_from_dict(workflow_to_dict(workflow))
+        module = clone.module("m1")
+        with pytest.raises(Exception):
+            module.apply({"a1": 2, "a2": 0})
+
+
+class TestProblemRoundTrip:
+    @pytest.mark.parametrize("kind", ["set", "cardinality"])
+    def test_round_trip_preserves_optimum(self, kind):
+        problem = random_problem(n_modules=8, kind=kind, seed=5)
+        clone = problem_from_dict(problem_to_dict(problem))
+        assert clone.constraint_kind == problem.constraint_kind
+        assert clone.lmax == problem.lmax
+        assert solve_exact_ip(clone).cost() == pytest.approx(
+            solve_exact_ip(problem).cost()
+        )
+
+    def test_round_trip_preserves_hidable_and_privatization_flags(self):
+        problem = random_problem(
+            n_modules=8, kind="set", seed=6, private_fraction=0.6
+        )
+        clone = problem_from_dict(problem_to_dict(problem))
+        assert clone.hidable_attributes == problem.hidable_attributes
+        assert clone.allow_privatization == problem.allow_privatization
+
+    def test_file_round_trip(self, tmp_path):
+        problem = random_problem(n_modules=6, kind="cardinality", seed=7)
+        path = tmp_path / "problem.json"
+        dump_problem(problem, str(path))
+        clone = load_problem(str(path))
+        assert set(clone.requirements) == set(problem.requirements)
+
+    def test_derived_figure1_problem_round_trip(self):
+        workflow = figure1_workflow()
+        problem = SecureViewProblem.from_standalone_analysis(workflow, 2, kind="set")
+        clone = problem_from_dict(problem_to_dict(problem))
+        assert solve_exact_ip(clone).cost() == pytest.approx(
+            solve_exact_ip(problem).cost()
+        )
+
+
+class TestSolutionRoundTrip:
+    def test_solution_round_trip(self):
+        problem = random_problem(n_modules=8, kind="set", seed=9)
+        solution = solve_exact_ip(problem)
+        payload = solution_to_dict(solution)
+        clone = solution_from_dict(problem.workflow, payload)
+        assert clone.hidden_attributes == solution.hidden_attributes
+        assert clone.cost() == pytest.approx(solution.cost())
+
+    def test_unknown_requirement_kind_rejected(self):
+        with pytest.raises(SchemaError):
+            from repro.workloads.serialization import _requirement_from_dict
+
+            _requirement_from_dict({"kind": "bogus", "module": "m", "options": []})
