@@ -21,13 +21,9 @@ import pytest
 
 from repro.analysis import format_table
 from repro.core import SecureViewProblem
+from repro.engine import Planner
 from repro.exceptions import ProvenanceError
-from repro.optim import (
-    improve_solution,
-    solve_cardinality_rounding,
-    solve_exact_ip,
-    solve_greedy,
-)
+from repro.optim import improve_solution
 from repro.workloads import example5_problem, random_problem
 
 
@@ -39,20 +35,23 @@ def test_bench_local_search_ablation(benchmark, report_sink):
         ("random set n=12", random_problem(n_modules=12, kind="set", seed=3)),
         ("random card n=12", random_problem(n_modules=12, kind="cardinality", seed=3)),
     ]
+    # One planner per instance: exact, base and improved solves all share the
+    # same derivation cache instead of re-deriving requirement lists.
+    planners = [(label, Planner.from_problem(problem)) for label, problem in instances]
 
     def run():
         rows = []
-        for label, problem in instances:
-            optimum = solve_exact_ip(problem).cost()
-            if problem.constraint_kind == "cardinality":
-                base = solve_cardinality_rounding(problem, seed=0)
-            else:
-                base = solve_greedy(problem)
-            improved = improve_solution(problem, base)
+        for label, planner in planners:
+            optimum = planner.solve(solver="exact").cost
+            base_solver = (
+                "lp_rounding" if planner.kind == "cardinality" else "greedy"
+            )
+            base = planner.solve(solver=base_solver, seed=0)
+            improved = improve_solution(planner.problem(), base.solution)
             rows.append(
                 [
                     label,
-                    f"{base.cost() / optimum:.2f}",
+                    f"{base.cost / optimum:.2f}",
                     f"{improved.cost() / optimum:.2f}",
                 ]
             )
@@ -73,7 +72,8 @@ def test_bench_local_search_ablation(benchmark, report_sink):
 def test_bench_rounding_scale_ablation(benchmark, report_sink):
     """Algorithm 1's rounding constant: cost and repair frequency per scale."""
     problem = random_problem(n_modules=20, kind="cardinality", seed=17)
-    optimum = solve_exact_ip(problem).cost()
+    planner = Planner.from_problem(problem)
+    optimum = planner.solve(solver="exact").cost
     scales = (2.0, 8.0, 16.0)
 
     def run():
@@ -81,9 +81,9 @@ def test_bench_rounding_scale_ablation(benchmark, report_sink):
         for scale in scales:
             costs, repairs = [], []
             for seed in range(5):
-                solution = solve_cardinality_rounding(problem, seed=seed, scale=scale)
-                costs.append(solution.cost() / optimum)
-                repairs.append(len(solution.meta["repaired_modules"]))
+                result = planner.solve(solver="lp_rounding", seed=seed, scale=scale)
+                costs.append(result.cost / optimum)
+                repairs.append(len(result.meta["repaired_modules"]))
             rows.append(
                 [
                     scale,
@@ -117,7 +117,8 @@ def test_bench_privatization_value(benchmark, report_sink):
             problem = random_problem(
                 n_modules=12, kind="set", seed=seed, private_fraction=0.6
             )
-            with_privatization = solve_exact_ip(problem).cost()
+            planner = Planner.from_problem(problem)
+            with_privatization = planner.solve(solver="exact").cost
             public_attrs = {
                 name
                 for module in problem.workflow.public_modules
@@ -133,8 +134,11 @@ def test_bench_privatization_value(benchmark, report_sink):
                 hidable_attributes=restricted_hidable,
                 allow_privatization=False,
             )
+            # Same workflow and lists: the restricted planner shares the
+            # first planner's cache, so nothing is re-derived.
+            restricted_planner = Planner.from_problem(restricted, cache=planner.cache)
             try:
-                without_privatization = solve_exact_ip(restricted).cost()
+                without_privatization = restricted_planner.solve(solver="exact").cost
                 note = f"{without_privatization / with_privatization:.2f}x"
             except ProvenanceError:
                 without_privatization = float("inf")

@@ -6,9 +6,11 @@ Run with::
 
 The script builds the running example of the paper (three boolean modules
 over attributes a1..a7), materializes its provenance relation, checks
-Γ-privacy of the top module for the view of Figure 1d, derives requirement
-lists from standalone analysis, and solves the Secure-View problem with the
-exact solver and two approximation algorithms.
+Γ-privacy of the top module for the view of Figure 1d, then hands the
+workflow to the engine's :class:`~repro.engine.Planner`, which derives
+requirement lists once and solves the Secure-View problem with the exact
+solver and two approximation algorithms through one uniform ``solve()``
+entry point.
 """
 
 from __future__ import annotations
@@ -16,12 +18,11 @@ from __future__ import annotations
 from repro.analysis import Report, format_table
 from repro.core import (
     ProvenanceView,
-    SecureViewProblem,
     count_standalone_worlds,
     is_gamma_private_workflow,
     standalone_privacy_level,
 )
-from repro.optim import solve_exact_ip, solve_greedy, solve_set_lp
+from repro.engine import Planner
 from repro.workloads import figure1_view_attributes, figure1_workflow
 
 
@@ -56,32 +57,44 @@ def main() -> None:
         ],
     )
 
-    # 3. Derive a Secure-View instance for Γ = 2 and solve it three ways.
+    # 3. Hand the workflow to the engine: one Planner, three solvers.
+    #    Requirement derivation happens once and is shared by every solve.
     gamma = 2
-    problem = SecureViewProblem.from_standalone_analysis(workflow, gamma, kind="set")
+    planner = Planner(workflow, gamma, kind="set")
+    report.add_text(
+        "Solvers applicable to this instance (auto picks "
+        f"{planner.resolve('auto').name!r}): "
+        + ", ".join(spec.name for spec in planner.solvers())
+    )
     rows = []
-    for label, solver in (
-        ("exact IP", solve_exact_ip),
-        ("lp rounding (l_max approx)", solve_set_lp),
-        ("greedy (gamma+1 approx)", solve_greedy),
-    ):
-        solution = solver(problem)
+    for solver in ("exact", "set_lp", "greedy"):
+        result = planner.solve(solver=solver)
         rows.append(
             [
-                label,
-                ", ".join(sorted(solution.hidden_attributes)),
-                f"{solution.cost():.1f}",
+                solver,
+                ", ".join(sorted(result.hidden_attributes)),
+                f"{result.cost:.1f}",
+                result.guarantee,
             ]
         )
+    stats = planner.cache.stats()
     report.add_table(
-        f"Secure-View solutions for Γ = {gamma}", ["solver", "hidden attributes", "cost"], rows
+        f"Secure-View solutions for Γ = {gamma} "
+        f"(requirement derivations: {stats.derivation_misses})",
+        ["solver", "hidden attributes", "cost", "guarantee"],
+        rows,
     )
 
-    # 4. Verify the optimal view really is Γ-private by brute force, and show it.
-    optimal = solve_exact_ip(problem)
-    verified = is_gamma_private_workflow(workflow, optimal.visible_attributes, gamma)
-    view = ProvenanceView(workflow, optimal.visible_attributes)
+    # 4. Verify the optimal view really is Γ-private, both through the
+    #    engine's certificate and by the brute-force possible-worlds check.
+    optimal = planner.solve(solver="exact", verify=True)
+    verified = is_gamma_private_workflow(
+        workflow, optimal.solution.visible_attributes, gamma
+    )
+    view = ProvenanceView(workflow, optimal.solution.visible_attributes)
     report.add_text(
+        f"Engine certificate for the optimal view: ok={optimal.certificate.ok}, "
+        f"per-module levels {dict(optimal.certificate.module_levels)}\n"
         f"Brute-force verification that the optimal view is {gamma}-private: {verified}\n\n"
         "The provenance view shown to users (hidden attributes projected away):\n"
         + view.relation().to_text()

@@ -1,4 +1,9 @@
-"""Setup shim for environments without PEP 660 editable-install support."""
+"""Legacy shim for environments whose setuptools lacks PEP 660 support.
+
+All package metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e .`` (via the legacy ``setup.py develop`` path) on
+toolchains without the ``wheel`` package, e.g. offline containers.
+"""
 from setuptools import setup
 
 setup()

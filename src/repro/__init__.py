@@ -8,8 +8,33 @@ problem: choose a minimum-cost set of attributes to hide (and, in workflows
 with public modules, public modules to privatize) so that the functionality
 of every private module remains Γ-private.
 
+Solving an instance
+-------------------
+The :mod:`repro.engine` package is the canonical entry point.  A
+:class:`~repro.engine.Planner` derives requirement lists once, memoizes
+every expensive derivation in a shared cache, and dispatches any algorithm
+registered in the solver registry::
+
+    from repro import Planner
+    from repro.workloads import figure1_workflow
+
+    planner = Planner(figure1_workflow(), gamma=2, kind="set")
+    result = planner.solve()                         # auto-selected solver
+    result = planner.solve(solver="exact", verify=True)
+    result = planner.solve(solver="lp_rounding", seed=7)
+
+``repro engine list-solvers`` (CLI) prints the registry.  The historical
+free functions (``repro.optim.solve_secure_view`` and the per-algorithm
+``solve_*`` functions) still work; the top-level
+:func:`repro.solve_secure_view` re-export is a deprecation shim that warns
+and delegates to the engine.
+
 Layout
 ------
+``repro.engine``
+    The unified solve surface: solver registry with decorator registration,
+    ``SolveRequest``/``SolveResult`` dataclasses, the ``Planner`` facade and
+    the shared ``DerivationCache``.
 ``repro.core``
     The formal model: attributes, relations, modules, workflows, provenance
     views, possible worlds, Γ-privacy, standalone analysis, requirement
@@ -28,6 +53,8 @@ Layout
 ``repro.analysis``
     Experiment harness: metrics, sweeps, and text reporting.
 """
+
+import warnings as _warnings
 
 from .core import (
     Attribute,
@@ -48,13 +75,42 @@ from .core import (
     assemble_general_solution,
     is_gamma_private_workflow,
     is_standalone_private,
-    is_workflow_private,
     minimum_cost_safe_subset,
     standalone_privacy_level,
     workflow_privacy_level,
+    is_workflow_private,
+)
+from .engine import (
+    DerivationCache,
+    Planner,
+    PrivacyCertificate,
+    SolveRequest,
+    SolveResult,
+    SolverRegistry,
+    default_registry,
+    register_solver,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+def solve_secure_view(problem, method: str = "auto", **kwargs):
+    """Deprecated shim: solve a Secure-View instance by solver name.
+
+    Superseded by the engine — build a :class:`Planner` (or use
+    ``Planner.from_problem``) and call ``solve``; it shares derivations
+    across calls and returns a uniform :class:`SolveResult`.  This shim
+    keeps one-off call sites working and returns the bare
+    :class:`SecureViewSolution` like the historical API did.
+    """
+    _warnings.warn(
+        "repro.solve_secure_view is deprecated; use "
+        "repro.Planner.from_problem(problem).solve(solver=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return Planner.from_problem(problem).solve(solver=method, **kwargs).solution
+
 
 __all__ = [
     "__version__",
@@ -80,4 +136,15 @@ __all__ = [
     "minimum_cost_safe_subset",
     "assemble_all_private_solution",
     "assemble_general_solution",
+    # engine (the canonical solve surface)
+    "DerivationCache",
+    "Planner",
+    "PrivacyCertificate",
+    "SolveRequest",
+    "SolveResult",
+    "SolverRegistry",
+    "default_registry",
+    "register_solver",
+    # deprecated shims
+    "solve_secure_view",
 ]

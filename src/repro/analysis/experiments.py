@@ -4,6 +4,12 @@ This is the glue the benchmarks and EXPERIMENTS.md use: run several solvers
 on the same Secure-View instance (optionally against the exact optimum),
 repeat randomized solvers over seeds, and sweep instance parameters while
 collecting flat records that the reporting layer renders.
+
+All solving goes through one shared :class:`~repro.engine.Planner` per
+instance, so requirement derivation, provenance materialization and
+verification out-sets are computed once per instance rather than once per
+solver run — on derivation-heavy instances a multi-solver comparison is
+severalfold faster than the pre-engine harness.
 """
 
 from __future__ import annotations
@@ -14,8 +20,8 @@ from typing import Callable, Iterable, Mapping, Sequence
 
 from ..core.secure_view import SecureViewProblem
 from ..core.view import SecureViewSolution
+from ..engine import Planner
 from ..exceptions import ProvenanceError
-from ..optim import solve_exact_ip, solve_secure_view
 from .metrics import approximation_ratio, solution_summary
 
 __all__ = ["SolverRun", "compare_solvers", "sweep", "time_solver"]
@@ -52,12 +58,21 @@ class SolverRun:
 
 
 def time_solver(
-    problem: SecureViewProblem, method: str, **kwargs
+    problem: SecureViewProblem,
+    method: str,
+    planner: Planner | None = None,
+    **kwargs,
 ) -> SolverRun:
-    """Run one solver, timing it and tolerating solver-level failures."""
+    """Run one solver, timing it and tolerating solver-level failures.
+
+    Pass a ``planner`` (wrapping the same problem) to share its derivation
+    cache across runs; one is created ad hoc otherwise.
+    """
+    if planner is None:
+        planner = Planner.from_problem(problem)
     start = time.perf_counter()
     try:
-        solution = solve_secure_view(problem, method=method, **kwargs)
+        result = planner.solve(solver=method, **kwargs)
     except ProvenanceError as exc:
         return SolverRun(
             method=method,
@@ -66,13 +81,21 @@ def time_solver(
             seconds=time.perf_counter() - start,
             error=str(exc),
         )
-    elapsed = time.perf_counter() - start
     return SolverRun(
         method=method,
-        solution=solution,
-        cost=solution.cost(),
-        seconds=elapsed,
+        solution=result.solution,
+        cost=result.cost,
+        seconds=result.seconds,
+        extra={"solver": result.solver},
     )
+
+
+def _is_randomized(planner: Planner, method: str) -> bool:
+    """Does the method (after ``auto`` resolution) take rounding randomness?"""
+    try:
+        return planner.resolve(method).randomized
+    except ProvenanceError:
+        return False
 
 
 def compare_solvers(
@@ -80,18 +103,22 @@ def compare_solvers(
     methods: Sequence[str],
     seeds: Sequence[int] = (0,),
     include_exact: bool = True,
+    planner: Planner | None = None,
 ) -> list[dict[str, object]]:
     """Run several solvers on one instance and report costs / ratios.
 
-    Randomized solvers (``lp_rounding``, ``random``) are repeated once per
-    seed and reported seed by seed; deterministic solvers run once.  When
+    Randomized solvers (per registry metadata) are repeated once per seed
+    and reported seed by seed; deterministic solvers run once.  When
     ``include_exact`` is true the exact IP optimum is computed first and
-    every record carries its approximation ratio.
+    every record carries its approximation ratio.  All runs share one
+    planner, so the instance's requirement derivation happens only once.
     """
+    if planner is None:
+        planner = Planner.from_problem(problem)
     optimum: float | None = None
     records: list[dict[str, object]] = []
     if include_exact:
-        exact_run = time_solver(problem, "exact")
+        exact_run = time_solver(problem, "exact", planner=planner)
         if exact_run.succeeded:
             optimum = exact_run.cost
             exact_record = solution_summary(problem, exact_run.solution, optimum)
@@ -100,18 +127,17 @@ def compare_solvers(
         exact_record["seconds"] = exact_run.seconds
         records.append(exact_record)
 
-    randomized = {"lp_rounding", "random", "general_lp"}
     for method in methods:
         if method == "exact" and include_exact:
             continue
         method_seeds: Sequence[int | None]
-        if method in randomized:
+        if _is_randomized(planner, method):
             method_seeds = list(seeds)
         else:
             method_seeds = [None]
         for seed in method_seeds:
             kwargs = {"seed": seed} if seed is not None else {}
-            run = time_solver(problem, method, **kwargs)
+            run = time_solver(problem, method, planner=planner, **kwargs)
             if run.succeeded:
                 record = solution_summary(problem, run.solution, optimum)
             else:
@@ -135,7 +161,8 @@ def sweep(
 
     ``problem_factory(value)`` builds the instance for each parameter value;
     every record is tagged with the parameter so the reporting layer can
-    group by it.
+    group by it.  Each instance gets its own planner (instances differ), but
+    within an instance all solvers share one derivation.
     """
     records: list[dict[str, object]] = []
     for value in parameter_values:

@@ -4,19 +4,21 @@ The CLI exposes the everyday operations a workflow owner would run:
 
 * ``info``      — summarize a workflow or problem file (modules, attributes,
   data-sharing degree, requirement lists),
-* ``solve``     — solve a Secure-View problem file with a chosen solver
-  (optionally with local-search post-processing) and print / save the
-  solution,
+* ``solve``     — solve a Secure-View problem file with a registered solver
+  (optionally with local-search post-processing and a Γ-privacy
+  certificate) and print / save the solution,
 * ``verify``    — brute-force check that a solution file really provides
   Γ-privacy (small instances only),
 * ``attack``    — run the reconstruction attack against one module under a
   solution's view,
 * ``generate``  — write a random or scientific-workflow-shaped problem file,
-* ``compare``   — run several solvers on a problem file and print the
-  comparison table.
+* ``compare``   — run several solvers on a problem file (through one shared
+  :class:`~repro.engine.Planner`) and print the comparison table,
+* ``engine``    — inspect the solver engine (``engine list-solvers``).
 
-All files are the JSON documents produced by
-:mod:`repro.workloads.serialization`.
+Solving goes through :mod:`repro.engine`; ``--solver`` accepts any name in
+the registry (``repro engine list-solvers``).  All files are the JSON
+documents produced by :mod:`repro.workloads.serialization`.
 """
 
 from __future__ import annotations
@@ -29,8 +31,8 @@ from typing import Sequence
 from .analysis import compare_solvers, format_records
 from .core import is_gamma_private_workflow
 from .core.attack import reconstruction_attack
-from .optim import SOLVERS, solve_secure_view
-from .optim.local_search import improve_solution
+from .engine import Planner, default_registry
+from .exceptions import ProvenanceError
 from .workloads import ScientificWorkflowConfig, random_problem, scientific_problem
 from .workloads.serialization import (
     dump_problem,
@@ -60,15 +62,61 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 def _cmd_solve(args: argparse.Namespace) -> int:
     problem = load_problem(args.problem)
-    solution = solve_secure_view(problem, method=args.method)
-    if args.local_search:
-        solution = improve_solution(problem, solution)
-    problem.validate_solution(solution)
-    payload = solution_to_dict(solution)
+    planner = Planner.from_problem(problem)
+    result = planner.solve(
+        solver=args.solver or args.method,
+        seed=args.seed,
+        local_search=bool(args.local_search),
+        verify=args.verify,
+    )
+    payload = solution_to_dict(result.solution)
+    payload["solver"] = result.solver
+    if result.guarantee:
+        payload["guarantee"] = result.guarantee
+    if result.certificate is not None:
+        payload["certificate"] = result.certificate.as_dict()
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
     print(json.dumps(payload, indent=2, sort_keys=True))
+    if result.certificate is not None and not result.certificate.ok:
+        return 1
+    return 0
+
+
+def _cmd_engine_list_solvers(args: argparse.Namespace) -> int:
+    registry = default_registry()
+    if args.problem:
+        problem = load_problem(args.problem)
+        specs = registry.applicable(problem)
+        auto = registry.select(problem)
+        caption = (
+            f"solvers applicable to {args.problem} "
+            f"(auto would pick {auto.name!r})"
+        )
+        records = [
+            {**spec.as_record(), "guarantee": spec.guarantee_for(problem)}
+            for spec in specs
+        ]
+    else:
+        specs = registry.specs()
+        caption = "registered Secure-View solvers (auto-selection order)"
+        records = [spec.as_record() for spec in specs]
+    print(
+        format_records(
+            records,
+            columns=[
+                "name",
+                "constraints",
+                "scope",
+                "randomized",
+                "exact",
+                "baseline",
+                "guarantee",
+            ],
+            caption=caption,
+        )
+    )
     return 0
 
 
@@ -170,12 +218,42 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("problem")
     info.set_defaults(func=_cmd_info)
 
+    solver_names = ["auto", *default_registry().names()]
     solve = sub.add_parser("solve", help="solve a Secure-View problem file")
     solve.add_argument("problem")
-    solve.add_argument("--method", default="auto", choices=sorted(SOLVERS))
+    solve.add_argument(
+        "--solver",
+        default="",
+        choices=["", *solver_names],
+        help="registry solver name (see `repro engine list-solvers`)",
+    )
+    solve.add_argument(
+        "--method",
+        default="auto",
+        choices=solver_names,
+        help="deprecated alias for --solver",
+    )
+    solve.add_argument("--seed", type=int, default=None)
     solve.add_argument("--local-search", action="store_true")
+    solve.add_argument(
+        "--verify",
+        action="store_true",
+        help="attach a brute-force Γ-privacy certificate (small instances)",
+    )
     solve.add_argument("--output", default="")
     solve.set_defaults(func=_cmd_solve)
+
+    engine = sub.add_parser("engine", help="inspect the solver engine")
+    engine_sub = engine.add_subparsers(dest="engine_command", required=True)
+    list_solvers = engine_sub.add_parser(
+        "list-solvers", help="list registered solvers and their metadata"
+    )
+    list_solvers.add_argument(
+        "--problem",
+        default="",
+        help="restrict to solvers applicable to this problem file",
+    )
+    list_solvers.set_defaults(func=_cmd_engine_list_solvers)
 
     verify = sub.add_parser("verify", help="check a solution file against a problem")
     verify.add_argument("problem")
@@ -214,7 +292,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ProvenanceError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests

@@ -247,6 +247,25 @@ class Module:
         clone._relation_cache = self._relation_cache
         return clone
 
+    def with_attribute_costs(self, costs: Mapping[str, float]) -> "Module":
+        """Copy of the module with some attribute hiding costs overridden.
+
+        Attributes absent from ``costs`` keep their declared cost.  Privacy
+        is cost-independent, so the copy shares this module's relation cache
+        (the engine's derivation cache relies on that when re-costing a
+        workflow for a what-if solve).
+        """
+        clone = Module(
+            self.name,
+            [attr.with_cost(costs.get(attr.name, attr.cost)) for attr in self._inputs],
+            [attr.with_cost(costs.get(attr.name, attr.cost)) for attr in self._outputs],
+            self._function,
+            private=self.private,
+            privatization_cost=self.privatization_cost,
+        )
+        clone._relation_cache = self._relation_cache
+        return clone
+
     def with_function(self, function: ModuleFunction) -> "Module":
         """Copy of the module with a different functionality.
 

@@ -155,6 +155,25 @@ class Workflow:
         """True if every module is private (the Section 4 setting)."""
         return all(m.private for m in self.modules)
 
+    def with_attribute_costs(self, costs: Mapping[str, float]) -> "Workflow":
+        """Copy of the workflow with some attribute hiding costs overridden.
+
+        Attribute names absent from ``costs`` keep their declared cost; an
+        unknown name raises :class:`SchemaError`.  Module relations and the
+        provenance relation are shared with this workflow (privacy analysis
+        never depends on costs), which is what lets the engine's derivation
+        cache reuse requirement lists across what-if cost scenarios.
+        """
+        unknown = set(costs) - set(self._schema.names)
+        if unknown:
+            raise SchemaError(f"unknown attributes in cost override {sorted(unknown)!r}")
+        clone = Workflow(
+            (module.with_attribute_costs(costs) for module in self.modules),
+            name=self.name,
+        )
+        clone._relation_cache = self._relation_cache
+        return clone
+
     # -- attribute roles ---------------------------------------------------------
     @property
     def initial_inputs(self) -> tuple[str, ...]:

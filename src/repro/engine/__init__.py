@@ -1,0 +1,55 @@
+"""The unified Secure-View engine: registry, planner, shared derivation cache.
+
+This package is the canonical way to solve Secure-View instances.  Instead
+of calling per-algorithm functions in :mod:`repro.optim` (each with its own
+signature) and hand-rolling the derive-requirements → build-problem →
+solve → assemble pipeline, callers go through one facade::
+
+    from repro.engine import Planner
+
+    planner = Planner(workflow, gamma=2, kind="set")
+    result = planner.solve()                          # auto-selected solver
+    result = planner.solve(solver="exact", verify=True)
+    print(result.cost, result.guarantee, result.certificate.ok)
+
+Components
+----------
+:class:`Planner`
+    Derives requirement lists and materializes relations **once**, memoizes
+    them in a :class:`DerivationCache`, auto-selects solvers, and verifies
+    Γ-privacy on request.
+:class:`SolverRegistry` / :func:`register_solver`
+    Decorator-based registry of algorithms with metadata (constraint kind,
+    scope, randomization, guarantee); pre-populated with every algorithm in
+    :mod:`repro.optim` by :mod:`repro.engine.adapters`.
+:class:`SolveRequest` / :class:`SolveResult`
+    The uniform request/result surface shared by all solvers.
+:class:`DerivationCache`
+    Shared memoization of requirement derivation, provenance relations and
+    verification out-sets, with hit/miss counters.
+"""
+
+from .cache import CacheStats, DerivationCache
+from .planner import Planner
+from .registry import (
+    SolverRegistry,
+    SolverSpec,
+    default_registry,
+    register_solver,
+)
+from .result import PrivacyCertificate, SolveRequest, SolveResult
+
+from . import adapters as _adapters  # noqa: F401  (populates the registry)
+
+__all__ = [
+    "CacheStats",
+    "DerivationCache",
+    "Planner",
+    "PrivacyCertificate",
+    "SolveRequest",
+    "SolveResult",
+    "SolverRegistry",
+    "SolverSpec",
+    "default_registry",
+    "register_solver",
+]

@@ -1,0 +1,191 @@
+"""Shared derivation cache for the Secure-View engine.
+
+Everything expensive about a Secure-View instance happens *before* and
+*after* the LP/greedy/exact solve itself:
+
+* **requirement derivation** — ``derive_workflow_requirements`` enumerates,
+  per private module, every hidden subset (exponential in the module arity)
+  and, for cardinality lists, every (α, β) combination of attribute choices;
+* **provenance materialization** — the joint relation over all executions;
+* **out-set verification** — the possible-worlds enumeration behind the
+  Γ-privacy certificate (Definitions 5/6).
+
+All three depend only on the workflow structure, Γ, and the requirement
+kind — never on attribute costs or on which solver runs.  A
+:class:`DerivationCache` therefore memoizes them once per (workflow, Γ,
+kind) so a multi-solver sweep (``repro compare``, the engine benchmarks,
+``analysis.experiments.compare_solvers``) pays the exponential enumeration
+a single time instead of once per solver.  Hit/miss counters are kept per
+category so benchmarks and tests can assert the sharing actually happened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..core.possible_worlds import workflow_out_sets
+from ..core.requirements import RequirementList, derive_workflow_requirements
+from ..core.relation import Relation
+from ..core.workflow import Workflow
+
+__all__ = ["CacheStats", "DerivationCache"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Immutable snapshot of a :class:`DerivationCache`'s counters."""
+
+    derivation_hits: int = 0
+    derivation_misses: int = 0
+    relation_hits: int = 0
+    relation_misses: int = 0
+    out_set_hits: int = 0
+    out_set_misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.derivation_hits + self.relation_hits + self.out_set_hits
+
+    @property
+    def misses(self) -> int:
+        return self.derivation_misses + self.relation_misses + self.out_set_misses
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "derivation_hits": self.derivation_hits,
+            "derivation_misses": self.derivation_misses,
+            "relation_hits": self.relation_hits,
+            "relation_misses": self.relation_misses,
+            "out_set_hits": self.out_set_hits,
+            "out_set_misses": self.out_set_misses,
+        }
+
+
+@dataclass
+class DerivationCache:
+    """Memoizes requirement derivation, relations and out-set enumeration.
+
+    Workflows are identified by object identity (they are mutable graph
+    containers); the cache pins every workflow it has seen so an ``id()``
+    can never be recycled while its entries are alive.  A cache may be
+    shared freely across :class:`~repro.engine.planner.Planner` instances —
+    e.g. one cache for a whole parameter sweep.
+    """
+
+    _workflows: dict[int, Workflow] = field(default_factory=dict)
+    _requirements: dict[tuple, Mapping[str, RequirementList]] = field(
+        default_factory=dict
+    )
+    _relations: dict[int, Relation] = field(default_factory=dict)
+    _out_sets: dict[tuple, dict] = field(default_factory=dict)
+    derivation_hits: int = 0
+    derivation_misses: int = 0
+    relation_hits: int = 0
+    relation_misses: int = 0
+    out_set_hits: int = 0
+    out_set_misses: int = 0
+
+    def _pin(self, workflow: Workflow) -> int:
+        key = id(workflow)
+        self._workflows.setdefault(key, workflow)
+        return key
+
+    # -- requirement derivation -------------------------------------------------
+    def requirements(
+        self, workflow: Workflow, gamma: int, kind: str
+    ) -> Mapping[str, RequirementList]:
+        """Requirement lists for every private module, derived at most once."""
+        key = (self._pin(workflow), gamma, kind)
+        cached = self._requirements.get(key)
+        if cached is not None:
+            self.derivation_hits += 1
+            return cached
+        self.derivation_misses += 1
+        derived = derive_workflow_requirements(workflow, gamma, kind=kind)
+        self._requirements[key] = derived
+        return derived
+
+    def seed_requirements(
+        self,
+        workflow: Workflow,
+        gamma: int,
+        kind: str,
+        requirements: Mapping[str, RequirementList],
+    ) -> None:
+        """Pre-populate the cache with already-derived requirement lists.
+
+        Used when a :class:`SecureViewProblem` arrives with its lists already
+        attached (loaded from a problem file, built by a generator) so the
+        engine never re-derives what the caller paid for.
+        """
+        key = (self._pin(workflow), gamma, kind)
+        self._requirements.setdefault(key, requirements)
+
+    # -- provenance relation ----------------------------------------------------
+    def relation(self, workflow: Workflow) -> Relation:
+        """The workflow's provenance relation, materialized at most once."""
+        key = self._pin(workflow)
+        cached = self._relations.get(key)
+        if cached is not None:
+            self.relation_hits += 1
+            return cached
+        self.relation_misses += 1
+        relation = workflow.provenance_relation()
+        self._relations[key] = relation
+        return relation
+
+    # -- out-set enumeration (verification) -------------------------------------
+    def module_out_sets(
+        self,
+        workflow: Workflow,
+        module_name: str,
+        visible: frozenset[str],
+        hidden_public_modules: frozenset[str],
+        stop_at: int | None,
+    ) -> dict:
+        """``OUT_{x,W}`` for every input of one module, enumerated at most once."""
+        key = (
+            self._pin(workflow),
+            module_name,
+            visible,
+            hidden_public_modules,
+            stop_at,
+        )
+        cached = self._out_sets.get(key)
+        if cached is not None:
+            self.out_set_hits += 1
+            return cached
+        self.out_set_misses += 1
+        out_sets = workflow_out_sets(
+            workflow,
+            module_name,
+            visible,
+            hidden_public_modules=hidden_public_modules,
+            relation=self.relation(workflow),
+            stop_at=stop_at,
+        )
+        self._out_sets[key] = out_sets
+        return out_sets
+
+    # -- bookkeeping ------------------------------------------------------------
+    def stats(self) -> CacheStats:
+        """Snapshot of the hit/miss counters."""
+        return CacheStats(
+            derivation_hits=self.derivation_hits,
+            derivation_misses=self.derivation_misses,
+            relation_hits=self.relation_hits,
+            relation_misses=self.relation_misses,
+            out_set_hits=self.out_set_hits,
+            out_set_misses=self.out_set_misses,
+        )
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        self._workflows.clear()
+        self._requirements.clear()
+        self._relations.clear()
+        self._out_sets.clear()
+        self.derivation_hits = self.derivation_misses = 0
+        self.relation_hits = self.relation_misses = 0
+        self.out_set_hits = self.out_set_misses = 0

@@ -1,0 +1,148 @@
+"""Uniform request/result types for the Secure-View engine.
+
+Every solver in the registry — exact, LP roundings, greedy, baselines — is
+invoked through the same :class:`SolveRequest` and answers with the same
+:class:`SolveResult`, so callers (CLI, experiment harness, benchmarks) no
+longer depend on per-algorithm signatures.  A result optionally carries a
+:class:`PrivacyCertificate`: a brute-force possible-worlds check that the
+returned view really is Γ-private, computed through the planner's shared
+:class:`~repro.engine.cache.DerivationCache`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..core.view import SecureViewSolution
+from .cache import CacheStats
+
+__all__ = ["PrivacyCertificate", "SolveRequest", "SolveResult"]
+
+
+@dataclass(frozen=True)
+class PrivacyCertificate:
+    """Evidence that a solution's view is Γ-private (Definition 6).
+
+    ``module_levels`` maps each private module to the smallest out-set size
+    observed over its inputs.  Levels are computed with early termination at
+    Γ, so a reported level of Γ means "at least Γ".
+    """
+
+    gamma: int
+    ok: bool
+    module_levels: Mapping[str, int]
+
+    @property
+    def weakest_module(self) -> str | None:
+        if not self.module_levels:
+            return None
+        return min(self.module_levels, key=lambda name: self.module_levels[name])
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "gamma": self.gamma,
+            "ok": self.ok,
+            "module_levels": dict(self.module_levels),
+        }
+
+
+@dataclass
+class SolveRequest:
+    """One solve invocation, independent of which algorithm runs it.
+
+    Attributes
+    ----------
+    solver:
+        Registry name of the algorithm, or ``"auto"`` to let the planner
+        pick the cheapest applicable one from registry metadata.
+    seed, rng:
+        Randomness for randomized solvers (``rng`` wins when both are set);
+        silently ignored by deterministic ones.
+    costs:
+        Optional per-attribute hiding-cost overrides; attributes not named
+        keep their workflow-declared cost.
+    local_search:
+        ``True`` (default passes) or a sequence of pass names to post-process
+        the solution with :mod:`repro.optim.local_search`.
+    verify:
+        Attach a :class:`PrivacyCertificate` to the result (possible-worlds
+        enumeration; small instances only).
+    options:
+        Extra solver-specific keyword arguments (``scale``, ``strength``,
+        ``passes``, ...); rejected with :class:`~repro.exceptions.SolverError`
+        if the chosen solver does not accept them.
+    """
+
+    solver: str = "auto"
+    seed: int | None = None
+    rng: random.Random | None = None
+    costs: Mapping[str, float] | None = None
+    local_search: bool | Sequence[str] = False
+    verify: bool = False
+    options: dict[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """What every engine solve returns, whichever algorithm ran.
+
+    Attributes
+    ----------
+    solver:
+        Resolved registry name of the algorithm that ran.
+    requested:
+        The name the caller asked for (``"auto"`` before resolution).
+    solution:
+        The underlying :class:`SecureViewSolution` (hidden attributes,
+        privatized modules, solver ``meta``).
+    cost:
+        ``c(V̄) + c(P̄)`` under the costs the solve used.
+    guarantee:
+        Human-readable approximation guarantee for this instance
+        (``"optimal"``, ``"O(log n) (Thm 5)"``, ``"l_max = 3 (Thm 6)"``, ...).
+    seconds:
+        Wall-clock time of the solver call (excluding derivation, which is
+        shared and cached).
+    certificate:
+        Γ-privacy certificate when verification was requested, else ``None``.
+    cache_stats:
+        Snapshot of the planner's derivation cache after this solve.
+    """
+
+    solver: str
+    requested: str
+    solution: SecureViewSolution
+    cost: float
+    guarantee: str
+    seconds: float
+    certificate: PrivacyCertificate | None = None
+    cache_stats: CacheStats = field(default_factory=CacheStats)
+
+    @property
+    def hidden_attributes(self) -> frozenset[str]:
+        return self.solution.hidden_attributes
+
+    @property
+    def privatized_modules(self) -> frozenset[str]:
+        return self.solution.privatized_modules
+
+    @property
+    def meta(self) -> dict:
+        return self.solution.meta
+
+    def as_record(self) -> dict[str, object]:
+        """Flat record for the reporting layer (one row per solve)."""
+        record: dict[str, object] = {
+            "method": self.solver,
+            "cost": self.cost,
+            "seconds": self.seconds,
+            "hidden": len(self.hidden_attributes),
+            "privatized": len(self.privatized_modules),
+        }
+        if self.guarantee:
+            record["guarantee"] = self.guarantee
+        if self.certificate is not None:
+            record["verified"] = self.certificate.ok
+        return record

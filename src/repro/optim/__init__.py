@@ -15,6 +15,11 @@ method name            algorithm                                      guarantee
 ``hide_intermediate``  baseline                                        —
 ``random``             baseline                                        —
 =====================  =============================================  ==========================
+
+The ``SOLVERS`` table and :func:`solve_secure_view` remain as the stable
+low-level dispatch; new code should go through :class:`repro.engine.Planner`,
+which reaches every solver listed here by registry name while sharing the
+expensive requirement derivation across invocations.
 """
 
 from ..core.secure_view import SecureViewProblem
@@ -74,6 +79,7 @@ __all__ = [
     "hide_all_intermediate",
     "random_feasible",
     "solve_secure_view",
+    "filter_solver_kwargs",
     "SOLVERS",
     "improve_solution",
     "prune_solution",
@@ -82,14 +88,42 @@ __all__ = [
 ]
 
 
+def filter_solver_kwargs(target, kwargs, ambient=("seed", "rng")):
+    """Restrict ``kwargs`` to what a solver callable's signature accepts.
+
+    Ambient randomness parameters are dropped silently when the target does
+    not take them (so one seed can be threaded through heterogeneous
+    solvers); any other unsupported option raises :class:`SolverError`
+    rather than degrading into a silent no-op.  Targets with ``**kwargs``
+    accept everything.
+    """
+    import inspect
+
+    params = inspect.signature(target).parameters
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()):
+        return dict(kwargs)
+    kept = {}
+    for key, value in kwargs.items():
+        if key in params:
+            kept[key] = value
+        elif key not in ambient:
+            raise SolverError(
+                f"solver {getattr(target, '__name__', target)!r} does not "
+                f"accept option {key!r}"
+            )
+    return kept
+
+
 def _solve_auto(problem: SecureViewProblem, **kwargs) -> SecureViewSolution:
     """Pick a sensible solver for the instance shape."""
     has_public = bool(problem.workflow.public_modules) and problem.allow_privatization
     if problem.constraint_kind == "cardinality":
-        return solve_cardinality_rounding(problem, **kwargs)
-    if has_public:
-        return solve_general_lp(problem, **kwargs)
-    return solve_set_lp(problem, **kwargs)
+        target = solve_cardinality_rounding
+    elif has_public:
+        target = solve_general_lp
+    else:
+        target = solve_set_lp
+    return target(problem, **filter_solver_kwargs(target, kwargs))
 
 
 SOLVERS = {

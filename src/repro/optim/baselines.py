@@ -70,10 +70,16 @@ def hide_all_intermediate(problem: SecureViewProblem) -> SecureViewSolution:
 
 
 def random_feasible(
-    problem: SecureViewProblem, seed: int | None = None
+    problem: SecureViewProblem,
+    seed: int | None = None,
+    rng: random.Random | None = None,
 ) -> SecureViewSolution:
-    """Add random hidable attributes until every requirement is satisfied."""
-    rng = random.Random(seed)
+    """Add random hidable attributes until every requirement is satisfied.
+
+    ``rng`` takes precedence over ``seed`` when both are given.
+    """
+    if rng is None:
+        rng = random.Random(seed)
     remaining = list(problem.hidable_attributes)
     rng.shuffle(remaining)
     hidden: set[str] = set()

@@ -82,6 +82,7 @@ def solve_cardinality_rounding(
     seed: int | None = None,
     scale: float = 16.0,
     strength: str = STRENGTH_FULL,
+    rng: random.Random | None = None,
 ) -> SecureViewSolution:
     """Algorithm 1 end to end: LP relaxation + randomized rounding + repair.
 
@@ -98,6 +99,9 @@ def solve_cardinality_rounding(
     strength:
         LP strength (see :mod:`repro.optim.cardinality_ip`); only the full
         LP carries the Theorem-5 guarantee.
+    rng:
+        Explicit random source; takes precedence over ``seed`` so callers
+        (e.g. the engine) can thread one generator through a whole sweep.
     """
     if problem.constraint_kind != "cardinality":
         raise RequirementError(
@@ -109,7 +113,8 @@ def solve_cardinality_rounding(
         raise SolverError("the LP relaxation is infeasible")
 
     workflow = problem.workflow
-    rng = random.Random(seed)
+    if rng is None:
+        rng = random.Random(seed)
     n = max(len(workflow), 2)
     log_n = math.log(n)
 

@@ -22,6 +22,7 @@ a heuristic).
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 
 from ..core.requirements import SetRequirementList
@@ -110,7 +111,9 @@ def build_general_set_program(
 
 
 def solve_general_lp(
-    problem: SecureViewProblem, seed: int | None = None
+    problem: SecureViewProblem,
+    seed: int | None = None,
+    rng: random.Random | None = None,
 ) -> SecureViewSolution:
     """ℓ_max-approximation (set constraints) / heuristic (cardinality).
 
@@ -126,7 +129,7 @@ def solve_general_lp(
             "the general solver requires privatization to be allowed"
         )
     if problem.constraint_kind == "cardinality":
-        return solve_cardinality_rounding(problem, seed=seed)
+        return solve_cardinality_rounding(problem, seed=seed, rng=rng)
 
     built = build_general_set_program(problem, integral=False)
     lp_solution = built.solve_relaxation()

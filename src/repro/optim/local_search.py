@@ -19,6 +19,7 @@ over; the ablation benchmark measures how much they help each base solver.
 
 from __future__ import annotations
 
+import random
 from typing import Iterable
 
 from ..core.requirements import CardinalityRequirementList, SetRequirementList
@@ -147,11 +148,25 @@ def solve_with_local_search(
     problem: SecureViewProblem,
     method: str = "auto",
     passes: Iterable[str] = ("prune", "swap"),
+    seed: int | None = None,
+    rng: random.Random | None = None,
     **kwargs,
 ) -> SecureViewSolution:
-    """Run a base solver and post-process its solution with local search."""
-    from . import solve_secure_view  # local import to avoid a cycle
+    """Run a base solver and post-process its solution with local search.
 
+    ``seed``/``rng`` are forwarded to the base solver only when it takes
+    them, so a deterministic base (e.g. ``greedy``) can still be combined
+    with an engine-supplied seed.
+    """
+    # Local imports to avoid a cycle with the package __init__.
+    from . import SOLVERS, filter_solver_kwargs, solve_secure_view
+
+    target = SOLVERS.get(method, solve_secure_view)
+    if seed is not None:
+        kwargs.setdefault("seed", seed)
+    if rng is not None:
+        kwargs.setdefault("rng", rng)
+    kwargs = filter_solver_kwargs(target, kwargs)
     base = solve_secure_view(problem, method=method, **kwargs)
     improved = improve_solution(problem, base, passes=passes)
     improved.meta.setdefault("base_method", method)

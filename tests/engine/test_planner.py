@@ -1,0 +1,153 @@
+"""Tests for the Planner facade and the shared derivation cache."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import SecureViewProblem
+from repro.engine import DerivationCache, Planner
+from repro.exceptions import SolverError
+from repro.optim import SOLVERS
+from repro.workloads import figure1_workflow, random_problem
+
+
+@pytest.fixture
+def figure1_planner() -> Planner:
+    return Planner(figure1_workflow(), 2, kind="set")
+
+
+class TestSolve:
+    def test_auto_solves_figure1_with_valid_solver(self, figure1_planner):
+        result = figure1_planner.solve()
+        assert result.requested == "auto"
+        assert result.solver in SOLVERS
+        assert result.cost > 0
+        figure1_planner.problem().validate_solution(result.solution)
+
+    def test_every_registered_solver_reachable_by_name(self, figure1_planner):
+        problem = figure1_planner.problem()
+        for spec in figure1_planner.solvers():
+            result = figure1_planner.solve(solver=spec.name, seed=0)
+            assert result.solver == spec.name
+            problem.validate_solution(result.solution)
+            assert result.cost >= 0
+            assert result.seconds >= 0
+
+    def test_result_record_is_flat(self, figure1_planner):
+        record = figure1_planner.solve(solver="exact").as_record()
+        assert record["method"] == "exact"
+        assert record["guarantee"] == "optimal"
+        assert isinstance(record["cost"], float)
+
+    def test_unknown_solver_raises(self, figure1_planner):
+        with pytest.raises(SolverError, match="unknown solver"):
+            figure1_planner.solve(solver="does-not-exist")
+
+    def test_unsupported_option_raises(self, figure1_planner):
+        with pytest.raises(SolverError, match="does not accept option"):
+            figure1_planner.solve(solver="greedy", scale=2.0)
+
+    def test_local_search_never_worse(self, figure1_planner):
+        base = figure1_planner.solve(solver="greedy")
+        improved = figure1_planner.solve(solver="greedy", local_search=True)
+        assert improved.cost <= base.cost + 1e-9
+
+
+class TestRandomness:
+    def test_seed_reproducible_end_to_end(self):
+        problem = random_problem(n_modules=8, kind="cardinality", seed=4)
+        planner = Planner.from_problem(problem)
+        first = planner.solve(solver="lp_rounding", seed=13)
+        second = planner.solve(solver="lp_rounding", seed=13)
+        assert first.hidden_attributes == second.hidden_attributes
+        assert first.cost == second.cost
+
+    def test_rng_takes_precedence_over_seed(self):
+        problem = random_problem(n_modules=8, kind="cardinality", seed=4)
+        planner = Planner.from_problem(problem)
+        via_rng = planner.solve(solver="lp_rounding", rng=random.Random(99), seed=13)
+        via_seed = planner.solve(solver="lp_rounding", seed=99)
+        assert via_rng.hidden_attributes == via_seed.hidden_attributes
+
+    def test_seed_silently_ignored_by_deterministic_solver(self, figure1_planner):
+        result = figure1_planner.solve(solver="exact", seed=5)
+        assert result.solver == "exact"
+
+
+class TestDerivationSharing:
+    def test_two_solver_sweep_derives_once(self):
+        planner = Planner(figure1_workflow(), 2, kind="set")
+        planner.solve(solver="set_lp")
+        planner.solve(solver="greedy")
+        stats = planner.cache.stats()
+        assert stats.derivation_misses == 1
+
+    def test_shared_cache_across_planners_hits(self):
+        workflow = figure1_workflow()
+        cache = DerivationCache()
+        Planner(workflow, 2, kind="set", cache=cache).solve(solver="greedy")
+        Planner(workflow, 2, kind="set", cache=cache).solve(solver="set_lp")
+        stats = cache.stats()
+        assert stats.derivation_misses == 1
+        assert stats.derivation_hits >= 1
+
+    def test_from_problem_never_rederives(self):
+        problem = SecureViewProblem.from_standalone_analysis(
+            figure1_workflow(), 2, kind="set"
+        )
+        planner = Planner.from_problem(problem)
+        planner.solve(solver="greedy")
+        planner.solve(solver="set_lp")
+        assert planner.cache.stats().derivation_misses == 0
+
+    def test_distinct_gamma_is_a_distinct_entry(self):
+        workflow = figure1_workflow()
+        cache = DerivationCache()
+        Planner(workflow, 1, kind="set", cache=cache).solve(solver="greedy")
+        Planner(workflow, 2, kind="set", cache=cache).solve(solver="greedy")
+        assert cache.stats().derivation_misses == 2
+
+
+class TestCostOverrides:
+    def test_costs_steer_the_optimum_without_rederiving(self, figure1_planner):
+        base = figure1_planner.solve(solver="exact")
+        derivations = figure1_planner.cache.stats().derivation_misses
+        expensive = next(iter(base.hidden_attributes))
+        steered = figure1_planner.solve(
+            solver="exact", costs={expensive: 1000.0}
+        )
+        assert expensive not in steered.hidden_attributes
+        assert figure1_planner.cache.stats().derivation_misses == derivations
+
+    def test_unknown_cost_attribute_raises(self, figure1_planner):
+        with pytest.raises(Exception, match="unknown attributes"):
+            figure1_planner.solve(solver="exact", costs={"zz": 1.0})
+
+
+class TestVerification:
+    def test_exact_solution_certified(self, figure1_planner):
+        result = figure1_planner.solve(solver="exact", verify=True)
+        assert result.certificate is not None
+        assert result.certificate.ok
+        assert set(result.certificate.module_levels) == {"m1", "m2", "m3"}
+        assert all(
+            level >= 2 for level in result.certificate.module_levels.values()
+        )
+
+    def test_bad_view_fails_certification(self, figure1_planner):
+        problem = figure1_planner.problem()
+        # Hiding nothing cannot be Γ=2 private for any private module.
+        bare = problem.make_solution(frozenset())
+        certificate = figure1_planner.verify(bare)
+        assert not certificate.ok
+        assert certificate.weakest_module in {"m1", "m2", "m3"}
+
+    def test_repeated_verification_hits_the_cache(self, figure1_planner):
+        result = figure1_planner.solve(solver="exact", verify=True)
+        before = figure1_planner.cache.stats().out_set_misses
+        figure1_planner.verify(result.solution)
+        stats = figure1_planner.cache.stats()
+        assert stats.out_set_misses == before
+        assert stats.out_set_hits >= 3

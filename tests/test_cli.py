@@ -88,3 +88,37 @@ class TestGenerateAndCompare:
         assert main(["compare", problem_file, "--methods", "greedy", "set_lp"]) == 0
         out = capsys.readouterr().out
         assert "greedy" in out and "cost" in out
+
+
+class TestEngine:
+    def test_list_solvers_prints_registry(self, capsys):
+        assert main(["engine", "list-solvers"]) == 0
+        out = capsys.readouterr().out
+        for name in ("exact", "set_lp", "lp_rounding", "greedy", "general_lp"):
+            assert name in out
+        assert "constraints" in out and "scope" in out
+
+    def test_list_solvers_for_problem_names_auto_choice(self, problem_file, capsys):
+        assert main(["engine", "list-solvers", "--problem", problem_file]) == 0
+        out = capsys.readouterr().out
+        assert "auto would pick 'set_lp'" in out
+        assert "lp_rounding" not in out  # wrong constraint kind
+
+    def test_solve_with_solver_flag_and_verify(self, problem_file, capsys):
+        assert main(["solve", problem_file, "--solver", "exact", "--verify"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["solver"] == "exact"
+        assert payload["guarantee"] == "optimal"
+        assert payload["certificate"]["ok"] is True
+
+    def test_solve_with_seed_is_reproducible(self, tmp_path, capsys):
+        problem_path = tmp_path / "card.json"
+        main(["generate", str(problem_path), "--modules", "6", "--kind", "cardinality"])
+        capsys.readouterr()
+        outputs = []
+        for _ in range(2):
+            assert main(
+                ["solve", str(problem_path), "--solver", "lp_rounding", "--seed", "7"]
+            ) == 0
+            outputs.append(json.loads(capsys.readouterr().out)["hidden_attributes"])
+        assert outputs[0] == outputs[1]
