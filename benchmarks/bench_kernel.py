@@ -1,0 +1,265 @@
+"""Kernel: bit-compiled privacy analysis vs the brute-force reference.
+
+The derivation step is the dominant cost of every Secure-View solve (the
+paper proves it is inherently exponential in module arity), so PR 2 packs
+module relations into integer bitmask tables and runs the subset sweep as
+word-parallel bit operations.  This benchmark measures that win on the
+requirement-derivation hot path and records it in ``BENCH_kernel.json``:
+
+* **derivation** — ``derive_workflow_requirements`` (set and cardinality
+  kinds) with ``backend="kernel"`` vs ``backend="reference"``; the kernel
+  must be at least :data:`SPEEDUP_FLOOR` times faster (asserted — this is
+  the acceptance criterion of the kernel PR).  Kernel timings include the
+  compile step (the memo is cleared per repeat), so the measured ratio is
+  the honest end-to-end one.
+* **verification** — workflow out-set enumeration on a small chain,
+  reported for context (wall-clock only; the packed DFS prunes dead worlds
+  early but the instance is tiny, so no floor is asserted).
+
+Run standalone (used by the CI smoke step) with::
+
+    python benchmarks/bench_kernel.py --tiny
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+from repro.core import Module, Workflow, boolean_attributes, workflow_out_sets
+from repro.core.requirements import derive_workflow_requirements
+from repro.kernel import clear_compile_cache
+from repro.workloads import figure1_workflow
+
+RECORD_PATH = Path(__file__).resolve().parents[1] / "BENCH_kernel.json"
+
+#: Acceptance floor: kernel derivation must beat the reference by this factor.
+SPEEDUP_FLOOR = 2.0
+
+REPEATS = 3
+
+
+def _random_module(seed: int, n_inputs: int, n_outputs: int, name: str, prefix: str) -> Module:
+    """A random total boolean function (dense relation, high arity)."""
+    rng = random.Random(seed)
+    input_names = [f"{prefix}i{k}" for k in range(n_inputs)]
+    output_names = [f"{prefix}o{k}" for k in range(n_outputs)]
+    table = {
+        code: tuple(rng.randint(0, 1) for _ in range(n_outputs))
+        for code in range(2**n_inputs)
+    }
+
+    def function(values):
+        code = 0
+        for index, attr in enumerate(input_names):
+            code |= (values[attr] & 1) << index
+        return dict(zip(output_names, table[code]))
+
+    return Module(
+        name,
+        boolean_attributes(input_names),
+        boolean_attributes(output_names),
+        function,
+    )
+
+
+def derivation_workload(tiny: bool = False) -> Workflow:
+    """Disjoint high-arity modules: derivation cost, no shared wiring."""
+    if tiny:
+        shapes = [(3, 2), (2, 2)]
+    else:
+        shapes = [(4, 4), (4, 3), (3, 4)]
+    modules = [
+        _random_module(11 + index, n_in, n_out, f"m{index}", f"b{index}_")
+        for index, (n_in, n_out) in enumerate(shapes)
+    ]
+    return Workflow(modules, name="kernel-derivation-bench")
+
+
+def _best_of(fn, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _requirement_signature(lists) -> dict:
+    """Backend-independent digest of derived requirement lists."""
+    digest = {}
+    for name, lst in lists.items():
+        digest[name] = sorted(repr(option) for option in lst)
+    return digest
+
+
+def measure_derivation(tiny: bool = False, gamma: int = 2) -> dict:
+    """Kernel vs reference timings for requirement derivation."""
+    workflow = derivation_workload(tiny=tiny)
+    results: dict = {"gamma": gamma, "modules": len(workflow)}
+    for kind in ("set", "cardinality"):
+        reference_lists = {}
+        kernel_lists = {}
+
+        def run_reference():
+            reference_lists.update(
+                derive_workflow_requirements(
+                    workflow, gamma, kind=kind, backend="reference"
+                )
+            )
+
+        def run_kernel():
+            clear_compile_cache()  # charge the kernel for compiling, every repeat
+            kernel_lists.update(
+                derive_workflow_requirements(
+                    workflow, gamma, kind=kind, backend="kernel"
+                )
+            )
+
+        reference_seconds = _best_of(run_reference)
+        kernel_seconds = _best_of(run_kernel)
+        assert _requirement_signature(kernel_lists) == _requirement_signature(
+            reference_lists
+        ), f"backends disagree on {kind} requirement lists"
+        results[kind] = {
+            "reference_seconds": reference_seconds,
+            "kernel_seconds": kernel_seconds,
+            "speedup": reference_seconds / kernel_seconds,
+        }
+    return results
+
+
+def measure_verification() -> dict:
+    """Kernel vs reference out-set enumeration on the Figure-1 workflow."""
+    workflow = figure1_workflow()
+    visible = {"a1", "a3", "a5"}
+
+    def run(backend):
+        def go():
+            if backend == "kernel":
+                clear_compile_cache()
+            for module in workflow.module_names:
+                workflow_out_sets(workflow, module, visible, backend=backend)
+
+        return go
+
+    reference_seconds = _best_of(run("reference"))
+    kernel_seconds = _best_of(run("kernel"))
+    kernel_sets = {
+        m: workflow_out_sets(workflow, m, visible, backend="kernel")
+        for m in workflow.module_names
+    }
+    reference_sets = {
+        m: workflow_out_sets(workflow, m, visible, backend="reference")
+        for m in workflow.module_names
+    }
+    assert kernel_sets == reference_sets, "backends disagree on out-sets"
+    return {
+        "reference_seconds": reference_seconds,
+        "kernel_seconds": kernel_seconds,
+        "speedup": reference_seconds / kernel_seconds,
+    }
+
+
+def write_record(record: dict, path: Path = RECORD_PATH) -> None:
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+
+def run_benchmark(tiny: bool = False) -> dict:
+    record = {
+        "benchmark": "bench_kernel",
+        "tiny": tiny,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "derivation": measure_derivation(tiny=tiny),
+        "verification": measure_verification(),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    write_record(record)
+    return record
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points (the benchmark harness)
+# ---------------------------------------------------------------------------
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - standalone invocation without pytest
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.mark.experiment("kernel")
+    def test_bench_kernel_derivation_speedup(report_sink):
+        """The packed kernel derives requirements >= 2x faster than brute force."""
+        from repro.analysis import format_table
+
+        record = run_benchmark(tiny=False)
+        rows = []
+        for kind in ("set", "cardinality"):
+            entry = record["derivation"][kind]
+            rows.append(
+                [
+                    kind,
+                    f"{entry['reference_seconds'] * 1e3:.1f}",
+                    f"{entry['kernel_seconds'] * 1e3:.1f}",
+                    f"{entry['speedup']:.1f}x",
+                ]
+            )
+        verification = record["verification"]
+        rows.append(
+            [
+                "out-set verification",
+                f"{verification['reference_seconds'] * 1e3:.1f}",
+                f"{verification['kernel_seconds'] * 1e3:.1f}",
+                f"{verification['speedup']:.1f}x",
+            ]
+        )
+        report_sink.append(
+            (
+                "Kernel: bit-compiled backend vs brute-force reference "
+                f"(record: {RECORD_PATH.name})",
+                format_table(
+                    ["path", "reference ms", "kernel ms", "speedup"], rows
+                ),
+            )
+        )
+        for kind in ("set", "cardinality"):
+            assert record["derivation"][kind]["speedup"] >= SPEEDUP_FLOOR, (
+                f"kernel {kind} derivation speedup "
+                f"{record['derivation'][kind]['speedup']:.2f}x is below the "
+                f"{SPEEDUP_FLOOR}x floor"
+            )
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    tiny = "--tiny" in argv
+    record = run_benchmark(tiny=tiny)
+    for kind in ("set", "cardinality"):
+        entry = record["derivation"][kind]
+        print(
+            f"derivation[{kind}]: reference {entry['reference_seconds']:.4f}s, "
+            f"kernel {entry['kernel_seconds']:.4f}s "
+            f"({entry['speedup']:.1f}x)"
+        )
+    verification = record["verification"]
+    print(
+        f"verification: reference {verification['reference_seconds']:.4f}s, "
+        f"kernel {verification['kernel_seconds']:.4f}s "
+        f"({verification['speedup']:.1f}x)"
+    )
+    print(f"record written to {RECORD_PATH}")
+    if not tiny:
+        for kind in ("set", "cardinality"):
+            if record["derivation"][kind]["speedup"] < SPEEDUP_FLOOR:
+                print(f"FAIL: {kind} derivation below {SPEEDUP_FLOOR}x floor")
+                return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

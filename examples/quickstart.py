@@ -11,6 +11,13 @@ workflow to the engine's :class:`~repro.engine.Planner`, which derives
 requirement lists once and solves the Secure-View problem with the exact
 solver and two approximation algorithms through one uniform ``solve()``
 entry point.
+
+All privacy checks and derivations below run on the default
+``backend="kernel"`` — the bit-compiled privacy kernel of
+:mod:`repro.kernel`, which packs relations into integer bitmask tables.
+Pass ``backend="reference"`` (to the check functions or to ``Planner``) to
+run the original brute-force enumerators instead; both backends are
+property-tested to agree, the kernel is just much faster.
 """
 
 from __future__ import annotations

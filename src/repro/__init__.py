@@ -39,6 +39,11 @@ Layout
     The formal model: attributes, relations, modules, workflows, provenance
     views, possible worlds, Γ-privacy, standalone analysis, requirement
     lists, composition theorems and the Secure-View problem definition.
+``repro.kernel``
+    The bit-compiled privacy kernel: relations packed into integer bitmask
+    tables so OUT-set counting, Γ-privacy checks and safe-subset search run
+    as word-parallel bit operations.  Default backend of the core privacy
+    analysis; ``backend="reference"`` keeps the brute-force oracle.
 ``repro.optim``
     The optimization algorithms: exact branch and bound, the Figure-3 LP
     with Algorithm-1 randomized rounding (cardinality constraints), the
@@ -90,8 +95,16 @@ from .engine import (
     default_registry,
     register_solver,
 )
+from .kernel import (
+    CompiledModule,
+    CompiledWorkflow,
+    compile_module,
+    compile_workflow,
+    get_default_backend,
+    set_default_backend,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 
 def solve_secure_view(problem, method: str = "auto", **kwargs):
@@ -136,6 +149,13 @@ __all__ = [
     "minimum_cost_safe_subset",
     "assemble_all_private_solution",
     "assemble_general_solution",
+    # privacy kernel (bit-compiled analysis backend)
+    "CompiledModule",
+    "CompiledWorkflow",
+    "compile_module",
+    "compile_workflow",
+    "get_default_backend",
+    "set_default_backend",
     # engine (the canonical solve surface)
     "DerivationCache",
     "Planner",

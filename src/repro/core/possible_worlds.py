@@ -305,6 +305,7 @@ def workflow_out_sets(
     relation: Relation | None = None,
     stop_at: int | None = None,
     work_limit: int = DEFAULT_WORK_LIMIT,
+    backend: str | None = None,
 ) -> dict[tuple[Value, ...], set[tuple[Value, ...]]]:
     """``OUT_{x,W}`` (Definition 5/6) for every input ``x ∈ pi_{I_i}(R)``.
 
@@ -319,7 +320,22 @@ def workflow_out_sets(
     All inputs are processed in one pass over the worlds.  ``stop_at``
     terminates early once every input has at least that many candidate
     outputs (pass ``stop_at = Γ`` for a yes/no privacy check).
+
+    With ``backend="kernel"`` (the default) the same enumeration runs on
+    bit-packed rows with incremental constraint pruning (see
+    :class:`repro.kernel.CompiledWorkflow`); ``backend="reference"`` keeps
+    this module's brute-force world enumeration as the validation oracle.
     """
+    from ..kernel import compile_workflow, resolve_backend
+
+    if resolve_backend(backend) == "kernel":
+        return compile_workflow(workflow, relation).module_out_sets(
+            module_name,
+            visible,
+            hidden_public_modules=hidden_public_modules,
+            stop_at=stop_at,
+            work_limit=work_limit,
+        )
     module = workflow.module(module_name)
     base = relation if relation is not None else workflow.provenance_relation()
     input_keys = {
@@ -374,6 +390,7 @@ def workflow_out_set(
     relation: Relation | None = None,
     stop_at: int | None = None,
     work_limit: int = DEFAULT_WORK_LIMIT,
+    backend: str | None = None,
 ) -> set[tuple[Value, ...]]:
     """``OUT_{x,W}`` of Definition 5/6 for one input ``x`` of a module.
 
@@ -390,5 +407,6 @@ def workflow_out_set(
         relation=relation,
         stop_at=None if stop_at is None else stop_at,
         work_limit=work_limit,
+        backend=backend,
     )
     return sets.get(key, set())

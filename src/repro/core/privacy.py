@@ -9,10 +9,14 @@ Two layers are provided:
   output values.  Equivalently ``|OUT_x| = D_x * prod_{a in O\\V} |Δ_a|``
   where ``D_x`` is that distinct count; this is what
   :func:`standalone_out_counts` returns.
-* an exact but exponential **workflow** check (Definitions 5/6) that defers
-  to the brute-force possible-worlds enumeration of
-  :mod:`repro.core.possible_worlds`.  It is intended for small instances and
-  for validating the composition theorems (Theorems 4 and 8) empirically.
+* an exact but exponential **workflow** check (Definitions 5/6) via
+  possible-worlds enumeration.  It is intended for small instances and for
+  validating the composition theorems (Theorems 4 and 8) empirically.
+
+Every check accepts a ``backend`` argument: ``"kernel"`` (the default, see
+:mod:`repro.kernel`) evaluates the same conditions on bit-packed relations;
+``"reference"`` keeps the original per-tuple implementations as the
+validation oracle.  The two backends are property-tested to agree.
 """
 
 from __future__ import annotations
@@ -56,6 +60,7 @@ def standalone_out_counts(
     module: Module,
     visible: Iterable[str],
     relation: Relation | None = None,
+    backend: str | None = None,
 ) -> dict[tuple[Value, ...], int]:
     """``|OUT_x|`` for every visible-input value of the module.
 
@@ -65,6 +70,10 @@ def standalone_out_counts(
     defaults to the module's full standalone relation but can be restricted
     (e.g. to the executions actually occurring inside a workflow).
     """
+    from ..kernel import compile_module, resolve_backend
+
+    if resolve_backend(backend) == "kernel":
+        return compile_module(module, relation).out_counts(visible)
     rel = relation if relation is not None else module.relation()
     visible_set = set(visible)
     vin = [name for name in module.input_names if name in visible_set]
@@ -116,13 +125,20 @@ def standalone_privacy_level(
     module: Module,
     visible: Iterable[str],
     relation: Relation | None = None,
+    backend: str | None = None,
 ) -> int:
     """The largest Γ for which the module is Γ-standalone-private w.r.t. ``V``.
 
     This is ``min_x |OUT_x|``; a module with an empty relation is vacuously
     private at any level and reported as its range size.
     """
-    counts = standalone_out_counts(module, visible, relation=relation)
+    from ..kernel import compile_module, resolve_backend
+
+    if resolve_backend(backend) == "kernel":
+        return compile_module(module, relation).privacy_level(visible)
+    counts = standalone_out_counts(
+        module, visible, relation=relation, backend="reference"
+    )
     if not counts:
         return module.range_size()
     return min(counts.values())
@@ -133,11 +149,15 @@ def is_standalone_private(
     visible: Iterable[str],
     gamma: int,
     relation: Relation | None = None,
+    backend: str | None = None,
 ) -> bool:
     """Definition 2: is ``V`` a safe subset for the module and Γ?"""
     if gamma < 1:
         raise PrivacyError("the privacy requirement Γ must be at least 1")
-    return standalone_privacy_level(module, visible, relation=relation) >= gamma
+    return (
+        standalone_privacy_level(module, visible, relation=relation, backend=backend)
+        >= gamma
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -152,6 +172,7 @@ def workflow_privacy_level(
     relation: Relation | None = None,
     stop_at: int | None = None,
     work_limit: int | None = None,
+    backend: str | None = None,
 ) -> int:
     """``min_x |OUT_{x,W}|`` for one module of the workflow.
 
@@ -171,6 +192,7 @@ def workflow_privacy_level(
         hidden_public_modules=hidden_public_modules,
         relation=rel,
         stop_at=stop_at,
+        backend=backend,
         **kwargs,
     )
     if not out_sets:
@@ -186,6 +208,7 @@ def is_workflow_private(
     hidden_public_modules: Iterable[str] = (),
     relation: Relation | None = None,
     work_limit: int | None = None,
+    backend: str | None = None,
 ) -> bool:
     """Definition 5/6: is one module Γ-workflow-private w.r.t. ``V`` (and P)?"""
     if gamma < 1:
@@ -198,6 +221,7 @@ def is_workflow_private(
         relation=relation,
         stop_at=gamma,
         work_limit=work_limit,
+        backend=backend,
     )
     return level >= gamma
 
@@ -209,6 +233,7 @@ def is_gamma_private_workflow(
     hidden_public_modules: Iterable[str] = (),
     relation: Relation | None = None,
     work_limit: int | None = None,
+    backend: str | None = None,
 ) -> bool:
     """Is the whole workflow Γ-private (every private module private)?
 
@@ -227,6 +252,7 @@ def is_gamma_private_workflow(
             hidden_public_modules=hidden_public_modules,
             relation=rel,
             work_limit=work_limit,
+            backend=backend,
         ):
             return False
     return True

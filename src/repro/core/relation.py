@@ -39,7 +39,12 @@ class Relation:
         rows (e.g. possible-world enumeration).
     """
 
-    __slots__ = ("_schema", "_rows", "_row_set")
+    __slots__ = ("_schema", "_rows", "_row_set", "_project_cache")
+
+    #: Bound on memoized projections per relation (FIFO eviction).  Privacy
+    #: analysis projects the same few attribute subsets over and over
+    #: (module inputs, outputs, visible views), so a small cache suffices.
+    _PROJECT_CACHE_LIMIT = 32
 
     def __init__(
         self,
@@ -58,6 +63,7 @@ class Relation:
                 materialized.append(tup)
         self._rows = tuple(materialized)
         self._row_set = seen
+        self._project_cache: dict[tuple[str, ...], "Relation"] = {}
 
     def _row_to_tuple(
         self, row: Row, names: Sequence[str], check_domains: bool
@@ -162,14 +168,27 @@ class Relation:
 
     # -- relational algebra ---------------------------------------------------
     def project(self, names: Iterable[str]) -> "Relation":
-        """Projection ``pi_names(R)``; duplicates are collapsed."""
+        """Projection ``pi_names(R)``; duplicates are collapsed.
+
+        Results are memoized per attribute-name tuple (relations are
+        immutable, so a projection never goes stale); possible-worlds
+        enumeration and privacy checks re-project the same visible sets
+        many times.
+        """
         ordered = self._schema.project_order(names)
+        cached = self._project_cache.get(ordered)
+        if cached is not None:
+            return cached
         positions = [self._schema.names.index(name) for name in ordered]
         sub_schema = self._schema.subset(ordered)
         projected = (
             tuple(tup[pos] for pos in positions) for tup in self._rows
         )
-        return Relation.from_tuples(sub_schema, projected, check_domains=False)
+        result = Relation.from_tuples(sub_schema, projected, check_domains=False)
+        if len(self._project_cache) >= self._PROJECT_CACHE_LIMIT:
+            self._project_cache.pop(next(iter(self._project_cache)))
+        self._project_cache[ordered] = result
+        return result
 
     def select(self, predicate: Callable[[dict[str, Value]], bool]) -> "Relation":
         """Selection: rows for which ``predicate(row_dict)`` is true."""

@@ -220,6 +220,7 @@ def derive_set_requirements(
     module: Module,
     gamma: int,
     relation: Relation | None = None,
+    backend: str | None = None,
 ) -> SetRequirementList:
     """Derive a module's set-constraint list from standalone privacy analysis.
 
@@ -228,7 +229,9 @@ def derive_set_requirements(
     parts.  Theorem 4 guarantees these standalone options remain sufficient
     inside an all-private workflow.
     """
-    minimal = minimal_safe_hidden_subsets(module, gamma, relation=relation)
+    minimal = minimal_safe_hidden_subsets(
+        module, gamma, relation=relation, backend=backend
+    )
     inputs = set(module.input_names)
     outputs = set(module.output_names)
     options = [
@@ -242,9 +245,12 @@ def derive_cardinality_requirements(
     module: Module,
     gamma: int,
     relation: Relation | None = None,
+    backend: str | None = None,
 ) -> CardinalityRequirementList:
     """Derive a module's cardinality-constraint list (Pareto-minimal pairs)."""
-    pairs = minimal_safe_cardinality_pairs(module, gamma, relation=relation)
+    pairs = minimal_safe_cardinality_pairs(
+        module, gamma, relation=relation, backend=backend
+    )
     if not pairs:
         raise RequirementError(
             f"module {module.name!r} admits no cardinality-safe pair for Γ={gamma}"
@@ -258,6 +264,7 @@ def derive_workflow_requirements(
     gamma: int,
     kind: str = "set",
     modules: Sequence[str] | None = None,
+    backend: str | None = None,
 ) -> dict[str, RequirementList]:
     """Requirement lists for every (private) module of a workflow.
 
@@ -270,6 +277,9 @@ def derive_workflow_requirements(
     modules:
         Module names to derive lists for; defaults to the private modules
         (public modules need no protection).
+    backend:
+        ``"kernel"`` (default) derives on bit-packed relations;
+        ``"reference"`` uses the brute-force Safe-View oracle.
     """
     if kind not in {"set", "cardinality"}:
         raise RequirementError(f"unknown requirement kind {kind!r}")
@@ -281,7 +291,11 @@ def derive_workflow_requirements(
     lists: dict[str, RequirementList] = {}
     for module in targets:
         if kind == "set":
-            lists[module.name] = derive_set_requirements(module, gamma)
+            lists[module.name] = derive_set_requirements(
+                module, gamma, backend=backend
+            )
         else:
-            lists[module.name] = derive_cardinality_requirements(module, gamma)
+            lists[module.name] = derive_cardinality_requirements(
+                module, gamma, backend=backend
+            )
     return lists

@@ -99,13 +99,16 @@ class SecureViewProblem:
         gamma: int,
         kind: str = "set",
         allow_privatization: bool = True,
+        backend: str | None = None,
     ) -> "SecureViewProblem":
         """Build a problem by deriving requirement lists from the modules.
 
         Uses standalone privacy analysis (Section 3) on each private module;
         by Theorems 4/8 satisfying these lists yields Γ-workflow-privacy.
         """
-        requirements = derive_workflow_requirements(workflow, gamma, kind=kind)
+        requirements = derive_workflow_requirements(
+            workflow, gamma, kind=kind, backend=backend
+        )
         return cls(
             workflow,
             gamma,

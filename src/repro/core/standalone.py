@@ -53,12 +53,14 @@ class SafeViewOracle:
         module: Module,
         gamma: int,
         relation: Relation | None = None,
+        backend: str | None = None,
     ) -> None:
         if gamma < 1:
             raise PrivacyError("the privacy requirement Γ must be at least 1")
         self.module = module
         self.gamma = gamma
         self.relation = relation
+        self.backend = backend
         self.calls = 0
         self._cache: dict[frozenset[str], bool] = {}
 
@@ -69,7 +71,11 @@ class SafeViewOracle:
         cached = self._cache.get(key)
         if cached is None:
             cached = is_standalone_private(
-                self.module, key, self.gamma, relation=self.relation
+                self.module,
+                key,
+                self.gamma,
+                relation=self.relation,
+                backend=self.backend,
             )
             self._cache[key] = cached
         return cached
@@ -111,6 +117,7 @@ def minimum_cost_safe_subset(
     relation: Relation | None = None,
     cost_limit: float | None = None,
     hidable: Iterable[str] | None = None,
+    backend: str | None = None,
 ) -> StandaloneSolution:
     """Algorithm 2: exhaustive minimum-cost safe subset for one module.
 
@@ -132,7 +139,7 @@ def minimum_cost_safe_subset(
     Returns the minimum-cost solution; raises :class:`InfeasibleError` when
     even hiding every hidable attribute does not reach Γ-privacy.
     """
-    oracle = SafeViewOracle(module, gamma, relation=relation)
+    oracle = SafeViewOracle(module, gamma, relation=relation, backend=backend)
     schema = module.schema
     names = tuple(hidable) if hidable is not None else module.attribute_names
     for name in names:
@@ -162,7 +169,10 @@ def minimum_cost_safe_subset(
         gamma=gamma,
         oracle_calls=oracle.calls,
         meta={"privacy_level": standalone_privacy_level(
-            module, set(module.attribute_names) - hidden_set, relation=relation
+            module,
+            set(module.attribute_names) - hidden_set,
+            relation=relation,
+            backend=backend,
         )},
     )
 
@@ -172,14 +182,23 @@ def enumerate_safe_hidden_subsets(
     gamma: int,
     relation: Relation | None = None,
     hidable: Iterable[str] | None = None,
+    backend: str | None = None,
 ) -> list[frozenset[str]]:
     """All hidden subsets ``V̄ ⊆ I ∪ O`` whose complement is safe for Γ.
 
     The list is sorted by (size, lexicographic) order.  This is the
     exhaustive enumeration mentioned at the end of Section 3.2; Sections 4–5
-    use it to build requirement lists.
+    use it to build requirement lists.  The kernel backend runs the sweep on
+    the module's packed relation with monotonicity pruning; the reference
+    backend probes the Safe-View oracle subset by subset.
     """
-    oracle = SafeViewOracle(module, gamma, relation=relation)
+    from ..kernel import compile_module, resolve_backend
+
+    if resolve_backend(backend) == "kernel":
+        return compile_module(module, relation).enumerate_safe_hidden_subsets(
+            gamma, hidable=hidable
+        )
+    oracle = SafeViewOracle(module, gamma, relation=relation, backend="reference")
     names = tuple(hidable) if hidable is not None else module.attribute_names
     safe = [
         frozenset(hidden)
@@ -194,6 +213,7 @@ def minimal_safe_hidden_subsets(
     gamma: int,
     relation: Relation | None = None,
     hidable: Iterable[str] | None = None,
+    backend: str | None = None,
 ) -> list[frozenset[str]]:
     """The inclusion-minimal safe hidden subsets of a module.
 
@@ -202,8 +222,14 @@ def minimal_safe_hidden_subsets(
     all safe choices.  These are exactly the pairs ``(I_i^j, O_i^j)`` a
     set-constraint requirement list enumerates.
     """
+    from ..kernel import compile_module, resolve_backend
+
+    if resolve_backend(backend) == "kernel":
+        return compile_module(module, relation).minimal_safe_hidden_subsets(
+            gamma, hidable=hidable
+        )
     safe = enumerate_safe_hidden_subsets(
-        module, gamma, relation=relation, hidable=hidable
+        module, gamma, relation=relation, hidable=hidable, backend="reference"
     )
     minimal: list[frozenset[str]] = []
     for candidate in safe:  # sorted by size, so subsets come before supersets
@@ -216,6 +242,7 @@ def safe_cardinality_pairs(
     module: Module,
     gamma: int,
     relation: Relation | None = None,
+    backend: str | None = None,
 ) -> list[tuple[int, int]]:
     """All pairs ``(α, β)`` such that hiding *any* α inputs and β outputs is safe.
 
@@ -224,7 +251,11 @@ def safe_cardinality_pairs(
     attributes yields a safe hidden set.  The full (non-minimal) list is
     returned sorted lexicographically.
     """
-    oracle = SafeViewOracle(module, gamma, relation=relation)
+    from ..kernel import compile_module, resolve_backend
+
+    if resolve_backend(backend) == "kernel":
+        return compile_module(module, relation).safe_cardinality_pairs(gamma)
+    oracle = SafeViewOracle(module, gamma, relation=relation, backend="reference")
     inputs = module.input_names
     outputs = module.output_names
     valid: list[tuple[int, int]] = []
@@ -244,6 +275,7 @@ def minimal_safe_cardinality_pairs(
     module: Module,
     gamma: int,
     relation: Relation | None = None,
+    backend: str | None = None,
 ) -> list[tuple[int, int]]:
     """The Pareto-minimal ``(α, β)`` pairs among :func:`safe_cardinality_pairs`.
 
@@ -251,7 +283,7 @@ def minimal_safe_cardinality_pairs(
     more hidden outputs.  The Pareto frontier is what a non-redundant
     cardinality requirement list ``L_i`` contains (Section 4.2 / B.4).
     """
-    pairs = safe_cardinality_pairs(module, gamma, relation=relation)
+    pairs = safe_cardinality_pairs(module, gamma, relation=relation, backend=backend)
     minimal: list[tuple[int, int]] = []
     for alpha, beta in sorted(pairs):
         if not any(a <= alpha and b <= beta for a, b in minimal):

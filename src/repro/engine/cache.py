@@ -17,6 +17,12 @@ kind) so a multi-solver sweep (``repro compare``, the engine benchmarks,
 ``analysis.experiments.compare_solvers``) pays the exponential enumeration
 a single time instead of once per solver.  Hit/miss counters are kept per
 category so benchmarks and tests can assert the sharing actually happened.
+
+Since the bit-compiled privacy kernel (:mod:`repro.kernel`) became the
+default backend, the cache also owns the **compiled form** of each
+workflow: :meth:`DerivationCache.compiled_workflow` packs the provenance
+relation into integer bitmask tables exactly once per workflow, and every
+kernel-backed derivation and verification pass reuses the packed tables.
 """
 
 from __future__ import annotations
@@ -28,6 +34,12 @@ from ..core.possible_worlds import workflow_out_sets
 from ..core.requirements import RequirementList, derive_workflow_requirements
 from ..core.relation import Relation
 from ..core.workflow import Workflow
+from ..kernel import (
+    VALID_BACKENDS,
+    CompiledWorkflow,
+    compile_workflow,
+    resolve_backend,
+)
 
 __all__ = ["CacheStats", "DerivationCache"]
 
@@ -42,14 +54,26 @@ class CacheStats:
     relation_misses: int = 0
     out_set_hits: int = 0
     out_set_misses: int = 0
+    compile_hits: int = 0
+    compile_misses: int = 0
 
     @property
     def hits(self) -> int:
-        return self.derivation_hits + self.relation_hits + self.out_set_hits
+        return (
+            self.derivation_hits
+            + self.relation_hits
+            + self.out_set_hits
+            + self.compile_hits
+        )
 
     @property
     def misses(self) -> int:
-        return self.derivation_misses + self.relation_misses + self.out_set_misses
+        return (
+            self.derivation_misses
+            + self.relation_misses
+            + self.out_set_misses
+            + self.compile_misses
+        )
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -59,6 +83,8 @@ class CacheStats:
             "relation_misses": self.relation_misses,
             "out_set_hits": self.out_set_hits,
             "out_set_misses": self.out_set_misses,
+            "compile_hits": self.compile_hits,
+            "compile_misses": self.compile_misses,
         }
 
 
@@ -79,30 +105,58 @@ class DerivationCache:
     )
     _relations: dict[int, Relation] = field(default_factory=dict)
     _out_sets: dict[tuple, dict] = field(default_factory=dict)
+    _compiled: dict[int, CompiledWorkflow] = field(default_factory=dict)
     derivation_hits: int = 0
     derivation_misses: int = 0
     relation_hits: int = 0
     relation_misses: int = 0
     out_set_hits: int = 0
     out_set_misses: int = 0
+    compile_hits: int = 0
+    compile_misses: int = 0
 
     def _pin(self, workflow: Workflow) -> int:
         key = id(workflow)
         self._workflows.setdefault(key, workflow)
         return key
 
+    # -- kernel compilation -------------------------------------------------------
+    def compiled_workflow(self, workflow: Workflow) -> CompiledWorkflow:
+        """The bit-compiled form of the workflow, packed at most once.
+
+        The packed tables (relation codes, per-module bitmasks, public
+        functionality tables) are shared by every kernel-backed derivation
+        and verification pass that goes through this cache.
+        """
+        key = self._pin(workflow)
+        cached = self._compiled.get(key)
+        if cached is not None:
+            self.compile_hits += 1
+            return cached
+        self.compile_misses += 1
+        compiled = compile_workflow(workflow, self.relation(workflow))
+        self._compiled[key] = compiled
+        return compiled
+
     # -- requirement derivation -------------------------------------------------
     def requirements(
-        self, workflow: Workflow, gamma: int, kind: str
+        self,
+        workflow: Workflow,
+        gamma: int,
+        kind: str,
+        backend: str | None = None,
     ) -> Mapping[str, RequirementList]:
         """Requirement lists for every private module, derived at most once."""
-        key = (self._pin(workflow), gamma, kind)
+        backend = resolve_backend(backend)
+        key = (self._pin(workflow), gamma, kind, backend)
         cached = self._requirements.get(key)
         if cached is not None:
             self.derivation_hits += 1
             return cached
         self.derivation_misses += 1
-        derived = derive_workflow_requirements(workflow, gamma, kind=kind)
+        derived = derive_workflow_requirements(
+            workflow, gamma, kind=kind, backend=backend
+        )
         self._requirements[key] = derived
         return derived
 
@@ -117,10 +171,12 @@ class DerivationCache:
 
         Used when a :class:`SecureViewProblem` arrives with its lists already
         attached (loaded from a problem file, built by a generator) so the
-        engine never re-derives what the caller paid for.
+        engine never re-derives what the caller paid for.  Caller-provided
+        lists are backend-independent, so they satisfy every backend.
         """
-        key = (self._pin(workflow), gamma, kind)
-        self._requirements.setdefault(key, requirements)
+        pin = self._pin(workflow)
+        for backend in VALID_BACKENDS:
+            self._requirements.setdefault((pin, gamma, kind, backend), requirements)
 
     # -- provenance relation ----------------------------------------------------
     def relation(self, workflow: Workflow) -> Relation:
@@ -143,28 +199,40 @@ class DerivationCache:
         visible: frozenset[str],
         hidden_public_modules: frozenset[str],
         stop_at: int | None,
+        backend: str | None = None,
     ) -> dict:
         """``OUT_{x,W}`` for every input of one module, enumerated at most once."""
+        backend = resolve_backend(backend)
         key = (
             self._pin(workflow),
             module_name,
             visible,
             hidden_public_modules,
             stop_at,
+            backend,
         )
         cached = self._out_sets.get(key)
         if cached is not None:
             self.out_set_hits += 1
             return cached
         self.out_set_misses += 1
-        out_sets = workflow_out_sets(
-            workflow,
-            module_name,
-            visible,
-            hidden_public_modules=hidden_public_modules,
-            relation=self.relation(workflow),
-            stop_at=stop_at,
-        )
+        if backend == "kernel":
+            out_sets = self.compiled_workflow(workflow).module_out_sets(
+                module_name,
+                visible,
+                hidden_public_modules=hidden_public_modules,
+                stop_at=stop_at,
+            )
+        else:
+            out_sets = workflow_out_sets(
+                workflow,
+                module_name,
+                visible,
+                hidden_public_modules=hidden_public_modules,
+                relation=self.relation(workflow),
+                stop_at=stop_at,
+                backend=backend,
+            )
         self._out_sets[key] = out_sets
         return out_sets
 
@@ -178,6 +246,8 @@ class DerivationCache:
             relation_misses=self.relation_misses,
             out_set_hits=self.out_set_hits,
             out_set_misses=self.out_set_misses,
+            compile_hits=self.compile_hits,
+            compile_misses=self.compile_misses,
         )
 
     def clear(self) -> None:
@@ -186,6 +256,8 @@ class DerivationCache:
         self._requirements.clear()
         self._relations.clear()
         self._out_sets.clear()
+        self._compiled.clear()
         self.derivation_hits = self.derivation_misses = 0
         self.relation_hits = self.relation_misses = 0
         self.out_set_hits = self.out_set_misses = 0
+        self.compile_hits = self.compile_misses = 0

@@ -29,6 +29,7 @@ from ..core.secure_view import SecureViewProblem
 from ..core.view import SecureViewSolution
 from ..core.workflow import Workflow
 from ..exceptions import RequirementError
+from ..kernel import resolve_backend
 from .cache import DerivationCache
 from .registry import SolverRegistry, SolverSpec, default_registry
 from .result import PrivacyCertificate, SolveRequest, SolveResult
@@ -58,6 +59,11 @@ class Planner:
         across a parameter sweep.
     registry:
         Solver registry to dispatch into; defaults to the process-wide one.
+    backend:
+        Privacy-analysis backend: ``"kernel"`` (default) compiles each
+        module's relation into packed bitmask tables exactly once per
+        instance and runs derivation and verification on them;
+        ``"reference"`` keeps the brute-force enumerators as the oracle.
     """
 
     def __init__(
@@ -71,12 +77,14 @@ class Planner:
         allow_privatization: bool = True,
         cache: DerivationCache | None = None,
         registry: SolverRegistry | None = None,
+        backend: str | None = None,
     ) -> None:
         if kind not in ("set", "cardinality"):
             raise RequirementError(f"unknown requirement kind {kind!r}")
         self.workflow = workflow
         self.gamma = gamma
         self.kind = kind
+        self.backend = resolve_backend(backend)
         self.hidable_attributes = hidable_attributes
         self.allow_privatization = allow_privatization
         self.cache = cache if cache is not None else DerivationCache()
@@ -95,6 +103,7 @@ class Planner:
         *,
         cache: DerivationCache | None = None,
         registry: SolverRegistry | None = None,
+        backend: str | None = None,
     ) -> "Planner":
         """Wrap an existing :class:`SecureViewProblem` (no re-derivation)."""
         planner = cls(
@@ -105,6 +114,7 @@ class Planner:
             allow_privatization=problem.allow_privatization,
             cache=cache,
             registry=registry,
+            backend=backend,
         )
         planner._problems[None] = problem
         return planner
@@ -126,7 +136,9 @@ class Planner:
         cached = self._problems.get(key)
         if cached is not None:
             return cached
-        requirements = self.cache.requirements(self.workflow, self.gamma, self.kind)
+        requirements = self.cache.requirements(
+            self.workflow, self.gamma, self.kind, backend=self.backend
+        )
         workflow = self._workflows.get(key)
         if workflow is None:
             workflow = self.workflow.with_attribute_costs(dict(costs or {}))
@@ -254,6 +266,7 @@ class Planner:
                 visible,
                 privatized,
                 stop_at=self.gamma,
+                backend=self.backend,
             )
             levels[module.name] = (
                 min(len(out) for out in out_sets.values()) if out_sets else 0

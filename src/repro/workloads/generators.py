@@ -12,7 +12,11 @@ Three layers of generators are provided:
 * **problem generators** — glue the two into ready
   :class:`repro.core.SecureViewProblem` instances with random costs.
 
-All generators are deterministic given a seed.
+All generators are deterministic given a seed.  Like the solvers (after the
+engine refactor), every generator also accepts an explicit ``rng``; passing
+one :class:`random.Random` through a pipeline of generator calls makes a
+whole benchmark instance reproducible end-to-end from a single seed, with
+each stage consuming the same stream instead of re-seeding privately.
 """
 
 from __future__ import annotations
@@ -42,6 +46,11 @@ __all__ = [
     "random_requirements",
     "random_problem",
 ]
+
+
+def _resolve_rng(rng: random.Random | None, seed: int | None) -> random.Random:
+    """An explicit ``rng`` wins; otherwise a fresh stream seeded by ``seed``."""
+    return rng if rng is not None else random.Random(seed)
 
 
 def _gate_function(output_names: Sequence[str], input_names: Sequence[str], kind_per_output: Sequence[str]):
@@ -111,6 +120,7 @@ def chain_workflow(
     seed: int | None = 0,
     private_fraction: float = 1.0,
     cost_range: tuple[float, float] = (1.0, 5.0),
+    rng: random.Random | None = None,
 ) -> Workflow:
     """A chain of ``n_modules`` modules, each passing ``width`` attributes on.
 
@@ -119,7 +129,7 @@ def chain_workflow(
     """
     if n_modules < 1 or width < 1:
         raise WorkflowError("chain_workflow needs n_modules >= 1 and width >= 1")
-    rng = random.Random(seed)
+    rng = _resolve_rng(rng, seed)
     current = [
         Attribute(f"in_{i}", BOOLEAN, cost=round(rng.uniform(*cost_range), 3))
         for i in range(width)
@@ -151,6 +161,7 @@ def layered_workflow(
     private_fraction: float = 1.0,
     max_sharing: int | None = None,
     cost_range: tuple[float, float] = (1.0, 5.0),
+    rng: random.Random | None = None,
 ) -> Workflow:
     """A layered DAG: every module draws its inputs from the previous layer.
 
@@ -159,7 +170,7 @@ def layered_workflow(
     """
     if layers < 1 or modules_per_layer < 1:
         raise WorkflowError("layered_workflow needs at least one layer and module")
-    rng = random.Random(seed)
+    rng = _resolve_rng(rng, seed)
     previous_layer = [
         Attribute(f"src_{i}", BOOLEAN, cost=round(rng.uniform(*cost_range), 3))
         for i in range(max(modules_per_layer * outputs_per_module, inputs_per_module))
@@ -210,6 +221,7 @@ def random_workflow(
     max_sharing: int | None = None,
     fresh_input_probability: float = 0.2,
     cost_range: tuple[float, float] = (1.0, 5.0),
+    rng: random.Random | None = None,
 ) -> Workflow:
     """A random DAG workflow built module by module in topological order.
 
@@ -219,7 +231,7 @@ def random_workflow(
     """
     if n_modules < 1:
         raise WorkflowError("random_workflow needs n_modules >= 1")
-    rng = random.Random(seed)
+    rng = _resolve_rng(rng, seed)
     pool: list[Attribute] = [
         Attribute(f"src_{i}", BOOLEAN, cost=round(rng.uniform(*cost_range), 3))
         for i in range(2)
@@ -277,13 +289,14 @@ def random_cardinality_requirements(
     workflow: Workflow,
     seed: int | None = 0,
     max_list_length: int = 3,
+    rng: random.Random | None = None,
 ) -> dict[str, CardinalityRequirementList]:
     """Random non-redundant cardinality lists for every private module.
 
     Each list holds up to ``max_list_length`` Pareto-incomparable pairs
     ``(α, β)`` with ``α ≤ |I_i|``, ``β ≤ |O_i|`` and ``α + β >= 1``.
     """
-    rng = random.Random(seed)
+    rng = _resolve_rng(rng, seed)
     lists: dict[str, CardinalityRequirementList] = {}
     for module in workflow.private_modules:
         n_in = len(module.input_names)
@@ -315,13 +328,14 @@ def random_set_requirements(
     seed: int | None = 0,
     max_list_length: int = 3,
     max_option_size: int = 2,
+    rng: random.Random | None = None,
 ) -> dict[str, SetRequirementList]:
     """Random set-constraint lists for every private module.
 
     Each option is a random subset of the module's attributes of size at
     most ``max_option_size`` (and at least 1); dominated options are removed.
     """
-    rng = random.Random(seed)
+    rng = _resolve_rng(rng, seed)
     lists: dict[str, SetRequirementList] = {}
     for module in workflow.private_modules:
         attributes = list(module.attribute_names)
@@ -358,11 +372,12 @@ def random_requirements(
     seed: int | None = 0,
     max_list_length: int = 3,
     max_option_size: int = 2,
+    rng: random.Random | None = None,
 ) -> dict[str, RequirementList]:
     """Dispatch to the cardinality or set requirement generator."""
     if kind == "cardinality":
         return random_cardinality_requirements(
-            workflow, seed=seed, max_list_length=max_list_length
+            workflow, seed=seed, max_list_length=max_list_length, rng=rng
         )
     if kind == "set":
         return random_set_requirements(
@@ -370,6 +385,7 @@ def random_requirements(
             seed=seed,
             max_list_length=max_list_length,
             max_option_size=max_option_size,
+            rng=rng,
         )
     raise WorkflowError(f"unknown requirement kind {kind!r}")
 
@@ -383,11 +399,18 @@ def random_problem(
     private_fraction: float = 1.0,
     max_sharing: int | None = None,
     max_list_length: int = 3,
+    rng: random.Random | None = None,
 ) -> SecureViewProblem:
-    """A complete random Secure-View instance (workflow + requirement lists)."""
+    """A complete random Secure-View instance (workflow + requirement lists).
+
+    With an explicit ``rng``, topology and requirement generation draw from
+    the *same* stream, so one seeded :class:`random.Random` reproduces the
+    entire instance.  With only ``seed`` the historical behaviour is kept:
+    each stage re-seeds its own private stream from ``seed``.
+    """
     if topology == "chain":
         workflow = chain_workflow(
-            n_modules, seed=seed, private_fraction=private_fraction
+            n_modules, seed=seed, private_fraction=private_fraction, rng=rng
         )
     elif topology == "layered":
         per_layer = max(2, int(round(n_modules**0.5)))
@@ -398,6 +421,7 @@ def random_problem(
             seed=seed,
             private_fraction=private_fraction,
             max_sharing=max_sharing,
+            rng=rng,
         )
     else:
         workflow = random_workflow(
@@ -405,8 +429,9 @@ def random_problem(
             seed=seed,
             private_fraction=private_fraction,
             max_sharing=max_sharing,
+            rng=rng,
         )
     requirements = random_requirements(
-        workflow, kind=kind, seed=seed, max_list_length=max_list_length
+        workflow, kind=kind, seed=seed, max_list_length=max_list_length, rng=rng
     )
     return SecureViewProblem(workflow, gamma=gamma, requirements=requirements)

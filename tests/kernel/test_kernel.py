@@ -1,0 +1,170 @@
+"""Unit tests for the compiled module/workflow kernels and the backend switch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Attribute,
+    Module,
+    Relation,
+    Workflow,
+    boolean_attributes,
+    standalone_privacy_level,
+)
+from repro.core.attributes import integer_domain
+from repro.core.standalone import minimal_safe_hidden_subsets
+from repro.exceptions import PrivacyError
+from repro.kernel import (
+    CompiledModule,
+    compile_cache_info,
+    compile_module,
+    compile_workflow,
+    get_default_backend,
+    resolve_backend,
+    set_default_backend,
+)
+from repro.workloads import figure1_m1_module, figure1_workflow
+
+
+class TestBackendSwitch:
+    def test_kernel_is_the_default(self):
+        assert get_default_backend() == "kernel"
+        assert resolve_backend(None) == "kernel"
+
+    def test_resolve_rejects_unknown_backend(self):
+        with pytest.raises(ValueError):
+            resolve_backend("turbo")
+
+    def test_set_default_backend_round_trips(self):
+        previous = set_default_backend("reference")
+        try:
+            assert previous == "kernel"
+            assert resolve_backend(None) == "reference"
+        finally:
+            set_default_backend(previous)
+
+
+class TestCompiledModule:
+    def test_matches_reference_on_figure1(self):
+        m1 = figure1_m1_module()
+        compiled = compile_module(m1)
+        for visible in ({"a1", "a3", "a5"}, {"a3", "a4", "a5"}, set(), set(m1.attribute_names)):
+            assert compiled.privacy_level(visible) == standalone_privacy_level(
+                m1, visible, backend="reference"
+            )
+
+    def test_gamma_validation(self):
+        compiled = compile_module(figure1_m1_module())
+        with pytest.raises(PrivacyError):
+            compiled.is_private({"a1"}, 0)
+        with pytest.raises(PrivacyError):
+            compiled.enumerate_safe_hidden_subsets(0)
+
+    def test_minimal_subsets_form_an_antichain(self):
+        compiled = compile_module(figure1_m1_module())
+        minimal = compiled.minimal_safe_hidden_subsets(2)
+        assert minimal == minimal_safe_hidden_subsets(
+            figure1_m1_module(), 2, backend="reference"
+        )
+        for first in minimal:
+            for second in minimal:
+                assert first == second or not first <= second
+
+    def test_restricted_relation_is_respected(self):
+        m1 = figure1_m1_module()
+        restricted = Relation(
+            m1.schema,
+            [row for row in m1.relation() if row["a1"] == 0],
+            check_domains=False,
+        )
+        visible = {"a1", "a3"}
+        assert compile_module(m1, restricted).privacy_level(
+            visible
+        ) == standalone_privacy_level(
+            m1, visible, relation=restricted, backend="reference"
+        )
+
+    def test_empty_relation_reports_range_size(self):
+        m1 = figure1_m1_module()
+        empty = Relation(m1.schema, ())
+        assert compile_module(m1, empty).privacy_level({"a1"}) == m1.range_size()
+
+    def test_wide_schema_falls_back_to_python_ints(self):
+        wide_in = [Attribute(f"x{i}", integer_domain(2**16)) for i in range(3)]
+        wide_out = [Attribute("y", integer_domain(2**16))]
+
+        def function(values):
+            return {"y": (values["x0"] + values["x1"] + values["x2"]) % 7}
+
+        module = Module("wide", wide_in, wide_out, function)
+        rows = [
+            {"x0": i, "x1": 2 * i, "x2": 3 * i, "y": (6 * i) % 7}
+            for i in range(6)
+        ]
+        restricted = Relation(module.schema, rows, check_domains=False)
+        compiled = CompiledModule(module, restricted)
+        assert compiled.layout.total_bits == 64
+        assert compiled.packed.array is None
+        assert compiled.privacy_level({"x0", "y"}) == standalone_privacy_level(
+            module, {"x0", "y"}, relation=restricted, backend="reference"
+        )
+
+
+class TestNumpyPath:
+    def test_large_boolean_module_uses_numpy_and_agrees(self):
+        names_in = [f"i{k}" for k in range(8)]
+
+        def parity(values):
+            return {"o0": sum(values[n] for n in names_in) & 1, "o1": values["i0"]}
+
+        module = Module(
+            "big", boolean_attributes(names_in), boolean_attributes(["o0", "o1"]), parity
+        )
+        compiled = CompiledModule(module)
+        if compiled.packed.array is not None:
+            assert compiled.packed.use_numpy  # 256 rows, 10 bits
+        for visible in ({"i0", "o0"}, {"i0", "i1", "o1"}, set(names_in)):
+            assert compiled.privacy_level(visible) == standalone_privacy_level(
+                module, visible, backend="reference"
+            )
+
+
+class TestCompileMemo:
+    def test_compile_module_memoizes_by_identity(self):
+        module = figure1_m1_module()
+        assert compile_module(module) is compile_module(module)
+        other = figure1_m1_module()
+        assert compile_module(module) is not compile_module(other)
+
+    def test_compile_workflow_memoizes_by_identity(self):
+        workflow = figure1_workflow()
+        assert compile_workflow(workflow) is compile_workflow(workflow)
+        info = compile_cache_info()
+        assert info["hits"] >= 1
+
+    def test_restriction_gets_its_own_entry(self):
+        module = figure1_m1_module()
+        restricted = Relation(
+            module.schema,
+            [row for row in module.relation() if row["a1"] == 1],
+            check_domains=False,
+        )
+        assert compile_module(module) is not compile_module(module, restricted)
+
+
+class TestCompiledWorkflow:
+    def test_out_sets_match_reference(self, tiny_chain):
+        from repro.core import workflow_out_sets
+
+        visible = {"a0", "b0", "c0"}
+        for name in tiny_chain.module_names:
+            assert workflow_out_sets(
+                tiny_chain, name, visible, backend="kernel"
+            ) == workflow_out_sets(tiny_chain, name, visible, backend="reference")
+
+    def test_work_limit_guard(self, tiny_chain):
+        with pytest.raises(PrivacyError):
+            compile_workflow(tiny_chain).module_out_sets(
+                "first", {"a0"}, work_limit=2
+            )

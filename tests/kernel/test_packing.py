@@ -1,0 +1,95 @@
+"""Unit tests for the bit-packing layer of the privacy kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Attribute, Relation, Schema
+from repro.core.attributes import BOOLEAN, integer_domain
+from repro.kernel import BitLayout, PackedRelation
+from repro.kernel.packing import NUMPY_MAX_BITS
+
+
+@pytest.fixture
+def mixed_schema() -> Schema:
+    return Schema(
+        [
+            Attribute("a", BOOLEAN),
+            Attribute("b", integer_domain(3)),
+            Attribute("c", integer_domain(5, start=10)),
+        ]
+    )
+
+
+class TestBitLayout:
+    def test_field_widths_cover_domains(self, mixed_schema):
+        layout = BitLayout(mixed_schema)
+        assert layout.widths == {"a": 1, "b": 2, "c": 3}
+        assert layout.total_bits == 6
+        # Fields are disjoint and laid out in schema order.
+        assert layout.field_masks["a"] & layout.field_masks["b"] == 0
+        assert layout.field_masks["b"] & layout.field_masks["c"] == 0
+
+    def test_pack_unpack_round_trip(self, mixed_schema):
+        layout = BitLayout(mixed_schema)
+        row = {"a": 1, "b": 2, "c": 13}
+        code = layout.pack_assignment(row)
+        assert layout.unpack(code, ("a", "b", "c")) == (1, 2, 13)
+        assert layout.unpack(code, ("c", "a")) == (13, 1)
+
+    def test_mask_for_ignores_unknown_names(self, mixed_schema):
+        layout = BitLayout(mixed_schema)
+        assert layout.mask_for(["a", "nope"]) == layout.field_masks["a"]
+        assert layout.mask_for([]) == 0
+
+    def test_assignment_codes_match_schema_enumeration(self, mixed_schema):
+        layout = BitLayout(mixed_schema)
+        names = ("b", "c")
+        codes = layout.assignment_codes(names)
+        expected = [
+            layout.pack_assignment(assignment, names)
+            for assignment in mixed_schema.iter_assignments(names)
+        ]
+        assert codes == expected
+        assert len(codes) == 3 * 5
+
+    def test_pack_relation_matches_column_order_by_name(self, mixed_schema):
+        layout = BitLayout(mixed_schema)
+        # A relation over the same attributes in a different column order.
+        shuffled = Schema(
+            [mixed_schema["c"], mixed_schema["a"], mixed_schema["b"]]
+        )
+        relation = Relation(
+            shuffled, [{"a": 0, "b": 1, "c": 12}, {"a": 1, "b": 0, "c": 10}]
+        )
+        codes = layout.pack_relation(relation)
+        assert [layout.unpack(code, ("a", "b", "c")) for code in codes] == [
+            (0, 1, 12),
+            (1, 0, 10),
+        ]
+
+
+class TestPackedRelation:
+    def test_numpy_mirror_round_trips(self, mixed_schema):
+        relation = Relation(
+            mixed_schema,
+            [{"a": a, "b": b, "c": 10 + c} for a in (0, 1) for b in (0, 1, 2) for c in range(5)],
+        )
+        packed = PackedRelation.from_relation(relation)
+        array = packed.array
+        if array is not None:  # numpy present
+            assert [int(x) for x in array] == packed.codes
+
+    def test_wide_layout_disables_numpy_mirror(self):
+        wide = Schema(
+            [Attribute(f"w{i}", integer_domain(2**16)) for i in range(5)]
+        )
+        relation = Relation(wide, [{f"w{i}": i for i in range(5)}])
+        packed = PackedRelation.from_relation(relation)
+        assert packed.layout.total_bits == 80 > NUMPY_MAX_BITS
+        assert packed.array is None
+        assert not packed.use_numpy
+        # Pure-int packing still round-trips above 64 bits.
+        assert packed.layout.unpack(
+            packed.codes[0], tuple(f"w{i}" for i in range(5))
+        ) == (0, 1, 2, 3, 4)

@@ -1,0 +1,240 @@
+"""Property tests: the bit-compiled kernel agrees with the reference oracle.
+
+For random small workloads, every privacy verdict, OUT-set, privacy level
+and derived requirement list produced by ``backend="kernel"`` must be
+*identical* to the brute-force ``backend="reference"`` path.  These tests
+are the contract that lets the kernel be the default backend while the
+original enumerators remain the ground truth.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Module,
+    Workflow,
+    boolean_attributes,
+    is_gamma_private_workflow,
+    standalone_out_counts,
+    standalone_privacy_level,
+    workflow_out_sets,
+)
+from repro.core.requirements import (
+    derive_cardinality_requirements,
+    derive_set_requirements,
+)
+from repro.core.standalone import (
+    enumerate_safe_hidden_subsets,
+    minimal_safe_hidden_subsets,
+    minimum_cost_safe_subset,
+    safe_cardinality_pairs,
+)
+from repro.exceptions import InfeasibleError
+
+
+def random_boolean_module(
+    seed: int, n_inputs: int, n_outputs: int, name: str = "m", prefix: str = ""
+) -> Module:
+    """A random total boolean function as a Module (same idiom as the
+    privacy property tests)."""
+    rng = random.Random(seed)
+    input_names = [f"{prefix}i{k}" for k in range(n_inputs)]
+    output_names = [f"{prefix}o{k}" for k in range(n_outputs)]
+    table = {
+        code: tuple(rng.randint(0, 1) for _ in range(n_outputs))
+        for code in range(2**n_inputs)
+    }
+
+    def function(values):
+        code = 0
+        for index, attr in enumerate(input_names):
+            code |= (values[attr] & 1) << index
+        return dict(zip(output_names, table[code]))
+
+    return Module(
+        name,
+        boolean_attributes(input_names),
+        boolean_attributes(output_names),
+        function,
+    )
+
+
+def random_two_module_chain(seed: int) -> Workflow:
+    """A 2-module boolean chain, optionally with a public second module."""
+    rng = random.Random(seed)
+    first = random_boolean_module(
+        rng.randrange(2**31), 2, 2, name="first", prefix="a"
+    )
+    chained_inputs = list(first.output_schema.attributes)
+    source = random_boolean_module(rng.randrange(2**31), 2, 1, name="src", prefix="b")
+
+    def second_fn(values, _src=source, _ins=[a.name for a in chained_inputs]):
+        mapped = {
+            src_name: values[actual]
+            for src_name, actual in zip(_src.input_names, _ins)
+        }
+        return {"c0": _src.apply(mapped)[_src.output_names[0]]}
+
+    second = Module(
+        "second",
+        chained_inputs,
+        boolean_attributes(["c0"]),
+        second_fn,
+        private=rng.random() < 0.7,
+    )
+    return Workflow([first, second])
+
+
+module_shapes = st.tuples(
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=1, max_value=3),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(module_shapes, st.data())
+def test_standalone_counts_and_levels_agree(shape, data):
+    seed, n_in, n_out = shape
+    module = random_boolean_module(seed, n_in, n_out)
+    names = list(module.attribute_names)
+    visible = set(
+        data.draw(st.lists(st.sampled_from(names), max_size=len(names), unique=True))
+    )
+    assert standalone_out_counts(module, visible, backend="kernel") == (
+        standalone_out_counts(module, visible, backend="reference")
+    )
+    assert standalone_privacy_level(module, visible, backend="kernel") == (
+        standalone_privacy_level(module, visible, backend="reference")
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(module_shapes, st.integers(min_value=2, max_value=4))
+def test_safe_subset_sweeps_agree(shape, gamma):
+    seed, n_in, n_out = shape
+    module = random_boolean_module(seed, n_in, n_out)
+    assert enumerate_safe_hidden_subsets(module, gamma, backend="kernel") == (
+        enumerate_safe_hidden_subsets(module, gamma, backend="reference")
+    )
+    assert minimal_safe_hidden_subsets(module, gamma, backend="kernel") == (
+        minimal_safe_hidden_subsets(module, gamma, backend="reference")
+    )
+    assert safe_cardinality_pairs(module, gamma, backend="kernel") == (
+        safe_cardinality_pairs(module, gamma, backend="reference")
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(module_shapes, st.integers(min_value=2, max_value=3))
+def test_derived_requirement_lists_agree(shape, gamma):
+    seed, n_in, n_out = shape
+    module = random_boolean_module(seed, n_in, n_out)
+
+    def outcome(derive, extract):
+        """(options, None) on success, (None, exception type) on failure."""
+        try:
+            return extract(derive()), None
+        except Exception as error:
+            return None, type(error)
+
+    def set_options(lst):
+        return [(option.hidden_inputs, option.hidden_outputs) for option in lst]
+
+    def cardinality_options(lst):
+        return [(option.alpha, option.beta) for option in lst]
+
+    # Infeasible modules must fail identically on both backends.
+    assert outcome(
+        lambda: derive_set_requirements(module, gamma, backend="kernel"),
+        set_options,
+    ) == outcome(
+        lambda: derive_set_requirements(module, gamma, backend="reference"),
+        set_options,
+    )
+    assert outcome(
+        lambda: derive_cardinality_requirements(module, gamma, backend="kernel"),
+        cardinality_options,
+    ) == outcome(
+        lambda: derive_cardinality_requirements(module, gamma, backend="reference"),
+        cardinality_options,
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(module_shapes, st.integers(min_value=2, max_value=4))
+def test_minimum_cost_safe_subset_agrees(shape, gamma):
+    seed, n_in, n_out = shape
+    module = random_boolean_module(seed, n_in, n_out)
+    try:
+        kernel_solution = minimum_cost_safe_subset(module, gamma, backend="kernel")
+    except InfeasibleError:
+        try:
+            minimum_cost_safe_subset(module, gamma, backend="reference")
+        except InfeasibleError:
+            return
+        raise AssertionError("kernel infeasible but reference feasible")
+    reference_solution = minimum_cost_safe_subset(module, gamma, backend="reference")
+    assert kernel_solution.hidden_attributes == reference_solution.hidden_attributes
+    assert kernel_solution.cost == reference_solution.cost
+    assert kernel_solution.meta["privacy_level"] == (
+        reference_solution.meta["privacy_level"]
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1), st.data())
+def test_workflow_out_sets_agree(seed, data):
+    workflow = random_two_module_chain(seed)
+    names = list(workflow.attribute_names)
+    visible = set(
+        data.draw(
+            st.lists(
+                st.sampled_from(names), min_size=1, max_size=len(names), unique=True
+            )
+        )
+    )
+    hidden_public = (
+        tuple(m.name for m in workflow.public_modules)
+        if workflow.public_modules and data.draw(st.booleans())
+        else ()
+    )
+    for module_name in workflow.module_names:
+        kernel_sets = workflow_out_sets(
+            workflow,
+            module_name,
+            visible,
+            hidden_public_modules=hidden_public,
+            backend="kernel",
+        )
+        reference_sets = workflow_out_sets(
+            workflow,
+            module_name,
+            visible,
+            hidden_public_modules=hidden_public,
+            backend="reference",
+        )
+        assert kernel_sets == reference_sets
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.integers(min_value=2, max_value=3),
+    st.data(),
+)
+def test_workflow_privacy_verdicts_agree(seed, gamma, data):
+    workflow = random_two_module_chain(seed)
+    names = list(workflow.attribute_names)
+    visible = set(
+        data.draw(
+            st.lists(st.sampled_from(names), max_size=len(names), unique=True)
+        )
+    )
+    assert is_gamma_private_workflow(
+        workflow, visible, gamma, backend="kernel"
+    ) == is_gamma_private_workflow(workflow, visible, gamma, backend="reference")

@@ -122,3 +122,63 @@ class TestProblemGenerator:
             n_modules=12, kind="cardinality", seed=3, max_sharing=1
         )
         assert problem.workflow.data_sharing_degree() <= 2
+
+
+class TestRngThreading:
+    """Every generator accepts an explicit rng (like the solvers do)."""
+
+    def test_workflow_generators_reproducible_with_rng(self):
+        import random
+
+        for factory in (
+            lambda rng: chain_workflow(4, rng=rng),
+            lambda rng: layered_workflow(2, 2, rng=rng),
+            lambda rng: random_workflow(5, rng=rng),
+        ):
+            a = factory(random.Random(42))
+            b = factory(random.Random(42))
+            assert a.attribute_names == b.attribute_names
+            assert a.module_names == b.module_names
+            assert [attr.cost for attr in a.schema] == [
+                attr.cost for attr in b.schema
+            ]
+
+    def test_requirement_generators_reproducible_with_rng(self):
+        import random
+
+        workflow = random_workflow(5, seed=3)
+        for kind in ("set", "cardinality"):
+            a = random_requirements(workflow, kind=kind, rng=random.Random(7))
+            b = random_requirements(workflow, kind=kind, rng=random.Random(7))
+            assert {
+                name: [repr(option) for option in lst] for name, lst in a.items()
+            } == {
+                name: [repr(option) for option in lst] for name, lst in b.items()
+            }
+
+    def test_random_problem_reproducible_end_to_end_with_one_rng(self):
+        import random
+
+        a = random_problem(n_modules=6, kind="set", rng=random.Random(11))
+        b = random_problem(n_modules=6, kind="set", rng=random.Random(11))
+        assert a.workflow.attribute_names == b.workflow.attribute_names
+        assert {
+            name: [repr(option) for option in lst]
+            for name, lst in a.requirements.items()
+        } == {
+            name: [repr(option) for option in lst]
+            for name, lst in b.requirements.items()
+        }
+
+    def test_seed_only_behaviour_unchanged(self):
+        """Without rng, seed keeps its historical per-stage semantics."""
+        a = random_problem(n_modules=5, kind="cardinality", seed=19)
+        b = random_problem(n_modules=5, kind="cardinality", seed=19)
+        assert a.workflow.attribute_names == b.workflow.attribute_names
+        assert {
+            name: [(o.alpha, o.beta) for o in lst]
+            for name, lst in a.requirements.items()
+        } == {
+            name: [(o.alpha, o.beta) for o in lst]
+            for name, lst in b.requirements.items()
+        }
