@@ -1,0 +1,240 @@
+"""Sweep executor: parallel warm-store sweeps vs the serial cold path.
+
+PR 3 adds the two pieces that make grid evaluation scale past one process:
+a :class:`~repro.engine.store.DerivationStore` (derivations persisted by
+workflow content fingerprint) and :func:`~repro.engine.run_sweep` (the
+chunked ``ProcessPoolExecutor`` fan-out).  This benchmark measures the
+combined win on a derivation-heavy grid and records it in
+``BENCH_sweep.json``:
+
+* **serial cold** — ``run_sweep(spec, n_jobs=1)`` with no store: every
+  (workflow, Γ, kind) pays its requirement derivation in-process, one cell
+  at a time.  This is the pre-PR-3 execution model.
+* **parallel cold** — ``n_jobs=4`` against an empty store: the same grid
+  fans out over 4 workers (each attaching the store), which both warms the
+  store and checks that parallel records are *identical* to serial ones
+  (modulo timings).  Its wall-clock win is informational only: it scales
+  with the *physical cores available* (the record notes ``cpu_count``; on
+  a single-core box the fan-out costs more than it buys).
+* **parallel warm** — ``n_jobs=4`` against the store the cold run just
+  warmed: every cell is served from persisted results, zero requirement
+  derivations happen anywhere (asserted via the report's counters), and
+  the wall-clock must beat the serial cold path by at least
+  :data:`SPEEDUP_FLOOR` (the acceptance criterion of this PR).
+
+Run standalone (used by the CI smoke step) with::
+
+    python benchmarks/bench_sweep.py --tiny
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core import Module, Workflow, boolean_attributes
+from repro.engine import SweepInstance, SweepSpec, run_sweep, scrub_record
+from repro.workloads import workflow_to_dict
+
+RECORD_PATH = Path(__file__).resolve().parents[1] / "BENCH_sweep.json"
+
+#: Acceptance floor: the 4-worker warm-store sweep must beat serial cold.
+SPEEDUP_FLOOR = 2.0
+
+WORKERS = 4
+
+
+def _random_module(seed: int, n_inputs: int, n_outputs: int, name: str, prefix: str) -> Module:
+    """A random total boolean function (dense relation, high arity)."""
+    rng = random.Random(seed)
+    input_names = [f"{prefix}i{k}" for k in range(n_inputs)]
+    output_names = [f"{prefix}o{k}" for k in range(n_outputs)]
+    table = {
+        code: tuple(rng.randint(0, 1) for _ in range(n_outputs))
+        for code in range(2**n_inputs)
+    }
+
+    def function(values):
+        code = 0
+        for index, attr in enumerate(input_names):
+            code |= (values[attr] & 1) << index
+        return dict(zip(output_names, table[code]))
+
+    return Module(
+        name,
+        boolean_attributes(input_names),
+        boolean_attributes(output_names),
+        function,
+    )
+
+
+def _sweep_workflow(seed: int, tiny: bool) -> Workflow:
+    """Disjoint high-arity modules: derivation-dominated, like bench_kernel."""
+    shapes = [(3, 2), (2, 2)] if tiny else [(7, 6), (6, 7)]
+    modules = [
+        _random_module(seed * 100 + index, n_in, n_out, f"m{index}", f"s{index}_")
+        for index, (n_in, n_out) in enumerate(shapes)
+    ]
+    return Workflow(modules, name=f"sweep-bench-{seed}")
+
+
+def sweep_spec(tiny: bool = False) -> SweepSpec:
+    n_workflows = 2 if tiny else 6
+    instances = tuple(
+        SweepInstance(
+            f"wf{seed}", "workflow", workflow_to_dict(_sweep_workflow(seed, tiny))
+        )
+        for seed in range(n_workflows)
+    )
+    return SweepSpec(
+        instances=instances,
+        gammas=(2,) if tiny else (2, 3),
+        kinds=("cardinality",),
+        solvers=("auto", "exact"),
+        seeds=(0,),
+    )
+
+
+def run_benchmark(tiny: bool = False) -> dict:
+    spec = sweep_spec(tiny=tiny)
+    store_dir = Path(tempfile.mkdtemp(prefix="repro-bench-store-"))
+    try:
+        start = time.perf_counter()
+        serial = run_sweep(spec, n_jobs=1)
+        serial_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        parallel_cold = run_sweep(spec, n_jobs=WORKERS, store=store_dir)
+        parallel_cold_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        parallel_warm = run_sweep(spec, n_jobs=WORKERS, store=store_dir)
+        parallel_warm_seconds = time.perf_counter() - start
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+
+    # Parallel execution must not change a single answer.
+    serial_records = [scrub_record(record) for record in serial.records]
+    assert serial_records == [
+        scrub_record(record) for record in parallel_cold.records
+    ], "parallel cold sweep records differ from serial"
+    assert serial_records == [
+        scrub_record(record) for record in parallel_warm.records
+    ], "warm-store sweep records differ from serial"
+    # The warm sweep derived nothing, anywhere — the store proved its point.
+    assert parallel_warm.stats["derivation_misses"] == 0, (
+        "warm-store sweep performed requirement derivations"
+    )
+    assert parallel_warm.result_store_hits == len(parallel_warm.records), (
+        "warm-store sweep re-ran solver cells"
+    )
+
+    import os
+
+    record = {
+        "benchmark": "bench_sweep",
+        "tiny": tiny,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "workers": WORKERS,
+        "cpu_count": os.cpu_count(),
+        "cells": len(serial.records),
+        "errors": serial.errors,
+        "serial_derivations": serial.stats["derivation_misses"],
+        "serial_cold_seconds": serial_seconds,
+        "parallel_cold_seconds": parallel_cold_seconds,
+        "parallel_warm_seconds": parallel_warm_seconds,
+        "speedup_parallel_cold": serial_seconds / parallel_cold_seconds,
+        "speedup_parallel_warm": serial_seconds / parallel_warm_seconds,
+        "cold_derivations": parallel_cold.stats["derivation_misses"],
+        "warm_derivations": parallel_warm.stats["derivation_misses"],
+        "warm_result_store_hits": parallel_warm.result_store_hits,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    write_record(record)
+    return record
+
+
+def write_record(record: dict, path: Path = RECORD_PATH) -> None:
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points (the benchmark harness)
+# ---------------------------------------------------------------------------
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - standalone invocation without pytest
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.mark.experiment("sweep")
+    def test_bench_warm_store_parallel_sweep_speedup(report_sink):
+        """A 4-worker warm-store sweep beats the serial cold path >= 2x."""
+        from repro.analysis import format_table
+
+        record = run_benchmark(tiny=False)
+        report_sink.append(
+            (
+                "Sweep executor: serial cold vs 4-worker store-backed sweeps "
+                f"(record: {RECORD_PATH.name})",
+                format_table(
+                    ["path", "seconds", "speedup", "derivations"],
+                    [
+                        ["serial cold", f"{record['serial_cold_seconds']:.2f}", "1.0x",
+                         record["serial_derivations"]],
+                        ["parallel cold (4 workers)",
+                         f"{record['parallel_cold_seconds']:.2f}",
+                         f"{record['speedup_parallel_cold']:.1f}x",
+                         record["cold_derivations"]],
+                        ["parallel warm (4 workers)",
+                         f"{record['parallel_warm_seconds']:.2f}",
+                         f"{record['speedup_parallel_warm']:.1f}x",
+                         record["warm_derivations"]],
+                    ],
+                ),
+            )
+        )
+        assert record["errors"] == 0
+        assert record["speedup_parallel_warm"] >= SPEEDUP_FLOOR, (
+            f"warm-store parallel sweep speedup "
+            f"{record['speedup_parallel_warm']:.2f}x is below the "
+            f"{SPEEDUP_FLOOR}x floor"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    tiny = "--tiny" in argv
+    record = run_benchmark(tiny=tiny)
+    print(
+        f"serial cold: {record['serial_cold_seconds']:.2f}s over "
+        f"{record['cells']} cells ({record['errors']} errors)"
+    )
+    print(
+        f"parallel cold ({WORKERS} workers): "
+        f"{record['parallel_cold_seconds']:.2f}s "
+        f"({record['speedup_parallel_cold']:.1f}x)"
+    )
+    print(
+        f"parallel warm ({WORKERS} workers): "
+        f"{record['parallel_warm_seconds']:.2f}s "
+        f"({record['speedup_parallel_warm']:.1f}x), "
+        f"{record['warm_derivations']} derivations, "
+        f"{record['warm_result_store_hits']} cells from store"
+    )
+    print(f"record written to {RECORD_PATH}")
+    if not tiny and record["speedup_parallel_warm"] < SPEEDUP_FLOOR:
+        print(f"FAIL: warm-store sweep below {SPEEDUP_FLOOR}x floor")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

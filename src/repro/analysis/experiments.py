@@ -5,11 +5,15 @@ on the same Secure-View instance (optionally against the exact optimum),
 repeat randomized solvers over seeds, and sweep instance parameters while
 collecting flat records that the reporting layer renders.
 
-All solving goes through one shared :class:`~repro.engine.Planner` per
-instance, so requirement derivation, provenance materialization and
-verification out-sets are computed once per instance rather than once per
-solver run — on derivation-heavy instances a multi-solver comparison is
-severalfold faster than the pre-engine harness.
+Since PR 3 both :func:`compare_solvers` and :func:`sweep` are built on the
+parallel sweep executor (:func:`repro.engine.run_sweep`): pass ``n_jobs=``
+to fan the grid out over worker processes and ``store=`` to persist (and
+reuse) derivations and solve results across runs.  ``n_jobs=1`` runs the
+*same* cell runner in-process, so serial and parallel invocations produce
+identical records (modulo timings).  Within one instance all solver runs
+share one planner, so requirement derivation, provenance materialization
+and verification out-sets are computed once per instance rather than once
+per solver run.
 """
 
 from __future__ import annotations
@@ -20,8 +24,10 @@ from typing import Callable, Iterable, Mapping, Sequence
 
 from ..core.secure_view import SecureViewProblem
 from ..core.view import SecureViewSolution
-from ..engine import Planner
+from ..engine import Planner, SweepInstance, SweepSpec, run_sweep
+from ..engine.store import DerivationStore
 from ..exceptions import ProvenanceError
+from ..workloads.serialization import problem_to_dict
 from .metrics import approximation_ratio, solution_summary
 
 __all__ = ["SolverRun", "compare_solvers", "sweep", "time_solver"]
@@ -98,12 +104,83 @@ def _is_randomized(planner: Planner, method: str) -> bool:
         return False
 
 
+def _solver_seed_pairs(
+    planner: Planner,
+    methods: Sequence[str],
+    seeds: Sequence[int],
+    include_exact: bool,
+) -> tuple[tuple[str, int | None], ...]:
+    """The (solver, seed) cells one comparison runs, in report order."""
+    pairs: list[tuple[str, int | None]] = []
+    if include_exact:
+        pairs.append(("exact", None))
+    for method in methods:
+        if method == "exact" and include_exact:
+            continue
+        if _is_randomized(planner, method):
+            pairs.extend((method, seed) for seed in seeds)
+        else:
+            pairs.append((method, None))
+    return tuple(pairs)
+
+
+def _summary_from_cell(
+    problem: SecureViewProblem,
+    record: Mapping[str, object],
+    optimum: float | None,
+) -> dict[str, object]:
+    """Map one executor cell record to the classic comparison-record shape."""
+    if "error" in record:
+        summary: dict[str, object] = {
+            "method": str(record["solver"]),
+            "cost": float("inf"),
+            "error": str(record["error"]),
+            "seconds": float(record.get("seconds", 0.0)),
+        }
+    else:
+        hidden = len(record["hidden_attributes"])
+        total = len(problem.workflow.attribute_names)
+        summary = {
+            "method": str(record["method"]),
+            "cost": record["cost"],
+            "hidden_attributes": hidden,
+            "privatized_modules": len(record["privatized_modules"]),
+            "hidden_fraction": hidden / total if total else 0.0,
+            "n_modules": len(problem.workflow),
+            "n_attributes": total,
+            "gamma_sharing": problem.workflow.data_sharing_degree(),
+            "lmax": problem.lmax,
+        }
+        if optimum is not None:
+            summary["optimum"] = optimum
+            summary["ratio"] = approximation_ratio(float(record["cost"]), optimum)
+        summary["seconds"] = record["seconds"]
+    if record.get("seed") is not None:
+        summary["seed"] = record["seed"]
+    return summary
+
+
+def _comparison_records(
+    problem: SecureViewProblem,
+    cell_records: Sequence[Mapping[str, object]],
+    include_exact: bool,
+) -> list[dict[str, object]]:
+    optimum: float | None = None
+    if include_exact and cell_records and "error" not in cell_records[0]:
+        optimum = float(cell_records[0]["cost"])
+    return [
+        _summary_from_cell(problem, record, optimum) for record in cell_records
+    ]
+
+
 def compare_solvers(
     problem: SecureViewProblem,
     methods: Sequence[str],
     seeds: Sequence[int] = (0,),
     include_exact: bool = True,
     planner: Planner | None = None,
+    n_jobs: int = 1,
+    store: DerivationStore | str | None = None,
 ) -> list[dict[str, object]]:
     """Run several solvers on one instance and report costs / ratios.
 
@@ -111,10 +188,39 @@ def compare_solvers(
     and reported seed by seed; deterministic solvers run once.  When
     ``include_exact`` is true the exact IP optimum is computed first and
     every record carries its approximation ratio.  All runs share one
-    planner, so the instance's requirement derivation happens only once.
+    planner (one requirement derivation); ``n_jobs > 1`` fans the runs out
+    over worker processes through the sweep executor and ``store`` persists
+    the derivations either way.
+
+    ``n_jobs=1`` (and any call passing an explicit ``planner``) stays
+    in-process on one planner cache — no serialization happens, which also
+    keeps instances with high-arity modules viable (shipping an instance to
+    a worker tabulates its functionality, which is exponential in module
+    arity).  The in-process and executor paths produce identical records
+    (modulo timings).
     """
-    if planner is None:
-        planner = Planner.from_problem(problem)
+    if planner is not None or n_jobs == 1:
+        if planner is None:
+            planner = Planner.from_problem(problem, store=store)
+        return _compare_in_process(
+            problem, methods, seeds, include_exact, planner
+        )
+    probe = Planner.from_problem(problem)
+    pairs = _solver_seed_pairs(probe, methods, seeds, include_exact)
+    instance = SweepInstance("instance", "problem", problem_to_dict(problem))
+    spec = SweepSpec(instances=(instance,), solver_seed_pairs=pairs)
+    report = run_sweep(spec, n_jobs=n_jobs, store=store)
+    return _comparison_records(problem, report.records, include_exact)
+
+
+def _compare_in_process(
+    problem: SecureViewProblem,
+    methods: Sequence[str],
+    seeds: Sequence[int],
+    include_exact: bool,
+    planner: Planner,
+) -> list[dict[str, object]]:
+    """The legacy single-process path, sharing the caller's planner cache."""
     optimum: float | None = None
     records: list[dict[str, object]] = []
     if include_exact:
@@ -156,20 +262,67 @@ def sweep(
     seeds: Sequence[int] = (0,),
     include_exact: bool = True,
     parameter_name: str = "param",
+    n_jobs: int = 1,
+    store: DerivationStore | str | None = None,
 ) -> list[dict[str, object]]:
     """Run :func:`compare_solvers` across a parameter sweep.
 
     ``problem_factory(value)`` builds the instance for each parameter value;
     every record is tagged with the parameter so the reporting layer can
-    group by it.  Each instance gets its own planner (instances differ), but
-    within an instance all solvers share one derivation.
+    group by it.  With ``n_jobs > 1`` the whole grid — every (instance,
+    solver, seed) cell — goes through the parallel sweep executor in one
+    shot, parallelizing across parameter values *and* solvers at once while
+    each instance still pays its requirement derivation exactly once.
+
+    ``n_jobs=1`` runs each comparison in-process without serializing the
+    instances (required for workloads with high-arity modules, whose
+    tabulated functionality is exponential); the records are identical to
+    the executor path's modulo timings.
     """
-    records: list[dict[str, object]] = []
-    for value in parameter_values:
+    if n_jobs == 1:
+        records: list[dict[str, object]] = []
+        for value in parameter_values:
+            problem = problem_factory(value)
+            for record in compare_solvers(
+                problem,
+                methods,
+                seeds=seeds,
+                include_exact=include_exact,
+                store=store,
+            ):
+                records.append({parameter_name: value, **record})
+        return records
+
+    instances: list[SweepInstance] = []
+    pairs_by_label: dict[str, tuple[tuple[str, int | None], ...]] = {}
+    problems_by_label: dict[str, SecureViewProblem] = {}
+    values_by_label: dict[str, object] = {}
+    for position, value in enumerate(parameter_values):
         problem = problem_factory(value)
-        for record in compare_solvers(
-            problem, methods, seeds=seeds, include_exact=include_exact
+        label = f"{parameter_name}={value!r}#{position}"
+        probe = Planner.from_problem(problem)
+        instances.append(SweepInstance(label, "problem", problem_to_dict(problem)))
+        pairs_by_label[label] = _solver_seed_pairs(
+            probe, methods, seeds, include_exact
+        )
+        problems_by_label[label] = problem
+        values_by_label[label] = value
+
+    spec = SweepSpec(
+        instances=tuple(instances), solver_seed_pairs=pairs_by_label
+    )
+    report = run_sweep(spec, n_jobs=n_jobs, store=store)
+
+    by_label: dict[str, list[dict[str, object]]] = {}
+    for record in report.records:
+        by_label.setdefault(record["workflow"], []).append(record)
+
+    records: list[dict[str, object]] = []
+    for instance in instances:
+        label = instance.label
+        problem = problems_by_label[label]
+        for record in _comparison_records(
+            problem, by_label.get(label, []), include_exact
         ):
-            tagged = {parameter_name: value, **record}
-            records.append(tagged)
+            records.append({parameter_name: values_by_label[label], **record})
     return records

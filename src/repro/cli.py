@@ -14,6 +14,9 @@ The CLI exposes the everyday operations a workflow owner would run:
 * ``generate``  — write a random or scientific-workflow-shaped problem file,
 * ``compare``   — run several solvers on a problem file (through one shared
   :class:`~repro.engine.Planner`) and print the comparison table,
+* ``sweep``     — run a (workflow × Γ × kind × solver × seed) grid from a
+  JSON grid file, optionally in parallel (``--jobs``) and against a
+  persistent derivation store (``--store``), emitting a JSON report,
 * ``engine``    — inspect the solver engine (``engine list-solvers``).
 
 Solving goes through :mod:`repro.engine`; ``--solver`` accepts any name in
@@ -31,7 +34,7 @@ from typing import Sequence
 from .analysis import compare_solvers, format_records
 from .core import is_gamma_private_workflow
 from .core.attack import reconstruction_attack
-from .engine import Planner, default_registry
+from .engine import Planner, default_registry, run_sweep, spec_from_grid
 from .exceptions import ProvenanceError
 from .workloads import ScientificWorkflowConfig, random_problem, scientific_problem
 from .workloads.serialization import (
@@ -42,6 +45,21 @@ from .workloads.serialization import (
 )
 
 __all__ = ["build_parser", "main"]
+
+#: Default directory for the persistent derivation store (gitignored).
+DEFAULT_STORE_DIR = ".repro-store"
+
+
+def _package_version() -> str:
+    """Installed package version, falling back to the in-tree one."""
+    try:
+        from importlib.metadata import version
+
+        return version("provenance-views")
+    except Exception:  # not installed, or metadata backend quirks
+        from . import __version__
+
+        return __version__
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -71,6 +89,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     )
     payload = solution_to_dict(result.solution)
     payload["solver"] = result.solver
+    payload["cache_stats"] = result.cache_stats.as_dict()
     if result.guarantee:
         payload["guarantee"] = result.guarantee
     if result.certificate is not None:
@@ -196,6 +215,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         args.methods,
         seeds=tuple(range(args.seeds)),
         include_exact=not args.no_exact,
+        n_jobs=args.jobs,
     )
     print(
         format_records(
@@ -207,10 +227,46 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import os
+
+    try:
+        with open(args.grid, "r", encoding="utf-8") as handle:
+            grid = json.load(handle)
+        spec = spec_from_grid(
+            grid, base_dir=os.path.dirname(os.path.abspath(args.grid))
+        )
+    except ValueError as exc:  # malformed JSON or an empty/invalid grid
+        print(f"error: invalid grid file {args.grid}: {exc}", file=sys.stderr)
+        return 1
+    report = run_sweep(
+        spec,
+        n_jobs=args.jobs,
+        store=args.store or None,
+        reuse_results=not args.fresh_results,
+    )
+    payload = report.as_dict()
+    payload["grid"] = os.path.basename(args.grid)
+    if args.store:
+        payload["store"] = args.store
+    text = json.dumps(payload, indent=2, sort_keys=True, default=str)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    print(text)
+    return 1 if (report.records and report.errors == len(report.records)) else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Secure provenance views for module privacy (PODS 2011 reproduction)",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {_package_version()}",
+        help="print the package version and exit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -284,14 +340,53 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--methods", nargs="+", default=["auto", "greedy"])
     compare.add_argument("--seeds", type=int, default=1)
     compare.add_argument("--no-exact", action="store_true")
+    compare.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for the comparison"
+    )
     compare.set_defaults(func=_cmd_compare)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a solve grid from a JSON grid file, optionally in parallel",
+        description=(
+            "The grid file lists 'workflows' (workflow or problem files swept "
+            "across the 'gammas'/'kinds' axes) and/or 'problems' (problem files "
+            "used with their baked Γ/kind), plus 'solvers' and 'seeds'.  With "
+            "--store, derivations and solve results persist across runs: a "
+            "repeated sweep against a warm store performs zero requirement "
+            "derivations (the report's stats prove it)."
+        ),
+    )
+    sweep.add_argument("grid", help="JSON grid file (workflows/gammas/solvers/seeds)")
+    sweep.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (0 = auto)"
+    )
+    sweep.add_argument(
+        "--store",
+        default="",
+        help=f"persistent derivation store directory (e.g. {DEFAULT_STORE_DIR})",
+    )
+    sweep.add_argument(
+        "--fresh-results",
+        action="store_true",
+        help="re-run solvers even when the store holds the cell's result",
+    )
+    sweep.add_argument("--output", default="", help="also write the JSON report here")
+    sweep.set_defaults(func=_cmd_sweep)
 
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
-    args = parser.parse_args(argv)
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits on --help/--version (code 0) and on unknown or
+        # malformed subcommands (code 2, after printing usage to stderr);
+        # surface that as a return code so embedding callers never see the
+        # exception.
+        return int(exc.code or 0)
     try:
         return args.func(args)
     except (ProvenanceError, OSError) as exc:

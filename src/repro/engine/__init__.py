@@ -25,11 +25,31 @@ Components
 :class:`SolveRequest` / :class:`SolveResult`
     The uniform request/result surface shared by all solvers.
 :class:`DerivationCache`
-    Shared memoization of requirement derivation, provenance relations and
-    verification out-sets, with hit/miss counters.
+    Two-tier memoization of requirement derivation, provenance relations,
+    compiled kernel packs and verification out-sets: a bounded in-memory
+    front plus an optional persistent :class:`DerivationStore` back, with
+    hit/miss counters for both tiers.
+:class:`DerivationStore`
+    Content-addressed, disk-backed persistence for derived artifacts keyed
+    by workflow fingerprint — a warm store skips derivation across process
+    boundaries.
+:func:`run_sweep` / :class:`SweepSpec`
+    The parallel sweep executor: fan a (workflow × Γ × kind × solver ×
+    seed) grid over worker processes with per-worker store attachment,
+    deterministic record ordering and failure isolation.
 """
 
 from .cache import CacheStats, DerivationCache
+from .executor import (
+    SweepCell,
+    SweepInstance,
+    SweepReport,
+    SweepSpec,
+    default_jobs,
+    run_sweep,
+    scrub_record,
+    spec_from_grid,
+)
 from .planner import Planner
 from .registry import (
     SolverRegistry,
@@ -38,18 +58,28 @@ from .registry import (
     register_solver,
 )
 from .result import PrivacyCertificate, SolveRequest, SolveResult
+from .store import DerivationStore
 
 from . import adapters as _adapters  # noqa: F401  (populates the registry)
 
 __all__ = [
     "CacheStats",
     "DerivationCache",
+    "DerivationStore",
     "Planner",
     "PrivacyCertificate",
     "SolveRequest",
     "SolveResult",
     "SolverRegistry",
     "SolverSpec",
+    "SweepCell",
+    "SweepInstance",
+    "SweepReport",
+    "SweepSpec",
+    "default_jobs",
     "default_registry",
     "register_solver",
+    "run_sweep",
+    "scrub_record",
+    "spec_from_grid",
 ]

@@ -1,4 +1,4 @@
-"""Shared derivation cache for the Secure-View engine.
+"""Two-tier derivation cache for the Secure-View engine.
 
 Everything expensive about a Secure-View instance happens *before* and
 *after* the LP/greedy/exact solve itself:
@@ -7,28 +7,37 @@ Everything expensive about a Secure-View instance happens *before* and
   per private module, every hidden subset (exponential in the module arity)
   and, for cardinality lists, every (α, β) combination of attribute choices;
 * **provenance materialization** — the joint relation over all executions;
+* **kernel compilation** — packing that relation into integer bitmask tables;
 * **out-set verification** — the possible-worlds enumeration behind the
   Γ-privacy certificate (Definitions 5/6).
 
-All three depend only on the workflow structure, Γ, and the requirement
+All of these depend only on the workflow structure, Γ, and the requirement
 kind — never on attribute costs or on which solver runs.  A
 :class:`DerivationCache` therefore memoizes them once per (workflow, Γ,
-kind) so a multi-solver sweep (``repro compare``, the engine benchmarks,
-``analysis.experiments.compare_solvers``) pays the exponential enumeration
-a single time instead of once per solver.  Hit/miss counters are kept per
-category so benchmarks and tests can assert the sharing actually happened.
+kind) so a multi-solver sweep (``repro compare``, ``repro sweep``, the
+engine benchmarks, :mod:`repro.analysis.experiments`) pays the exponential
+enumeration a single time instead of once per solver.
 
-Since the bit-compiled privacy kernel (:mod:`repro.kernel`) became the
-default backend, the cache also owns the **compiled form** of each
-workflow: :meth:`DerivationCache.compiled_workflow` packs the provenance
-relation into integer bitmask tables exactly once per workflow, and every
-kernel-backed derivation and verification pass reuses the packed tables.
+Since PR 3 the cache is **two-tier**:
+
+* the **front** is a bounded in-memory table (FIFO eviction at
+  :data:`MEMORY_LIMIT` entries per category), exactly as fast as before;
+* the **back** is an optional persistent
+  :class:`~repro.engine.store.DerivationStore`: on a front miss the cache
+  probes the store by the workflow's content fingerprint, and on a true
+  miss it derives and writes through.  A warm store therefore makes
+  ``Planner.solve`` skip derivation entirely *across process boundaries* —
+  sweep workers, repeated CLI runs, CI re-runs.
+
+Hit/miss counters are kept per category (including ``store_hits`` /
+``store_misses`` for the back tier) so benchmarks and tests can assert the
+sharing actually happened.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from ..core.possible_worlds import workflow_out_sets
 from ..core.requirements import RequirementList, derive_workflow_requirements
@@ -41,7 +50,15 @@ from ..kernel import (
     resolve_backend,
 )
 
-__all__ = ["CacheStats", "DerivationCache"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .store import DerivationStore
+
+__all__ = ["CacheStats", "DerivationCache", "MEMORY_LIMIT"]
+
+#: Bound on in-memory entries per artifact category (FIFO eviction).  The
+#: pinned-workflow table is exempt: pins are one small reference per
+#: workflow and must outlive their entries so ``id()`` reuse cannot alias.
+MEMORY_LIMIT = 128
 
 
 @dataclass(frozen=True)
@@ -56,6 +73,8 @@ class CacheStats:
     out_set_misses: int = 0
     compile_hits: int = 0
     compile_misses: int = 0
+    store_hits: int = 0
+    store_misses: int = 0
 
     @property
     def hits(self) -> int:
@@ -85,22 +104,43 @@ class CacheStats:
             "out_set_misses": self.out_set_misses,
             "compile_hits": self.compile_hits,
             "compile_misses": self.compile_misses,
+            "store_hits": self.store_hits,
+            "store_misses": self.store_misses,
         }
+
+    def delta(self, earlier: "CacheStats") -> "CacheStats":
+        """Counter increments between an earlier snapshot and this one."""
+        return CacheStats(
+            **{
+                name: value - getattr(earlier, name)
+                for name, value in self.as_dict().items()
+            }
+        )
 
 
 @dataclass
 class DerivationCache:
-    """Memoizes requirement derivation, relations and out-set enumeration.
+    """Memoizes derivations with a bounded memory front and optional disk back.
 
     Workflows are identified by object identity (they are mutable graph
     containers); the cache pins every workflow it has seen so an ``id()``
     can never be recycled while its entries are alive.  A cache may be
     shared freely across :class:`~repro.engine.planner.Planner` instances —
     e.g. one cache for a whole parameter sweep.
+
+    Pass a :class:`~repro.engine.store.DerivationStore` as ``store`` to
+    make derivations survive the process: memory misses probe the store by
+    content fingerprint, true misses write through.
     """
 
+    store: "DerivationStore | None" = None
+    max_entries: int = MEMORY_LIMIT
     _workflows: dict[int, Workflow] = field(default_factory=dict)
+    _fingerprints: dict[int, str] = field(default_factory=dict)
     _requirements: dict[tuple, Mapping[str, RequirementList]] = field(
+        default_factory=dict
+    )
+    _seeded_requirements: dict[tuple, Mapping[str, RequirementList]] = field(
         default_factory=dict
     )
     _relations: dict[int, Relation] = field(default_factory=dict)
@@ -114,11 +154,36 @@ class DerivationCache:
     out_set_misses: int = 0
     compile_hits: int = 0
     compile_misses: int = 0
+    store_hits: int = 0
+    store_misses: int = 0
 
     def _pin(self, workflow: Workflow) -> int:
         key = id(workflow)
         self._workflows.setdefault(key, workflow)
         return key
+
+    def _remember(self, table: dict, key, value) -> None:
+        """Insert into a front-tier table, evicting FIFO past the bound."""
+        if self.max_entries and self.max_entries > 0:
+            while table and len(table) >= self.max_entries:
+                table.pop(next(iter(table)))
+        table[key] = value
+
+    # -- content fingerprints -----------------------------------------------------
+    def fingerprint(self, workflow: Workflow) -> str:
+        """The workflow's content hash (store key), computed at most once."""
+        key = self._pin(workflow)
+        cached = self._fingerprints.get(key)
+        if cached is None:
+            from ..workloads.fingerprint import workflow_fingerprint
+
+            cached = workflow_fingerprint(workflow)
+            self._fingerprints[key] = cached
+        return cached
+
+    def attach_store(self, store: "DerivationStore | None") -> None:
+        """Attach (or detach, with ``None``) the persistent back tier."""
+        self.store = store
 
     # -- kernel compilation -------------------------------------------------------
     def compiled_workflow(self, workflow: Workflow) -> CompiledWorkflow:
@@ -126,16 +191,29 @@ class DerivationCache:
 
         The packed tables (relation codes, per-module bitmasks, public
         functionality tables) are shared by every kernel-backed derivation
-        and verification pass that goes through this cache.
+        and verification pass that goes through this cache, and round-trip
+        through the persistent store when one is attached.
         """
         key = self._pin(workflow)
         cached = self._compiled.get(key)
         if cached is not None:
             self.compile_hits += 1
             return cached
+        if self.store is not None:
+            loaded = self.store.load_pack(
+                self.fingerprint(workflow), workflow, self.relation(workflow)
+            )
+            if loaded is not None:
+                self.store_hits += 1
+                self.compile_hits += 1
+                self._remember(self._compiled, key, loaded)
+                return loaded
+            self.store_misses += 1
         self.compile_misses += 1
         compiled = compile_workflow(workflow, self.relation(workflow))
-        self._compiled[key] = compiled
+        self._remember(self._compiled, key, compiled)
+        if self.store is not None:
+            self.store.save_pack(self.fingerprint(workflow), compiled)
         return compiled
 
     # -- requirement derivation -------------------------------------------------
@@ -149,15 +227,32 @@ class DerivationCache:
         """Requirement lists for every private module, derived at most once."""
         backend = resolve_backend(backend)
         key = (self._pin(workflow), gamma, kind, backend)
-        cached = self._requirements.get(key)
+        cached = self._seeded_requirements.get(key)
+        if cached is None:
+            cached = self._requirements.get(key)
         if cached is not None:
             self.derivation_hits += 1
             return cached
+        if self.store is not None:
+            loaded = self.store.load_requirements(
+                self.fingerprint(workflow), gamma, kind, backend
+            )
+            if loaded is not None:
+                self.store_hits += 1
+                self.derivation_hits += 1
+                self._remember(self._requirements, key, loaded)
+                return loaded
+            self.store_misses += 1
         self.derivation_misses += 1
         derived = derive_workflow_requirements(
             workflow, gamma, kind=kind, backend=backend
         )
-        self._requirements[key] = derived
+        self._remember(self._requirements, key, derived)
+        if self.store is not None:
+            self.store.save_requirements(
+                self.fingerprint(workflow), gamma, kind, backend, derived,
+                workflow=workflow,
+            )
         return derived
 
     def seed_requirements(
@@ -172,11 +267,18 @@ class DerivationCache:
         Used when a :class:`SecureViewProblem` arrives with its lists already
         attached (loaded from a problem file, built by a generator) so the
         engine never re-derives what the caller paid for.  Caller-provided
-        lists are backend-independent, so they satisfy every backend.
+        lists are backend-independent, so they satisfy every backend.  They
+        are seeded into a *pinned* memory table, exempt from the FIFO bound
+        and never persisted: unlike derived lists they may not be
+        re-derivable from the workflow (generators attach random lists), so
+        silently evicting one would change answers, and the store only
+        persists what it can re-key by content.
         """
         pin = self._pin(workflow)
         for backend in VALID_BACKENDS:
-            self._requirements.setdefault((pin, gamma, kind, backend), requirements)
+            self._seeded_requirements.setdefault(
+                (pin, gamma, kind, backend), requirements
+            )
 
     # -- provenance relation ----------------------------------------------------
     def relation(self, workflow: Workflow) -> Relation:
@@ -186,9 +288,21 @@ class DerivationCache:
         if cached is not None:
             self.relation_hits += 1
             return cached
+        if self.store is not None:
+            loaded = self.store.load_relation(self.fingerprint(workflow), workflow)
+            if loaded is not None:
+                self.store_hits += 1
+                self.relation_hits += 1
+                self._remember(self._relations, key, loaded)
+                return loaded
+            self.store_misses += 1
         self.relation_misses += 1
         relation = workflow.provenance_relation()
-        self._relations[key] = relation
+        self._remember(self._relations, key, relation)
+        if self.store is not None:
+            self.store.save_relation(
+                self.fingerprint(workflow), relation, workflow=workflow
+            )
         return relation
 
     # -- out-set enumeration (verification) -------------------------------------
@@ -215,6 +329,22 @@ class DerivationCache:
         if cached is not None:
             self.out_set_hits += 1
             return cached
+        store_key = None
+        if self.store is not None:
+            from .store import OutSetKey
+
+            store_key = OutSetKey(
+                module_name, visible, hidden_public_modules, stop_at, backend
+            )
+            loaded = self.store.load_out_sets(
+                self.fingerprint(workflow), workflow, store_key
+            )
+            if loaded is not None:
+                self.store_hits += 1
+                self.out_set_hits += 1
+                self._remember(self._out_sets, key, loaded)
+                return loaded
+            self.store_misses += 1
         self.out_set_misses += 1
         if backend == "kernel":
             out_sets = self.compiled_workflow(workflow).module_out_sets(
@@ -233,12 +363,16 @@ class DerivationCache:
                 stop_at=stop_at,
                 backend=backend,
             )
-        self._out_sets[key] = out_sets
+        self._remember(self._out_sets, key, out_sets)
+        if self.store is not None and store_key is not None:
+            self.store.save_out_sets(
+                self.fingerprint(workflow), workflow, store_key, module_name, out_sets
+            )
         return out_sets
 
     # -- bookkeeping ------------------------------------------------------------
     def stats(self) -> CacheStats:
-        """Snapshot of the hit/miss counters."""
+        """Snapshot of the hit/miss counters (front and store tiers)."""
         return CacheStats(
             derivation_hits=self.derivation_hits,
             derivation_misses=self.derivation_misses,
@@ -248,12 +382,21 @@ class DerivationCache:
             out_set_misses=self.out_set_misses,
             compile_hits=self.compile_hits,
             compile_misses=self.compile_misses,
+            store_hits=self.store_hits,
+            store_misses=self.store_misses,
         )
 
     def clear(self) -> None:
-        """Drop every entry and reset the counters."""
+        """Drop every in-memory entry (including pinned workflows, their
+        fingerprints and pinned compiled packs) and reset all counters.
+
+        The persistent store, when attached, keeps its on-disk artifacts —
+        ``clear`` empties the memory front, never the disk back.
+        """
         self._workflows.clear()
+        self._fingerprints.clear()
         self._requirements.clear()
+        self._seeded_requirements.clear()
         self._relations.clear()
         self._out_sets.clear()
         self._compiled.clear()
@@ -261,3 +404,4 @@ class DerivationCache:
         self.relation_hits = self.relation_misses = 0
         self.out_set_hits = self.out_set_misses = 0
         self.compile_hits = self.compile_misses = 0
+        self.store_hits = self.store_misses = 0

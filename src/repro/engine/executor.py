@@ -1,0 +1,583 @@
+"""Parallel sweep executor: fan a solve grid out over worker processes.
+
+The paper's evaluation — and every benchmark and CLI comparison in this
+repository — is sweep-shaped: run a grid of ``(workflow × Γ × requirement
+kind × solver × seed)`` cells and collect one flat record per cell.  Until
+PR 3 those sweeps ran strictly single-process; this module fans them out
+over a :class:`concurrent.futures.ProcessPoolExecutor` while keeping every
+guarantee the serial path had:
+
+* **deterministic results** — cells are expanded in a fixed order, each
+  record carries its cell index, and the report is sorted by it, so a
+  parallel sweep returns *identical records* (modulo timings) to a serial
+  one;
+* **failure isolation** — a solver error (or a crashed chunk) yields an
+  error record for the affected cells, never a dead sweep;
+* **shared derivation** — cells are chunked by (instance, Γ, kind) so each
+  worker solves all solver×seed cells of one planner together, paying the
+  exponential requirement derivation once per chunk;
+* **per-worker store attachment** — with a ``store`` directory, every
+  worker attaches a persistent :class:`~repro.engine.store.DerivationStore`
+  as its cache's back tier, so derivations (and whole solve results) are
+  shared *across* workers and *across* runs: a repeated sweep against a
+  warm store performs zero requirement derivations.
+
+Workflows carry arbitrary Python callables and cannot be pickled, so cells
+ship the *serialized* instance (the tabulated-functionality JSON payload of
+:mod:`repro.workloads.serialization`) and every worker rebuilds and caches
+it once per process.  Tabulation enumerates each module's input domain, so
+instances containing a very-high-arity module (e.g. the paper's Example-5
+star center at large n) should stay on the in-process path
+(``analysis.sweep``/``compare_solvers`` with ``n_jobs=1``) rather than be
+shipped through a :class:`SweepInstance`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..exceptions import RequirementError
+from .cache import CacheStats, DerivationCache
+from .planner import Planner
+from .store import DerivationStore, ResultKey
+
+__all__ = [
+    "SweepCell",
+    "SweepInstance",
+    "SweepReport",
+    "SweepSpec",
+    "default_jobs",
+    "run_sweep",
+    "spec_from_grid",
+]
+
+#: Keys of a record that legitimately differ between runs and process
+#: layouts (wall-clock and cache-locality artifacts).  Everything else must
+#: be identical between a serial and a parallel execution of one grid.
+VOLATILE_RECORD_KEYS = ("seconds", "cache", "from_store")
+
+
+def default_jobs() -> int:
+    """A conservative default worker count (half the cores, at least 1)."""
+    return max(1, (os.cpu_count() or 2) // 2)
+
+
+def scrub_record(record: Mapping[str, Any]) -> dict[str, Any]:
+    """A record with its volatile keys removed (for cross-run comparison)."""
+    return {k: v for k, v in record.items() if k not in VOLATILE_RECORD_KEYS}
+
+
+# ---------------------------------------------------------------------------
+# Grid specification
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SweepInstance:
+    """One instance of the grid: a serialized workflow or problem.
+
+    ``source`` is ``"workflow"`` (payload from
+    :func:`~repro.workloads.serialization.workflow_to_dict`; requirement
+    lists are derived per (Γ, kind) grid point) or ``"problem"`` (payload
+    from :func:`~repro.workloads.serialization.problem_to_dict`; Γ, kind,
+    hidable attributes and requirement lists come baked in and the grid's
+    ``gammas``/``kinds`` axes do not apply).
+    """
+
+    label: str
+    source: str
+    payload: Mapping[str, Any]
+
+    def __post_init__(self) -> None:
+        if self.source not in ("workflow", "problem"):
+            raise ValueError(f"unknown sweep instance source {self.source!r}")
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid point: (instance, Γ, kind, solver, seed) plus report tags."""
+
+    index: int
+    label: str
+    gamma: int | None
+    kind: str | None
+    solver: str
+    seed: int | None
+    params: tuple[tuple[str, Any], ...] = ()
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A full sweep grid: instances × gammas × kinds × solvers × seeds.
+
+    The solver axis is normally the cross product ``solvers × seeds``; pass
+    ``solver_seed_pairs`` (one flat tuple, or a per-instance-label mapping)
+    to enumerate explicit ``(solver, seed)`` pairs instead — e.g. randomized
+    solvers repeated per seed next to deterministic solvers run once.
+    """
+
+    instances: tuple[SweepInstance, ...]
+    gammas: tuple[int, ...] = (2,)
+    kinds: tuple[str, ...] = ("set",)
+    solvers: tuple[str, ...] = ("auto",)
+    seeds: tuple[int | None, ...] = (0,)
+    solver_seed_pairs: (
+        Mapping[str, tuple[tuple[str, int | None], ...]]
+        | tuple[tuple[str, int | None], ...]
+        | None
+    ) = None
+    backend: str | None = None
+    verify: bool = False
+    params: Mapping[str, tuple[Any, ...]] = field(default_factory=dict)
+
+    def _pairs_for(self, label: str) -> tuple[tuple[str, int | None], ...]:
+        if self.solver_seed_pairs is None:
+            return tuple(
+                (solver, seed) for solver in self.solvers for seed in self.seeds
+            )
+        if isinstance(self.solver_seed_pairs, Mapping):
+            return tuple(self.solver_seed_pairs.get(label, ()))
+        return tuple(self.solver_seed_pairs)
+
+    def cells(self) -> list[SweepCell]:
+        """Expand the grid in deterministic instance-major order."""
+        cells: list[SweepCell] = []
+        index = 0
+        for instance in self.instances:
+            if instance.source == "problem":
+                derivation_points: Iterable[tuple[int | None, str | None]] = [
+                    (None, None)
+                ]
+            else:
+                derivation_points = [
+                    (gamma, kind) for gamma in self.gammas for kind in self.kinds
+                ]
+            tags = tuple(self.params.get(instance.label, ()))
+            pairs = self._pairs_for(instance.label)
+            for gamma, kind in derivation_points:
+                for solver, seed in pairs:
+                    cells.append(
+                        SweepCell(
+                            index=index,
+                            label=instance.label,
+                            gamma=gamma,
+                            kind=kind,
+                            solver=solver,
+                            seed=seed,
+                            params=tags,
+                        )
+                    )
+                    index += 1
+        return cells
+
+
+def spec_from_grid(grid: Mapping[str, Any], base_dir: str = ".") -> SweepSpec:
+    """Build a :class:`SweepSpec` from a JSON grid description.
+
+    Recognized keys: ``workflows`` (paths to workflow *or* problem files —
+    a problem file contributes its embedded workflow and rides the
+    ``gammas``/``kinds`` axes), ``problems`` (paths to problem files used
+    verbatim, with their baked Γ/kind/requirements), ``gammas``, ``kinds``,
+    ``solvers``, ``seeds``, ``backend``, ``verify``.  Relative paths are
+    resolved against ``base_dir``.
+    """
+    import json
+
+    if not isinstance(grid, Mapping):
+        raise ValueError("sweep grid must be a JSON object")
+    for axis in ("workflows", "problems", "gammas", "kinds", "solvers", "seeds"):
+        value = grid.get(axis)
+        if value is not None and (
+            isinstance(value, str) or not isinstance(value, (list, tuple))
+        ):
+            raise ValueError(f"grid key {axis!r} must be a JSON array")
+
+    instances: list[SweepInstance] = []
+    used_labels: set[str] = set()
+
+    def unique_label(path: str) -> str:
+        stem = os.path.splitext(os.path.basename(path))[0]
+        label = stem
+        suffix = 2
+        while label in used_labels:
+            label = f"{stem}#{suffix}"
+            suffix += 1
+        used_labels.add(label)
+        return label
+
+    def load(path: str) -> Mapping[str, Any]:
+        full = path if os.path.isabs(path) else os.path.join(base_dir, path)
+        with open(full, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    for path in grid.get("workflows", ()):
+        payload = load(path)
+        if "workflow" in payload:  # a problem file: use its workflow part
+            payload = payload["workflow"]
+        instances.append(SweepInstance(unique_label(path), "workflow", payload))
+    for path in grid.get("problems", ()):
+        instances.append(SweepInstance(unique_label(path), "problem", load(path)))
+    if not instances:
+        raise ValueError("sweep grid names no 'workflows' or 'problems'")
+
+    seeds = tuple(grid.get("seeds", (0,)))
+    return SweepSpec(
+        instances=tuple(instances),
+        gammas=tuple(int(g) for g in grid.get("gammas", (2,))),
+        kinds=tuple(grid.get("kinds", ("set",))),
+        solvers=tuple(grid.get("solvers", ("auto",))),
+        seeds=tuple(None if s is None else int(s) for s in seeds),
+        backend=grid.get("backend"),
+        verify=bool(grid.get("verify", False)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+class _WorkerContext:
+    """Per-process state: one cache (with store back tier), rebuilt instances."""
+
+    def __init__(
+        self, store_path: str | None, store: DerivationStore | None = None
+    ) -> None:
+        if store is not None:
+            self.store: DerivationStore | None = store
+        else:
+            self.store = DerivationStore(store_path) if store_path else None
+        self.cache = DerivationCache(store=self.store)
+        self._instances: dict[str, tuple[Any, str]] = {}  # label -> (obj, fp)
+        self._planners: dict[tuple, Planner] = {}
+
+    def _instance(self, instance: SweepInstance) -> tuple[Any, str]:
+        cached = self._instances.get(instance.label)
+        if cached is not None:
+            return cached
+        from ..workloads.fingerprint import payload_fingerprint
+        from ..workloads.serialization import problem_from_dict, workflow_from_dict
+
+        if instance.source == "workflow":
+            obj = workflow_from_dict(instance.payload)
+            fingerprint = self.cache.fingerprint(obj)
+        else:
+            obj = problem_from_dict(instance.payload)
+            fingerprint = payload_fingerprint(
+                {"problem": instance.payload}
+            )
+        built = (obj, fingerprint)
+        self._instances[instance.label] = built
+        return built
+
+    def planner(
+        self,
+        instance: SweepInstance,
+        gamma: int | None,
+        kind: str | None,
+        backend: str | None,
+    ) -> tuple[Planner, str]:
+        key = (instance.label, gamma, kind, backend)
+        cached = self._planners.get(key)
+        obj, fingerprint = self._instance(instance)
+        if cached is not None:
+            return cached, fingerprint
+        if instance.source == "workflow":
+            planner = Planner(
+                obj, gamma, kind=kind, cache=self.cache, backend=backend
+            )
+        else:
+            planner = Planner.from_problem(obj, cache=self.cache, backend=backend)
+        self._planners[key] = planner
+        return planner, fingerprint
+
+
+#: Worker-process singleton, created by the pool initializer.
+_CONTEXT: _WorkerContext | None = None
+
+
+def _init_worker(store_path: str | None) -> None:
+    global _CONTEXT
+    _CONTEXT = _WorkerContext(store_path)
+
+
+def _error_record(cell: SweepCell, message: str, error_type: str) -> dict[str, Any]:
+    record: dict[str, Any] = {
+        "index": cell.index,
+        "workflow": cell.label,
+        "gamma": cell.gamma,
+        "kind": cell.kind,
+        "solver": cell.solver,
+        "seed": cell.seed,
+        "method": cell.solver,
+        "cost": float("inf"),
+        "error": message,
+        "error_type": error_type,
+        "from_store": False,
+    }
+    record.update(cell.params)
+    return record
+
+
+def _run_chunk_in(
+    context: _WorkerContext, chunk: Mapping[str, Any]
+) -> tuple[list[dict[str, Any]], dict[str, int]]:
+    """Run one chunk of cells (one planner's worth) and report stat deltas."""
+    instance: SweepInstance = chunk["instance"]
+    cells: Sequence[SweepCell] = chunk["cells"]
+    backend = chunk["backend"]
+    verify = bool(chunk["verify"])
+    reuse_results = bool(chunk["reuse_results"])
+
+    records: list[dict[str, Any]] = []
+    before_chunk = context.cache.stats()
+    result_hits = 0
+    for cell in cells:
+        fingerprint: str | None = None
+        result_key: tuple | None = None
+        deriving = False
+        try:
+            planner, fingerprint = context.planner(
+                instance, cell.gamma, cell.kind, backend
+            )
+            gamma = planner.gamma if cell.gamma is None else cell.gamma
+            kind = planner.kind if cell.kind is None else cell.kind
+            result_key = ResultKey(
+                planner.backend, gamma, kind, cell.solver, cell.seed, verify
+            )
+            stored = None
+            if context.store is not None and reuse_results:
+                stored = context.store.load_result(fingerprint, result_key)
+            if stored is not None:
+                record = dict(stored)
+                record["index"] = cell.index
+                record["workflow"] = cell.label
+                record["from_store"] = True
+                record.update(cell.params)
+                result_hits += 1
+                records.append(record)
+                continue
+            before = context.cache.stats()
+            deriving = True
+            planner.problem()  # phase marker: derivation failures persist
+            deriving = False
+            result = planner.solve(
+                solver=cell.solver, seed=cell.seed, verify=verify
+            )
+            delta = result.cache_stats.delta(before)
+            record = {
+                "workflow": cell.label,
+                "gamma": gamma,
+                "kind": kind,
+                "solver": cell.solver,
+                "resolved_solver": result.solver,
+                "method": str(result.solution.meta.get("method", result.solver)),
+                "seed": cell.seed,
+                "cost": result.cost,
+                "hidden_attributes": sorted(result.hidden_attributes),
+                "privatized_modules": sorted(result.privatized_modules),
+                "guarantee": result.guarantee,
+                "seconds": result.seconds,
+            }
+            if result.certificate is not None:
+                record["verified"] = result.certificate.ok
+            if context.store is not None:
+                context.store.save_result(fingerprint, result_key, record)
+            record["index"] = cell.index
+            record["from_store"] = False
+            record["cache"] = delta.as_dict()
+            record.update(cell.params)
+            records.append(record)
+        except Exception as exc:  # noqa: BLE001 - failure isolation by design
+            record = _error_record(cell, str(exc), type(exc).__name__)
+            if (
+                context.store is not None
+                and result_key is not None
+                and deriving
+                and isinstance(exc, RequirementError)
+            ):
+                # Infeasibility surfaced *during derivation* is a pure
+                # function of workflow content, so a warm store can skip
+                # the failing derivation next run too.  Anything else
+                # (work limits, solver applicability, environment
+                # failures) can change across versions and configurations
+                # and is never persisted.
+                context.store.save_result(
+                    fingerprint,
+                    result_key,
+                    {
+                        key: value
+                        for key, value in record.items()
+                        if key not in ("index", "from_store")
+                    },
+                )
+            records.append(record)
+    chunk_delta = context.cache.stats().delta(before_chunk).as_dict()
+    chunk_delta["result_store_hits"] = result_hits
+    return records, chunk_delta
+
+
+def _run_chunk(chunk: Mapping[str, Any]) -> tuple[list[dict[str, Any]], dict[str, int]]:
+    global _CONTEXT
+    if _CONTEXT is None:  # pragma: no cover - initializer always runs first
+        _CONTEXT = _WorkerContext(chunk.get("store_path"))
+    return _run_chunk_in(_CONTEXT, chunk)
+
+
+# ---------------------------------------------------------------------------
+# Driver side
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SweepReport:
+    """Everything a sweep produced: ordered records plus aggregate counters."""
+
+    records: list[dict[str, Any]]
+    n_jobs: int
+    seconds: float
+    stats: dict[str, int]
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for record in self.records if "error" in record)
+
+    @property
+    def result_store_hits(self) -> int:
+        return int(self.stats.get("result_store_hits", 0))
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "cells": len(self.records),
+            "errors": self.errors,
+            "jobs": self.n_jobs,
+            "seconds": self.seconds,
+            "stats": dict(self.stats),
+            "records": self.records,
+        }
+
+
+def _chunks_for(
+    spec: SweepSpec, store_path: str | None, reuse_results: bool, chunk_size: int | None
+) -> list[dict[str, Any]]:
+    """Group cells by (instance, Γ, kind) so each chunk shares one planner."""
+    by_instance = {instance.label: instance for instance in spec.instances}
+    grouped: dict[tuple, list[SweepCell]] = {}
+    for cell in spec.cells():
+        grouped.setdefault((cell.label, cell.gamma, cell.kind), []).append(cell)
+    chunks: list[dict[str, Any]] = []
+    for (label, _gamma, _kind), cells in grouped.items():
+        pieces = (
+            [cells]
+            if not chunk_size
+            else [cells[i : i + chunk_size] for i in range(0, len(cells), chunk_size)]
+        )
+        for piece in pieces:
+            chunks.append(
+                {
+                    "instance": by_instance[label],
+                    "cells": piece,
+                    "backend": spec.backend,
+                    "verify": spec.verify,
+                    "reuse_results": reuse_results,
+                    "store_path": store_path,
+                }
+            )
+    return chunks
+
+
+def _merge_stats(totals: dict[str, int], delta: Mapping[str, int]) -> None:
+    for key, value in delta.items():
+        totals[key] = totals.get(key, 0) + int(value)
+
+
+def run_sweep(
+    spec: SweepSpec,
+    n_jobs: int = 1,
+    store: DerivationStore | str | os.PathLike | None = None,
+    reuse_results: bool = True,
+    chunk_size: int | None = None,
+) -> SweepReport:
+    """Execute a sweep grid, serially or across ``n_jobs`` worker processes.
+
+    Parameters
+    ----------
+    spec:
+        The grid (see :class:`SweepSpec` / :func:`spec_from_grid`).
+    n_jobs:
+        Worker processes; ``1`` runs in-process through the *same* cell
+        runner, so serial and parallel sweeps produce identical records
+        (modulo timings).  ``0`` or negative selects :func:`default_jobs`.
+    store:
+        Optional persistent store (instance or directory path).  Each
+        worker attaches its own :class:`DerivationStore` over the same
+        directory; derived artifacts and solve results are shared across
+        workers and across runs.
+    reuse_results:
+        When a store is attached, serve previously-solved cells straight
+        from it (``from_store: true`` in the record) instead of re-running
+        the solver.  Derivation-level sharing happens regardless.
+    chunk_size:
+        Maximum cells per dispatched chunk; defaults to "all solver×seed
+        cells of one (instance, Γ, kind) planner", which maximizes
+        derivation sharing.  Smaller chunks trade sharing for balance.
+    """
+    if n_jobs <= 0:
+        n_jobs = default_jobs()
+    store_instance: DerivationStore | None = None
+    if isinstance(store, DerivationStore):
+        store_instance = store
+        store_path: str | None = str(store.root)
+    elif store is not None:
+        store_path = str(store)
+    else:
+        store_path = None
+
+    chunks = _chunks_for(spec, store_path, reuse_results, chunk_size)
+    started = time.perf_counter()
+    records: list[dict[str, Any]] = []
+    totals: dict[str, int] = {}
+
+    if n_jobs == 1 or len(chunks) <= 1:
+        # In-process: reuse a caller-passed store instance so its counters
+        # reflect the run (worker processes always open their own).
+        context = _WorkerContext(store_path, store=store_instance)
+        for chunk in chunks:
+            chunk_records, delta = _run_chunk_in(context, chunk)
+            records.extend(chunk_records)
+            _merge_stats(totals, delta)
+        effective_jobs = 1
+    else:
+        effective_jobs = min(n_jobs, len(chunks))
+        with ProcessPoolExecutor(
+            max_workers=effective_jobs,
+            initializer=_init_worker,
+            initargs=(store_path,),
+        ) as pool:
+            pending = {pool.submit(_run_chunk, chunk): chunk for chunk in chunks}
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    chunk = pending.pop(future)
+                    try:
+                        chunk_records, delta = future.result()
+                    except Exception as exc:  # noqa: BLE001 - isolate dead chunks
+                        chunk_records = [
+                            _error_record(cell, str(exc), type(exc).__name__)
+                            for cell in chunk["cells"]
+                        ]
+                        delta = {}
+                    records.extend(chunk_records)
+                    _merge_stats(totals, delta)
+
+    records.sort(key=lambda record: record["index"])
+    totals.setdefault("result_store_hits", 0)
+    for name in CacheStats().as_dict():
+        totals.setdefault(name, 0)
+    return SweepReport(
+        records=records,
+        n_jobs=effective_jobs,
+        seconds=time.perf_counter() - started,
+        stats=totals,
+    )

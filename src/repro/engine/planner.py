@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import random
 import time
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from ..core.requirements import RequirementList, SetRequirementList
 from ..core.secure_view import SecureViewProblem
@@ -33,6 +33,9 @@ from ..kernel import resolve_backend
 from .cache import DerivationCache
 from .registry import SolverRegistry, SolverSpec, default_registry
 from .result import PrivacyCertificate, SolveRequest, SolveResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .store import DerivationStore
 
 __all__ = ["Planner"]
 
@@ -57,6 +60,12 @@ class Planner:
         A shared :class:`DerivationCache`; a fresh one is created when
         omitted.  Pass one cache to several planners to share derivations
         across a parameter sweep.
+    store:
+        A persistent :class:`~repro.engine.store.DerivationStore` (or a
+        directory path for one) to attach as the cache's back tier, so
+        derivations survive across processes and runs.  When both ``cache``
+        and ``store`` are given, the store is attached to the cache unless
+        the cache already has one.
     registry:
         Solver registry to dispatch into; defaults to the process-wide one.
     backend:
@@ -76,6 +85,7 @@ class Planner:
         hidable_attributes: frozenset[str] | None = None,
         allow_privatization: bool = True,
         cache: DerivationCache | None = None,
+        store: "DerivationStore | str | None" = None,
         registry: SolverRegistry | None = None,
         backend: str | None = None,
     ) -> None:
@@ -88,6 +98,12 @@ class Planner:
         self.hidable_attributes = hidable_attributes
         self.allow_privatization = allow_privatization
         self.cache = cache if cache is not None else DerivationCache()
+        if store is not None and self.cache.store is None:
+            if isinstance(store, str):
+                from .store import DerivationStore
+
+                store = DerivationStore(store)
+            self.cache.attach_store(store)
         self.registry = registry if registry is not None else default_registry()
         if requirements is not None:
             first = next(iter(requirements.values()))
@@ -102,6 +118,7 @@ class Planner:
         problem: SecureViewProblem,
         *,
         cache: DerivationCache | None = None,
+        store: "DerivationStore | str | None" = None,
         registry: SolverRegistry | None = None,
         backend: str | None = None,
     ) -> "Planner":
@@ -113,6 +130,7 @@ class Planner:
             hidable_attributes=problem.hidable_attributes,
             allow_privatization=problem.allow_privatization,
             cache=cache,
+            store=store,
             registry=registry,
             backend=backend,
         )

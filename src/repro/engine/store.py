@@ -1,0 +1,356 @@
+"""Persistent, content-addressed store for derived Secure-View artifacts.
+
+Everything expensive about a Secure-View instance is a pure function of the
+workflow's *content* plus a handful of small parameters (Γ, requirement
+kind, backend, visible set, solver, seed).  A :class:`DerivationStore`
+therefore keys every artifact by the workflow's canonical-serialization
+fingerprint (:func:`repro.workloads.workflow_fingerprint`) and persists it
+as a plain JSON document under::
+
+    <root>/<fp[:2]>/<fingerprint>/
+        meta.json                      # human-readable instance summary
+        relation.json                  # provenance relation (domain-index rows)
+        pack.json                      # packed kernel tables (bit codes)
+        req-g<gamma>-<kind>-<backend>.json
+        outsets-<keydigest>.json       # one per (module, view, stop_at, backend)
+        result-<keydigest>.json        # one per (backend, gamma, kind, solver,
+                                       #          seed, verify) solve cell
+
+so a warm store lets a *different process* — a sweep worker, tomorrow's CLI
+invocation, a CI re-run — skip requirement derivation, provenance
+materialization, kernel packing, out-set enumeration, and even whole solver
+runs.  The store is the persistent back tier of the two-tier
+:class:`~repro.engine.cache.DerivationCache`; the cache owns the bounded
+in-memory front and probes the store on every memory miss.
+
+Concurrency: writes go to a per-process temp file followed by an atomic
+``os.replace``, so concurrent sweep workers racing on one key each publish
+a complete document and the last writer wins (all writers derive identical
+content, because keys are content hashes).  Corrupt or structurally
+incompatible documents are treated as misses and rewritten, never trusted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Mapping
+
+from ..kernel import CompiledWorkflow
+from ..workloads.serialization import (
+    relation_from_dict,
+    relation_to_dict,
+    requirement_from_dict,
+    requirement_to_dict,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.relation import Relation
+    from ..core.requirements import RequirementList
+    from ..core.workflow import Workflow
+
+__all__ = ["DerivationStore", "ResultKey", "OutSetKey"]
+
+#: Categories the store tracks hit/miss/write counters for.
+_CATEGORIES = ("requirements", "relation", "pack", "out_sets", "result")
+
+
+def _decode_row(domains: list, row: list) -> tuple:
+    """Map stored domain indices back to values, rejecting out-of-range ones.
+
+    Explicit bounds check: Python's negative indexing would otherwise make a
+    corrupt ``-1`` silently decode to the last domain value instead of
+    degrading to a store miss.
+    """
+    values = []
+    for domain, index in zip(domains, row):
+        index = int(index)
+        if not 0 <= index < len(domain):
+            raise ValueError(f"stored domain index {index} out of range")
+        values.append(domain[index])
+    return tuple(values)
+
+
+def _key_digest(parts: tuple) -> str:
+    """Short stable digest of a JSON-able key tuple (used in filenames)."""
+    canonical = json.dumps(parts, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def ResultKey(
+    backend: str,
+    gamma: int,
+    kind: str,
+    solver: str,
+    seed: int | None,
+    verify: bool = False,
+) -> tuple:
+    """The parameters that (with the fingerprint) identify one solve cell."""
+    return ("result", backend, gamma, kind, solver, seed, verify)
+
+
+def OutSetKey(
+    module_name: str,
+    visible: frozenset[str],
+    hidden_public_modules: frozenset[str],
+    stop_at: int | None,
+    backend: str,
+) -> tuple:
+    """The parameters identifying one out-set enumeration."""
+    return (
+        "outsets",
+        module_name,
+        sorted(visible),
+        sorted(hidden_public_modules),
+        stop_at,
+        backend,
+    )
+
+
+class DerivationStore:
+    """Disk-backed persistence for derived artifacts, keyed by content.
+
+    Parameters
+    ----------
+    root:
+        Directory to persist under; created (with parents) if absent.
+
+    The store never loads anything it cannot validate: relations are decoded
+    against the live workflow schema, packs are checked for bit-layout
+    compatibility, and any JSON or structural error degrades to a miss.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits: dict[str, int] = {category: 0 for category in _CATEGORIES}
+        self.misses: dict[str, int] = {category: 0 for category in _CATEGORIES}
+        self.writes: dict[str, int] = {category: 0 for category in _CATEGORIES}
+
+    # -- paths and raw IO -------------------------------------------------------
+    def _dir(self, fingerprint: str) -> Path:
+        return self.root / fingerprint[:2] / fingerprint
+
+    def _read(self, category: str, path: Path) -> Any | None:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            self.misses[category] += 1
+            return None
+        self.hits[category] += 1
+        return payload
+
+    def _write(self, category: str | None, path: Path, payload: Any) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except OSError:
+            # A read-only or vanished store directory must never kill a
+            # solve; persistence is best-effort by design.
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return
+        if category is not None:
+            self.writes[category] += 1
+
+    def _write_meta(self, fingerprint: str, workflow: "Workflow") -> None:
+        meta_path = self._dir(fingerprint) / "meta.json"
+        if meta_path.exists():
+            return
+        self._write(
+            None,  # meta is bookkeeping, not a counted artifact
+            meta_path,
+            {
+                "fingerprint": fingerprint,
+                "workflow": workflow.name,
+                "modules": len(workflow),
+                "attributes": len(workflow.attribute_names),
+            },
+        )
+
+    # -- requirements -----------------------------------------------------------
+    def load_requirements(
+        self, fingerprint: str, gamma: int, kind: str, backend: str
+    ) -> dict[str, "RequirementList"] | None:
+        path = self._dir(fingerprint) / f"req-g{gamma}-{kind}-{backend}.json"
+        payload = self._read("requirements", path)
+        if payload is None:
+            return None
+        try:
+            return {
+                item["module"]: requirement_from_dict(item)
+                for item in payload["requirements"]
+            }
+        except (KeyError, TypeError, ValueError):
+            self.hits["requirements"] -= 1
+            self.misses["requirements"] += 1
+            return None
+
+    def save_requirements(
+        self,
+        fingerprint: str,
+        gamma: int,
+        kind: str,
+        backend: str,
+        requirements: Mapping[str, "RequirementList"],
+        workflow: "Workflow | None" = None,
+    ) -> None:
+        path = self._dir(fingerprint) / f"req-g{gamma}-{kind}-{backend}.json"
+        self._write(
+            "requirements",
+            path,
+            {
+                "gamma": gamma,
+                "kind": kind,
+                "backend": backend,
+                # Insertion order (workflow module order) is preserved so a
+                # store-served mapping is indistinguishable from a freshly
+                # derived one — LP/IP constraint ordering, and therefore
+                # tie-breaking among equal-cost optima, must not change.
+                "requirements": [
+                    requirement_to_dict(requirement)
+                    for requirement in requirements.values()
+                ],
+            },
+        )
+        if workflow is not None:
+            self._write_meta(fingerprint, workflow)
+
+    # -- provenance relation ----------------------------------------------------
+    def load_relation(
+        self, fingerprint: str, workflow: "Workflow"
+    ) -> "Relation | None":
+        payload = self._read("relation", self._dir(fingerprint) / "relation.json")
+        if payload is None:
+            return None
+        try:
+            return relation_from_dict(workflow.schema, payload)
+        except Exception:
+            self.hits["relation"] -= 1
+            self.misses["relation"] += 1
+            return None
+
+    def save_relation(
+        self, fingerprint: str, relation: "Relation", workflow: "Workflow | None" = None
+    ) -> None:
+        self._write(
+            "relation",
+            self._dir(fingerprint) / "relation.json",
+            relation_to_dict(relation),
+        )
+        if workflow is not None:
+            self._write_meta(fingerprint, workflow)
+
+    # -- compiled kernel packs --------------------------------------------------
+    def load_pack(
+        self, fingerprint: str, workflow: "Workflow", relation: "Relation"
+    ) -> CompiledWorkflow | None:
+        payload = self._read("pack", self._dir(fingerprint) / "pack.json")
+        if payload is None:
+            return None
+        try:
+            return CompiledWorkflow.from_payload(workflow, relation, payload)
+        except Exception:
+            self.hits["pack"] -= 1
+            self.misses["pack"] += 1
+            return None
+
+    def save_pack(self, fingerprint: str, compiled: CompiledWorkflow) -> None:
+        self._write(
+            "pack", self._dir(fingerprint) / "pack.json", compiled.to_payload()
+        )
+
+    # -- verification out-sets --------------------------------------------------
+    def load_out_sets(
+        self, fingerprint: str, workflow: "Workflow", key: tuple
+    ) -> dict | None:
+        path = self._dir(fingerprint) / f"outsets-{_key_digest(key)}.json"
+        payload = self._read("out_sets", path)
+        if payload is None:
+            return None
+        try:
+            module = workflow.module(payload["module"])
+            in_domains = [a.domain.values for a in module.input_schema]
+            out_domains = [a.domain.values for a in module.output_schema]
+            return {
+                _decode_row(in_domains, key_row): {
+                    _decode_row(out_domains, out_row) for out_row in out_rows
+                }
+                for key_row, out_rows in payload["entries"]
+            }
+        except Exception:
+            self.hits["out_sets"] -= 1
+            self.misses["out_sets"] += 1
+            return None
+
+    def save_out_sets(
+        self,
+        fingerprint: str,
+        workflow: "Workflow",
+        key: tuple,
+        module_name: str,
+        out_sets: Mapping[tuple, set],
+    ) -> None:
+        module = workflow.module(module_name)
+        in_indexers = [
+            {value: idx for idx, value in enumerate(a.domain.values)}
+            for a in module.input_schema
+        ]
+        out_indexers = [
+            {value: idx for idx, value in enumerate(a.domain.values)}
+            for a in module.output_schema
+        ]
+        entries = sorted(
+            [
+                [indexer[v] for indexer, v in zip(in_indexers, key_row)],
+                sorted(
+                    [indexer[v] for indexer, v in zip(out_indexers, out_row)]
+                    for out_row in out_rows
+                ),
+            ]
+            for key_row, out_rows in out_sets.items()
+        )
+        path = self._dir(fingerprint) / f"outsets-{_key_digest(key)}.json"
+        self._write("out_sets", path, {"module": module_name, "entries": entries})
+
+    # -- solve results ----------------------------------------------------------
+    def load_result(self, fingerprint: str, key: tuple) -> dict | None:
+        path = self._dir(fingerprint) / f"result-{_key_digest(key)}.json"
+        payload = self._read("result", path)
+        if isinstance(payload, dict):
+            return payload
+        if payload is not None:
+            self.hits["result"] -= 1
+            self.misses["result"] += 1
+        return None
+
+    def save_result(self, fingerprint: str, key: tuple, record: Mapping) -> None:
+        path = self._dir(fingerprint) / f"result-{_key_digest(key)}.json"
+        self._write("result", path, dict(record))
+
+    # -- bookkeeping ------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """Flat counter snapshot (per category plus totals)."""
+        flat: dict[str, int] = {}
+        for category in _CATEGORIES:
+            flat[f"{category}_hits"] = self.hits[category]
+            flat[f"{category}_misses"] = self.misses[category]
+            flat[f"{category}_writes"] = self.writes[category]
+        flat["hits"] = sum(self.hits.values())
+        flat["misses"] = sum(self.misses.values())
+        flat["writes"] = sum(self.writes.values())
+        return flat
+
+    def reset_stats(self) -> None:
+        for category in _CATEGORIES:
+            self.hits[category] = 0
+            self.misses[category] = 0
+            self.writes[category] = 0

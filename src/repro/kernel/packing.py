@@ -73,15 +73,23 @@ class BitLayout:
     )
 
     def __init__(self, schema: "Schema") -> None:
-        names = tuple(schema.names)
+        self._build(
+            tuple(schema.names),
+            [tuple(schema[name].domain.values) for name in schema.names],
+        )
+
+    def _build(
+        self,
+        names: tuple[str, ...],
+        domain_values_per_name: Sequence[tuple["Value", ...]],
+    ) -> None:
         offsets: dict[str, int] = {}
         widths: dict[str, int] = {}
         field_masks: dict[str, int] = {}
         codes: dict[str, dict["Value", int]] = {}
         values: dict[str, tuple["Value", ...]] = {}
         offset = 0
-        for name in names:
-            domain_values = tuple(schema[name].domain.values)
+        for name, domain_values in zip(names, domain_values_per_name):
             width = max(1, (len(domain_values) - 1).bit_length())
             offsets[name] = offset
             widths[name] = width
@@ -96,6 +104,41 @@ class BitLayout:
         self.total_bits = offset
         self._codes = codes
         self._values = values
+
+    # -- stable serialization --------------------------------------------------
+    def to_dict(self) -> dict:
+        """Portable description of the layout (names, widths, domain sizes).
+
+        Domain *values* are not embedded — a layout is always reconstructed
+        against a live schema — but the structural facts that determine code
+        compatibility (field order, widths, domain sizes) are, so a stored
+        pack can be validated against the schema it is loaded for.
+        """
+        return {
+            "attributes": [
+                {
+                    "name": name,
+                    "width": self.widths[name],
+                    "domain_size": len(self._values[name]),
+                }
+                for name in self.names
+            ],
+            "total_bits": self.total_bits,
+        }
+
+    def compatible_with(self, payload: Mapping[str, object]) -> bool:
+        """Would codes packed under ``payload``'s layout decode identically here?"""
+        attributes = payload.get("attributes")
+        if not isinstance(attributes, list) or len(attributes) != len(self.names):
+            return False
+        for name, entry in zip(self.names, attributes):
+            if (
+                entry.get("name") != name
+                or entry.get("width") != self.widths[name]
+                or entry.get("domain_size") != len(self._values[name])
+            ):
+                return False
+        return payload.get("total_bits") == self.total_bits
 
     # -- masks ---------------------------------------------------------------
     def mask_for(self, names: Iterable[str]) -> int:
@@ -195,6 +238,31 @@ class PackedRelation:
     ) -> "PackedRelation":
         layout = layout if layout is not None else BitLayout(relation.schema)
         return cls(layout, layout.pack_relation(relation))
+
+    # -- stable serialization --------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe form: the layout description plus the raw codes.
+
+        Codes are arbitrary-precision Python ints, which JSON carries
+        exactly, so packs wider than 64 bits round-trip unchanged.
+        """
+        return {"layout": self.layout.to_dict(), "codes": list(self.codes)}
+
+    @classmethod
+    def from_dict(
+        cls, layout: BitLayout, payload: Mapping[str, object]
+    ) -> "PackedRelation":
+        """Rebuild a pack against a live layout; ``None``-safe validation.
+
+        Raises :class:`ValueError` when the stored layout description is
+        structurally incompatible with ``layout`` (field order, widths or
+        domain sizes drifted), which turns a silently-corrupt cache read
+        into a recompile.
+        """
+        stored_layout = payload.get("layout", {})
+        if not layout.compatible_with(stored_layout):
+            raise ValueError("stored pack layout is incompatible with the schema")
+        return cls(layout, [int(code) for code in payload["codes"]])
 
     def __len__(self) -> int:
         return len(self.codes)

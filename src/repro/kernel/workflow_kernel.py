@@ -77,6 +77,44 @@ class CompiledWorkflow:
         }
         self._public_tables: dict[str, dict[int, int]] = {}
 
+    # -- stable serialization ----------------------------------------------------
+    def to_payload(self) -> dict:
+        """JSON-safe form of the packed tables for the derivation store.
+
+        Only the packed relation is persisted: module bitmasks are derived
+        from the schema in microseconds and public functionality tables are
+        lazy, so shipping the codes is what saves the expensive pass
+        (row-by-row packing of a potentially large provenance relation).
+        """
+        return {"pack": self.packed.to_dict()}
+
+    @classmethod
+    def from_payload(
+        cls, workflow: "Workflow", relation: "Relation", payload: dict
+    ) -> "CompiledWorkflow":
+        """Rebuild a compiled workflow from :meth:`to_payload` output.
+
+        ``workflow`` and ``relation`` must be the live objects the payload
+        was compiled from (the store guarantees this by keying payloads on
+        the workflow's content fingerprint); the packed codes are validated
+        structurally against the schema's layout and a mismatch raises
+        :class:`ValueError` so callers fall back to recompiling.
+        """
+        compiled = cls.__new__(cls)
+        compiled.workflow = workflow
+        compiled.base_relation = relation
+        compiled.layout = BitLayout(workflow.schema)
+        compiled.packed = PackedRelation.from_dict(compiled.layout, payload["pack"])
+        compiled._module_bits = {
+            module.name: (
+                compiled.layout.mask_for(module.input_names),
+                compiled.layout.mask_for(module.output_names),
+            )
+            for module in workflow.modules
+        }
+        compiled._public_tables = {}
+        return compiled
+
     # -- precompiled public functionality --------------------------------------
     def _public_table(self, module_name: str) -> dict[int, int]:
         """``input_code -> output_code`` over a public module's full domain."""

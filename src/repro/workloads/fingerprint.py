@@ -1,0 +1,61 @@
+"""Content-addressed workflow fingerprints.
+
+The persistent derivation store (:mod:`repro.engine.store`) keys every
+artifact — requirement lists, provenance relations, compiled kernel packs,
+verification out-sets, solve results — by the *content* of the workflow it
+was derived from, so two processes (or two runs weeks apart) that analyze
+the same workflow share one store entry regardless of how the workflow
+object was built.
+
+A fingerprint is the SHA-256 digest of the workflow's canonical
+serialization: the :func:`~repro.workloads.serialization.workflow_to_dict`
+payload with modules sorted by name and every JSON object emitted with
+sorted keys.  It is therefore invariant under
+
+* the iteration order of any dict the caller assembled the payload from,
+* the order modules were passed to :class:`~repro.core.workflow.Workflow`
+  (module names are unique within a workflow), and
+* a serialize → deserialize round trip (functionality is tabulated, so the
+  rebuilt workflow re-serializes to the same tables).
+
+It changes whenever anything semantically relevant changes: a module table,
+an attribute domain or cost, a privacy flag, or the workflow's name.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import TYPE_CHECKING, Any, Mapping
+
+from .serialization import workflow_to_dict
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.workflow import Workflow
+
+__all__ = ["canonical_workflow_payload", "payload_fingerprint", "workflow_fingerprint"]
+
+
+def canonical_workflow_payload(workflow: "Workflow") -> dict[str, Any]:
+    """The serialized workflow with module order normalized by name."""
+    payload = workflow_to_dict(workflow)
+    payload["modules"] = sorted(payload["modules"], key=lambda m: m["name"])
+    return payload
+
+
+def payload_fingerprint(payload: Mapping[str, Any]) -> str:
+    """SHA-256 over the canonical JSON encoding of an arbitrary payload.
+
+    ``sort_keys`` makes the digest independent of dict insertion order;
+    compact separators make it independent of formatting.  Values must be
+    JSON-serializable (workflow payloads are by construction).
+    """
+    canonical = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def workflow_fingerprint(workflow: "Workflow") -> str:
+    """Stable content hash of a workflow (see module docstring)."""
+    return payload_fingerprint(canonical_workflow_payload(workflow))

@@ -28,8 +28,9 @@ from __future__ import annotations
 import json
 from typing import Any, Mapping
 
-from ..core.attributes import Attribute, Domain
+from ..core.attributes import Attribute, Domain, Schema
 from ..core.module import Module, tabulate_function
+from ..core.relation import Relation
 from ..core.requirements import (
     CardinalityRequirement,
     CardinalityRequirementList,
@@ -49,6 +50,10 @@ __all__ = [
     "problem_from_dict",
     "solution_to_dict",
     "solution_from_dict",
+    "requirement_to_dict",
+    "requirement_from_dict",
+    "relation_to_dict",
+    "relation_from_dict",
     "dump_workflow",
     "load_workflow",
     "dump_problem",
@@ -149,7 +154,8 @@ def load_workflow(path: str) -> Workflow:
 # Requirement lists, problems and solutions
 # ---------------------------------------------------------------------------
 
-def _requirement_to_dict(requirement: RequirementList) -> dict[str, Any]:
+def requirement_to_dict(requirement: RequirementList) -> dict[str, Any]:
+    """Serialize one requirement list (set or cardinality) to plain JSON."""
     if isinstance(requirement, SetRequirementList):
         return {
             "kind": "set",
@@ -173,7 +179,8 @@ def _requirement_to_dict(requirement: RequirementList) -> dict[str, Any]:
     raise SchemaError(f"cannot serialize requirement list of type {type(requirement)!r}")
 
 
-def _requirement_from_dict(payload: Mapping[str, Any]) -> RequirementList:
+def requirement_from_dict(payload: Mapping[str, Any]) -> RequirementList:
+    """Rebuild a requirement list from :func:`requirement_to_dict` output."""
     module_name = payload["module"]
     if payload["kind"] == "set":
         return SetRequirementList(
@@ -197,6 +204,54 @@ def _requirement_from_dict(payload: Mapping[str, Any]) -> RequirementList:
     raise SchemaError(f"unknown requirement kind {payload['kind']!r}")
 
 
+def relation_to_dict(relation: Relation) -> dict[str, Any]:
+    """Serialize a relation as domain-index rows (exact for any domain).
+
+    Rows are encoded positionally as indices into each attribute's canonical
+    domain order, so arbitrary hashable domain values (not just JSON types)
+    round-trip exactly through :func:`relation_from_dict` given the same
+    schema.  Used by the persistent derivation store.
+    """
+    indexers = [
+        {value: idx for idx, value in enumerate(attribute.domain.values)}
+        for attribute in relation.schema
+    ]
+    return {
+        "attributes": list(relation.attribute_names),
+        "rows": [
+            [indexer[value] for indexer, value in zip(indexers, tup)]
+            for tup in relation.tuples
+        ],
+    }
+
+
+def relation_from_dict(schema: Schema, payload: Mapping[str, Any]) -> Relation:
+    """Rebuild a relation from :func:`relation_to_dict` against a schema.
+
+    The schema must carry the same attributes (name, domain order) the
+    relation was serialized under; a mismatch raises :class:`SchemaError`.
+    """
+    names = tuple(payload["attributes"])
+    if names != schema.names:
+        raise SchemaError(
+            f"stored relation attributes {names!r} do not match schema "
+            f"{schema.names!r}"
+        )
+    domains = [schema[name].domain.values for name in names]
+    tuples = []
+    for row in payload["rows"]:
+        values = []
+        for domain, index in zip(domains, row):
+            index = int(index)
+            # Explicit bounds check: negative indexing would silently map a
+            # corrupt -1 to the last domain value instead of failing.
+            if not 0 <= index < len(domain):
+                raise SchemaError(f"stored relation index {index} out of range")
+            values.append(domain[index])
+        tuples.append(tuple(values))
+    return Relation.from_tuples(schema, tuples, check_domains=False)
+
+
 def problem_to_dict(problem: SecureViewProblem) -> dict[str, Any]:
     """Serialize a Secure-View problem (workflow + requirements + options)."""
     return {
@@ -205,7 +260,7 @@ def problem_to_dict(problem: SecureViewProblem) -> dict[str, Any]:
         "allow_privatization": problem.allow_privatization,
         "hidable_attributes": sorted(problem.hidable_attributes),
         "requirements": [
-            _requirement_to_dict(requirement)
+            requirement_to_dict(requirement)
             for requirement in problem.requirements.values()
         ],
     }
@@ -215,7 +270,7 @@ def problem_from_dict(payload: Mapping[str, Any]) -> SecureViewProblem:
     """Rebuild a Secure-View problem from :func:`problem_to_dict` output."""
     workflow = workflow_from_dict(payload["workflow"])
     requirements = {
-        item["module"]: _requirement_from_dict(item)
+        item["module"]: requirement_from_dict(item)
         for item in payload["requirements"]
     }
     return SecureViewProblem(

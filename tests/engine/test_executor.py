@@ -1,0 +1,223 @@
+"""Tests for the parallel sweep executor."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import (
+    SweepInstance,
+    SweepSpec,
+    run_sweep,
+    scrub_record,
+    spec_from_grid,
+)
+from repro.workloads import (
+    figure1_workflow,
+    problem_to_dict,
+    random_problem,
+    random_workflow,
+    workflow_to_dict,
+)
+
+
+def _spec(solvers=("set_lp", "greedy"), seeds=(0,), **kwargs) -> SweepSpec:
+    instances = tuple(
+        SweepInstance(f"w{seed}", "workflow", workflow_to_dict(random_workflow(5, seed=seed)))
+        for seed in (1, 2)
+    )
+    return SweepSpec(
+        instances=instances, gammas=(2,), kinds=("set",), solvers=solvers,
+        seeds=seeds, **kwargs
+    )
+
+
+class TestGridExpansion:
+    def test_cells_are_deterministic_and_indexed(self):
+        spec = _spec()
+        cells = spec.cells()
+        assert [cell.index for cell in cells] == list(range(len(cells)))
+        assert cells == spec.cells()
+        assert len(cells) == 2 * 1 * 1 * 2 * 1
+
+    def test_problem_instances_ignore_grid_axes(self):
+        problem = random_problem(n_modules=5, kind="set", seed=3)
+        spec = SweepSpec(
+            instances=(SweepInstance("p", "problem", problem_to_dict(problem)),),
+            gammas=(2, 3),
+            kinds=("set", "cardinality"),
+            solvers=("greedy",),
+        )
+        cells = spec.cells()
+        assert len(cells) == 1  # gammas/kinds come baked into the problem
+        assert cells[0].gamma is None and cells[0].kind is None
+
+    def test_explicit_solver_seed_pairs(self):
+        spec = _spec(solver_seed_pairs=(("exact", None), ("greedy", 7)))
+        cells = spec.cells()
+        assert [(c.solver, c.seed) for c in cells[:2]] == [("exact", None), ("greedy", 7)]
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(ValueError):
+            SweepInstance("x", "mystery", {})
+
+
+class TestSerialParallelEquivalence:
+    def test_records_identical_modulo_timings(self):
+        spec = _spec()
+        serial = run_sweep(spec, n_jobs=1)
+        parallel = run_sweep(spec, n_jobs=2)
+        assert [scrub_record(r) for r in serial.records] == [
+            scrub_record(r) for r in parallel.records
+        ]
+        assert serial.errors == parallel.errors == 0
+
+    def test_records_sorted_by_index(self):
+        report = run_sweep(_spec(), n_jobs=2)
+        assert [r["index"] for r in report.records] == list(range(len(report.records)))
+
+
+class TestFailureIsolation:
+    def test_bad_solver_yields_error_record_not_dead_sweep(self):
+        spec = _spec(solvers=("lp_rounding", "greedy"))  # lp_rounding: wrong kind
+        report = run_sweep(spec, n_jobs=1)
+        errors = [r for r in report.records if "error" in r]
+        oks = [r for r in report.records if "error" not in r]
+        assert len(errors) == 2 and len(oks) == 2
+        assert all(r["cost"] == float("inf") for r in errors)
+        assert all(r["method"] == "lp_rounding" for r in errors)
+
+    def test_error_records_match_across_serial_and_parallel(self):
+        spec = _spec(solvers=("lp_rounding", "greedy"))
+        serial = run_sweep(spec, n_jobs=1)
+        parallel = run_sweep(spec, n_jobs=2)
+        assert [scrub_record(r) for r in serial.records] == [
+            scrub_record(r) for r in parallel.records
+        ]
+
+
+class TestStoreIntegration:
+    def test_warm_store_performs_zero_derivations(self, tmp_path):
+        spec = _spec()
+        store = tmp_path / "store"
+        cold = run_sweep(spec, n_jobs=2, store=store)
+        assert cold.stats["derivation_misses"] > 0
+        warm = run_sweep(spec, n_jobs=2, store=store)
+        assert warm.stats["derivation_misses"] == 0
+        assert warm.result_store_hits == len(warm.records)
+        assert [scrub_record(r) for r in warm.records] == [
+            scrub_record(r) for r in cold.records
+        ]
+        assert all(r["from_store"] for r in warm.records)
+
+    def test_infeasible_gamma_failures_are_served_from_store(self, tmp_path):
+        # Γ=6 is infeasible for these instances (RequirementError), which is
+        # a pure function of workflow content: the warm run must skip even
+        # the failing cells' derivations.
+        instances = tuple(
+            SweepInstance(
+                f"w{seed}", "workflow", workflow_to_dict(random_workflow(5, seed=seed))
+            )
+            for seed in (1, 2)
+        )
+        spec = SweepSpec(
+            instances=instances, gammas=(2, 6), kinds=("set",), solvers=("greedy",)
+        )
+        store = tmp_path / "store"
+        cold = run_sweep(spec, n_jobs=1, store=store)
+        assert cold.errors == 2
+        assert all(
+            record["error_type"] == "RequirementError"
+            for record in cold.records
+            if "error" in record
+        )
+        warm = run_sweep(spec, n_jobs=1, store=store)
+        assert warm.errors == 2
+        assert warm.stats["derivation_misses"] == 0
+        assert warm.result_store_hits == len(warm.records)
+        assert [scrub_record(r) for r in warm.records] == [
+            scrub_record(r) for r in cold.records
+        ]
+
+    def test_solver_applicability_failures_are_not_persisted(self, tmp_path):
+        # SolverError (wrong-kind solver) depends on registry metadata that
+        # can change across versions — never served from a warm store.
+        spec = _spec(solvers=("lp_rounding", "greedy"))
+        store = tmp_path / "store"
+        run_sweep(spec, n_jobs=1, store=store)
+        warm = run_sweep(spec, n_jobs=1, store=store)
+        assert warm.errors == 2
+        assert warm.stats["derivation_misses"] == 0  # derivations still shared
+        assert warm.result_store_hits == 2  # only the successful greedy cells
+
+    def test_fresh_results_still_reuses_derivations(self, tmp_path):
+        spec = _spec()
+        store = tmp_path / "store"
+        run_sweep(spec, n_jobs=1, store=store)
+        warm = run_sweep(spec, n_jobs=1, store=store, reuse_results=False)
+        assert warm.result_store_hits == 0
+        assert warm.stats["derivation_misses"] == 0  # derivations from store
+        assert warm.stats["store_hits"] > 0
+
+    def test_serial_run_updates_caller_store_counters(self, tmp_path):
+        from repro.engine import DerivationStore
+
+        store = DerivationStore(tmp_path / "store")
+        run_sweep(_spec(), n_jobs=1, store=store)
+        assert store.stats()["writes"] > 0
+        run_sweep(_spec(), n_jobs=1, store=store)
+        assert store.stats()["result_hits"] > 0
+
+
+class TestVerification:
+    def test_verify_attaches_certificates(self):
+        spec = SweepSpec(
+            instances=(
+                SweepInstance("fig1", "workflow", workflow_to_dict(figure1_workflow())),
+            ),
+            solvers=("exact",),
+            verify=True,
+        )
+        report = run_sweep(spec, n_jobs=1)
+        assert report.records[0]["verified"] is True
+
+
+class TestGridFile:
+    def test_spec_from_grid_reads_workflow_and_problem_files(self, tmp_path):
+        from repro.workloads import dump_problem
+
+        problem = random_problem(n_modules=5, kind="set", seed=4)
+        problem_path = tmp_path / "p.json"
+        dump_problem(problem, str(problem_path))
+        workflow_path = tmp_path / "w.json"
+        workflow_path.write_text(
+            json.dumps(workflow_to_dict(random_workflow(4, seed=6)))
+        )
+        grid = {
+            "workflows": ["w.json", "p.json"],  # problem file contributes its workflow
+            "problems": ["p.json"],
+            "gammas": [2],
+            "kinds": ["set"],
+            "solvers": ["greedy"],
+            "seeds": [0],
+        }
+        spec = spec_from_grid(grid, base_dir=str(tmp_path))
+        assert len(spec.instances) == 3
+        assert [i.source for i in spec.instances] == ["workflow", "workflow", "problem"]
+        labels = [i.label for i in spec.instances]
+        assert len(set(labels)) == 3  # duplicate basenames are disambiguated
+        report = run_sweep(spec, n_jobs=1)
+        assert report.errors == 0 and len(report.records) == 3
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            spec_from_grid({"gammas": [2]})
+
+    def test_non_object_grid_rejected(self):
+        with pytest.raises(ValueError):
+            spec_from_grid([1, 2])
+
+    def test_string_axis_rejected(self):
+        with pytest.raises(ValueError):
+            spec_from_grid({"workflows": "w1.json"})

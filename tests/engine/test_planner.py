@@ -151,3 +151,23 @@ class TestVerification:
         stats = figure1_planner.cache.stats()
         assert stats.out_set_misses == before
         assert stats.out_set_hits >= 3
+
+
+class TestSolverListing:
+    """Planner.solvers() must be deterministically ordered (regression)."""
+
+    def test_listing_is_deterministic_across_calls(self, figure1_planner):
+        names = [spec.name for spec in figure1_planner.solvers()]
+        for _ in range(3):
+            assert [spec.name for spec in figure1_planner.solvers()] == names
+
+    def test_listing_ordered_by_cost_rank_then_name(self, figure1_planner):
+        specs = figure1_planner.solvers(applicable_only=False)
+        keys = [(spec.cost_rank, spec.name) for spec in specs]
+        assert keys == sorted(keys)
+
+    def test_applicable_listing_preserves_rank_order(self, figure1_planner):
+        specs = figure1_planner.solvers()
+        keys = [(spec.cost_rank, spec.name) for spec in specs]
+        assert keys == sorted(keys)
+        assert specs  # figure 1 always has applicable solvers

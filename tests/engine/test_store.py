@@ -1,0 +1,250 @@
+"""Tests for the persistent derivation store and the two-tier cache."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import DerivationCache, DerivationStore, Planner
+from repro.engine.store import OutSetKey, ResultKey
+from repro.workloads import figure1_workflow, random_workflow, workflow_fingerprint
+
+
+@pytest.fixture
+def store(tmp_path) -> DerivationStore:
+    return DerivationStore(tmp_path / "store")
+
+
+class TestArtifactRoundTrips:
+    def test_requirements_round_trip(self, store):
+        workflow = figure1_workflow()
+        fingerprint = workflow_fingerprint(workflow)
+        cache = DerivationCache()
+        derived = cache.requirements(workflow, 2, "set", backend="kernel")
+        store.save_requirements(fingerprint, 2, "set", "kernel", derived)
+        loaded = store.load_requirements(fingerprint, 2, "set", "kernel")
+        assert set(loaded) == set(derived)
+        for name in derived:
+            assert list(loaded[name]) == list(derived[name])
+
+    def test_relation_round_trip(self, store):
+        workflow = figure1_workflow()
+        fingerprint = workflow_fingerprint(workflow)
+        relation = workflow.provenance_relation()
+        store.save_relation(fingerprint, relation, workflow=workflow)
+        loaded = store.load_relation(fingerprint, workflow)
+        assert loaded == relation
+
+    def test_pack_round_trip_produces_identical_out_sets(self, store):
+        workflow = figure1_workflow()
+        fingerprint = workflow_fingerprint(workflow)
+        cache = DerivationCache()
+        compiled = cache.compiled_workflow(workflow)
+        store.save_pack(fingerprint, compiled)
+        loaded = store.load_pack(
+            fingerprint, workflow, workflow.provenance_relation()
+        )
+        visible = frozenset({"a1", "a3", "a5"})
+        for module in workflow.module_names:
+            assert loaded.module_out_sets(module, visible) == compiled.module_out_sets(
+                module, visible
+            )
+
+    def test_out_sets_round_trip(self, store):
+        workflow = figure1_workflow()
+        fingerprint = workflow_fingerprint(workflow)
+        cache = DerivationCache()
+        visible = frozenset({"a1", "a3", "a5"})
+        out_sets = cache.module_out_sets(
+            workflow, "m1", visible, frozenset(), stop_at=None, backend="kernel"
+        )
+        key = OutSetKey("m1", visible, frozenset(), None, "kernel")
+        store.save_out_sets(fingerprint, workflow, key, "m1", out_sets)
+        assert store.load_out_sets(fingerprint, workflow, key) == out_sets
+
+    def test_result_round_trip(self, store):
+        key = ResultKey("kernel", 2, "set", "exact", None, False)
+        record = {"cost": 3.0, "solver": "exact", "hidden_attributes": ["a2"]}
+        store.save_result("ab" * 32, key, record)
+        assert store.load_result("ab" * 32, key) == record
+
+    def test_missing_entries_are_misses(self, store):
+        workflow = figure1_workflow()
+        fingerprint = workflow_fingerprint(workflow)
+        assert store.load_requirements(fingerprint, 2, "set", "kernel") is None
+        assert store.load_relation(fingerprint, workflow) is None
+        assert store.load_result(fingerprint, ResultKey("kernel", 2, "set", "a", 0)) is None
+        stats = store.stats()
+        assert stats["hits"] == 0 and stats["misses"] == 3
+
+    def test_corrupt_entry_degrades_to_miss(self, store):
+        workflow = figure1_workflow()
+        fingerprint = workflow_fingerprint(workflow)
+        relation = workflow.provenance_relation()
+        store.save_relation(fingerprint, relation)
+        path = store._dir(fingerprint) / "relation.json"
+        path.write_text("{not json")
+        assert store.load_relation(fingerprint, workflow) is None
+
+    def test_corrupt_pack_degrades_to_miss(self, store):
+        workflow = figure1_workflow()
+        fingerprint = workflow_fingerprint(workflow)
+        relation = workflow.provenance_relation()
+        for payload in ('{"layout": "x", "codes": []}', '{"pack": {"layout": "x"}}'):
+            path = store._dir(fingerprint) / "pack.json"
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(payload)
+            assert store.load_pack(fingerprint, workflow, relation) is None
+
+    def test_negative_domain_index_degrades_to_miss(self, store):
+        workflow = figure1_workflow()
+        fingerprint = workflow_fingerprint(workflow)
+        store.save_relation(fingerprint, workflow.provenance_relation())
+        path = store._dir(fingerprint) / "relation.json"
+        payload = json.loads(path.read_text())
+        payload["rows"][0][0] = -1  # would silently wrap via domain[-1]
+        path.write_text(json.dumps(payload))
+        assert store.load_relation(fingerprint, workflow) is None
+
+    def test_requirements_round_trip_preserves_order(self, store):
+        workflow = figure1_workflow()
+        fingerprint = workflow_fingerprint(workflow)
+        derived = DerivationCache().requirements(workflow, 2, "set")
+        store.save_requirements(fingerprint, 2, "set", "kernel", derived)
+        loaded = store.load_requirements(fingerprint, 2, "set", "kernel")
+        # Same mapping order as fresh derivation: constraint ordering (and
+        # thus LP/IP tie-breaking among equal optima) must not change.
+        assert list(loaded) == list(derived)
+
+    def test_structurally_wrong_entry_degrades_to_miss(self, store):
+        workflow = figure1_workflow()
+        other = random_workflow(4, seed=5)
+        fingerprint = workflow_fingerprint(workflow)
+        store.save_relation(fingerprint, other.provenance_relation())
+        # Decoding against the wrong schema must fail safe, not misdecode.
+        assert store.load_relation(fingerprint, workflow) is None
+
+
+class TestTwoTierCache:
+    def test_warm_store_skips_derivation_in_fresh_cache(self, store):
+        workflow = figure1_workflow()
+        cold = DerivationCache(store=store)
+        cold.requirements(workflow, 2, "set")
+        assert cold.derivation_misses == 1 and cold.store_misses >= 1
+
+        warm = DerivationCache(store=store)
+        rebuilt = figure1_workflow()  # a distinct object, same content
+        lists = warm.requirements(rebuilt, 2, "set")
+        assert warm.derivation_misses == 0
+        assert warm.store_hits == 1
+        assert set(lists) == {m.name for m in workflow.private_modules}
+
+    def test_warm_store_serves_relation_pack_and_out_sets(self, store):
+        workflow = figure1_workflow()
+        cold = DerivationCache(store=store)
+        visible = frozenset({"a1", "a3", "a5"})
+        cold.relation(workflow)
+        cold.compiled_workflow(workflow)
+        expected = cold.module_out_sets(
+            workflow, "m1", visible, frozenset(), stop_at=None, backend="kernel"
+        )
+
+        warm = DerivationCache(store=store)
+        rebuilt = figure1_workflow()
+        assert warm.relation(rebuilt) == cold.relation(workflow)
+        warm.compiled_workflow(rebuilt)
+        got = warm.module_out_sets(
+            rebuilt, "m1", visible, frozenset(), stop_at=None, backend="kernel"
+        )
+        assert got == expected
+        assert warm.relation_misses == 0
+        assert warm.compile_misses == 0  # served from the store, not compiled
+        assert warm.compile_hits == 1
+        assert warm.out_set_misses == 0
+        assert warm.store_hits >= 3
+
+    def test_planner_store_path_round_trip(self, tmp_path):
+        directory = str(tmp_path / "store")
+        first = Planner(figure1_workflow(), 2, kind="set", store=directory)
+        result = first.solve(solver="exact", verify=True)
+
+        second = Planner(figure1_workflow(), 2, kind="set", store=directory)
+        again = second.solve(solver="exact", verify=True)
+        assert again.cost == result.cost
+        assert again.certificate.ok == result.certificate.ok
+        assert again.cache_stats.derivation_misses == 0
+        assert again.cache_stats.out_set_misses == 0
+        assert again.cache_stats.store_hits > 0
+
+    def test_memory_front_is_bounded(self):
+        cache = DerivationCache(max_entries=2)
+        for seed in range(4):
+            cache.relation(random_workflow(3, seed=seed))
+        assert len(cache._relations) <= 2
+        # Pins survive eviction so id() reuse can never alias an entry.
+        assert len(cache._workflows) == 4
+
+    def test_seeded_requirements_are_never_evicted(self):
+        # Caller-provided lists may not be re-derivable (generators attach
+        # random requirements): the FIFO bound must not touch them.
+        from repro.workloads import random_problem
+
+        cache = DerivationCache(max_entries=2)
+        problem = random_problem(n_modules=4, kind="set", seed=21)
+        cache.seed_requirements(
+            problem.workflow, problem.gamma, "set", problem.requirements
+        )
+        for seed in range(4):  # churn the bounded derived-requirements table
+            cache.requirements(random_workflow(3, seed=seed), 2, "set")
+        served = cache.requirements(problem.workflow, problem.gamma, "set")
+        assert served is problem.requirements
+
+
+class TestClearRegression:
+    """DerivationCache.clear() drops everything, including pinned packs."""
+
+    def test_clear_drops_pinned_compiled_and_resets_counters(self):
+        cache = DerivationCache()
+        workflow = figure1_workflow()
+        cache.compiled_workflow(workflow)
+        cache.compiled_workflow(workflow)
+        cache.requirements(workflow, 2, "set")
+        assert cache._compiled and cache.compile_hits == 1
+
+        cache.clear()
+        assert not cache._compiled
+        assert not cache._workflows and not cache._fingerprints
+        assert not cache._requirements and not cache._relations
+        assert not cache._out_sets
+        stats = cache.stats()
+        assert stats.hits == 0 and stats.misses == 0
+        assert stats.compile_hits == stats.compile_misses == 0
+        assert stats.store_hits == stats.store_misses == 0
+
+    def test_clear_keeps_disk_artifacts(self, tmp_path):
+        store = DerivationStore(tmp_path / "store")
+        cache = DerivationCache(store=store)
+        workflow = figure1_workflow()
+        cache.requirements(workflow, 2, "set")
+        cache.clear()
+        assert cache.store is store
+        warm = cache.requirements(figure1_workflow(), 2, "set")
+        assert cache.derivation_misses == 0 and cache.store_hits == 1
+        assert warm
+
+
+class TestCacheStatsSurface:
+    def test_stats_dict_includes_store_counters(self):
+        cache = DerivationCache()
+        payload = cache.stats().as_dict()
+        for key in ("compile_hits", "compile_misses", "store_hits", "store_misses"):
+            assert key in payload
+
+    def test_delta_subtracts_fieldwise(self):
+        cache = DerivationCache()
+        before = cache.stats()
+        cache.requirements(figure1_workflow(), 2, "set")
+        delta = cache.stats().delta(before)
+        assert delta.derivation_misses == 1
+        assert delta.derivation_hits == 0

@@ -20,6 +20,24 @@ def problem_file(tmp_path) -> str:
     return str(path)
 
 
+class TestTopLevel:
+    def test_version_flag_prints_version_and_exits_zero(self, capsys):
+        assert main(["--version"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        assert any(ch.isdigit() for ch in out)
+
+    def test_unknown_subcommand_exits_nonzero_with_usage(self, capsys):
+        assert main(["frobnicate"]) == 2
+        err = capsys.readouterr().err
+        assert "usage:" in err
+        assert "invalid choice" in err
+
+    def test_no_subcommand_exits_nonzero_with_usage(self, capsys):
+        assert main([]) == 2
+        assert "usage:" in capsys.readouterr().err
+
+
 class TestInfoAndSolve:
     def test_info_prints_summary(self, problem_file, capsys):
         assert main(["info", problem_file]) == 0
@@ -39,6 +57,20 @@ class TestInfoAndSolve:
         assert main(["solve", problem_file, "--method", "greedy", "--local-search"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["hidden_attributes"]
+
+    def test_solve_payload_surfaces_cache_stats(self, problem_file, capsys):
+        assert main(["solve", problem_file, "--solver", "exact"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        stats = payload["cache_stats"]
+        for key in (
+            "derivation_hits",
+            "derivation_misses",
+            "compile_hits",
+            "compile_misses",
+            "store_hits",
+            "store_misses",
+        ):
+            assert isinstance(stats[key], int) and stats[key] >= 0
 
 
 class TestVerifyAndAttack:
@@ -122,3 +154,76 @@ class TestEngine:
             ) == 0
             outputs.append(json.loads(capsys.readouterr().out)["hidden_attributes"])
         assert outputs[0] == outputs[1]
+
+
+class TestSweep:
+    @pytest.fixture
+    def grid_file(self, tmp_path, capsys) -> str:
+        for seed in (1, 2):
+            main(
+                [
+                    "generate", str(tmp_path / f"w{seed}.json"),
+                    "--modules", "5", "--kind", "set", "--seed", str(seed),
+                ]
+            )
+        capsys.readouterr()
+        grid = tmp_path / "grid.json"
+        grid.write_text(
+            json.dumps(
+                {
+                    "workflows": ["w1.json", "w2.json"],
+                    "gammas": [2],
+                    "kinds": ["set"],
+                    "solvers": ["set_lp", "greedy"],
+                    "seeds": [0],
+                }
+            )
+        )
+        return str(grid)
+
+    def test_sweep_emits_json_report(self, grid_file, tmp_path, capsys):
+        out_path = tmp_path / "report.json"
+        assert main(["sweep", grid_file, "--jobs", "2", "--output", str(out_path)]) == 0
+        printed = json.loads(capsys.readouterr().out)
+        written = json.loads(out_path.read_text())
+        assert printed == written
+        assert printed["cells"] == 4 and printed["errors"] == 0
+        assert len(printed["records"]) == 4
+        assert all("cache" in record for record in printed["records"])
+
+    def test_repeated_sweep_against_warm_store_derives_nothing(
+        self, grid_file, tmp_path, capsys
+    ):
+        store = str(tmp_path / "store")
+        assert main(["sweep", grid_file, "--jobs", "2", "--store", store]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["stats"]["derivation_misses"] > 0
+
+        assert main(["sweep", grid_file, "--jobs", "2", "--store", store]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["stats"]["derivation_misses"] == 0
+        assert warm["stats"]["result_store_hits"] == warm["cells"]
+        scrub = ("seconds", "cache", "from_store")
+        assert [
+            {k: v for k, v in record.items() if k not in scrub}
+            for record in warm["records"]
+        ] == [
+            {k: v for k, v in record.items() if k not in scrub}
+            for record in cold["records"]
+        ]
+
+    def test_sweep_missing_grid_errors_cleanly(self, tmp_path, capsys):
+        assert main(["sweep", str(tmp_path / "nope.json")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_sweep_malformed_grid_errors_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["sweep", str(bad)]) == 1
+        assert "error: invalid grid file" in capsys.readouterr().err
+
+    def test_sweep_empty_grid_errors_cleanly(self, tmp_path, capsys):
+        empty = tmp_path / "empty.json"
+        empty.write_text("{}")
+        assert main(["sweep", str(empty)]) == 1
+        assert "error: invalid grid file" in capsys.readouterr().err

@@ -1,0 +1,91 @@
+"""Tests for content-addressed workflow fingerprints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Module, Workflow, boolean_attributes
+from repro.workloads import (
+    canonical_workflow_payload,
+    figure1_workflow,
+    payload_fingerprint,
+    random_workflow,
+    workflow_fingerprint,
+    workflow_from_dict,
+    workflow_to_dict,
+)
+
+
+def _reversed_keys(obj):
+    """Rebuild a JSON payload with every dict's key order reversed."""
+    if isinstance(obj, dict):
+        return {key: _reversed_keys(obj[key]) for key in reversed(list(obj))}
+    if isinstance(obj, list):
+        return [_reversed_keys(item) for item in obj]
+    return obj
+
+
+class TestFingerprintStability:
+    def test_deterministic_across_calls(self):
+        workflow = figure1_workflow()
+        assert workflow_fingerprint(workflow) == workflow_fingerprint(workflow)
+
+    def test_equal_for_independent_builds(self):
+        assert workflow_fingerprint(figure1_workflow()) == workflow_fingerprint(
+            figure1_workflow()
+        )
+
+    def test_survives_serialization_round_trip(self):
+        workflow = random_workflow(6, seed=3)
+        rebuilt = workflow_from_dict(workflow_to_dict(workflow))
+        assert workflow_fingerprint(rebuilt) == workflow_fingerprint(workflow)
+
+    def test_invariant_under_module_order(self):
+        a, b, c = boolean_attributes(["a", "b", "c"])
+        first = Module("first", [a], [b], lambda v: {"b": v["a"]})
+        second = Module("second", [b], [c], lambda v: {"c": 1 - v["b"]})
+        one = Workflow([first, second], name="chain")
+        other = Workflow([second, first], name="chain")
+        assert workflow_fingerprint(one) == workflow_fingerprint(other)
+
+    def test_invariant_under_payload_dict_ordering(self):
+        workflow = random_workflow(5, seed=9)
+        payload = workflow_to_dict(workflow)
+        shuffled = _reversed_keys(payload)
+        shuffled["modules"] = list(reversed(shuffled["modules"]))
+        rebuilt = workflow_from_dict(shuffled)
+        assert workflow_fingerprint(rebuilt) == workflow_fingerprint(workflow)
+
+
+class TestFingerprintSensitivity:
+    def test_differs_across_workflows(self):
+        assert workflow_fingerprint(random_workflow(5, seed=1)) != workflow_fingerprint(
+            random_workflow(5, seed=2)
+        )
+
+    def test_differs_when_functionality_changes(self):
+        a, b = boolean_attributes(["a", "b"])
+        identity = Workflow(
+            [Module("m", [a], [b], lambda v: {"b": v["a"]})], name="w"
+        )
+        negation = Workflow(
+            [Module("m", [a], [b], lambda v: {"b": 1 - v["a"]})], name="w"
+        )
+        assert workflow_fingerprint(identity) != workflow_fingerprint(negation)
+
+    def test_differs_when_cost_changes(self):
+        workflow = figure1_workflow()
+        reweighted = workflow.with_attribute_costs({"a1": 42.0})
+        assert workflow_fingerprint(workflow) != workflow_fingerprint(reweighted)
+
+
+class TestPayloadFingerprint:
+    def test_key_order_does_not_matter(self):
+        assert payload_fingerprint({"x": 1, "y": [2, 3]}) == payload_fingerprint(
+            {"y": [2, 3], "x": 1}
+        )
+
+    def test_canonical_payload_sorts_modules(self):
+        payload = canonical_workflow_payload(figure1_workflow())
+        names = [module["name"] for module in payload["modules"]]
+        assert names == sorted(names)

@@ -107,6 +107,6 @@ class TestSolutionRoundTrip:
 
     def test_unknown_requirement_kind_rejected(self):
         with pytest.raises(SchemaError):
-            from repro.workloads.serialization import _requirement_from_dict
+            from repro.workloads.serialization import requirement_from_dict
 
-            _requirement_from_dict({"kind": "bogus", "module": "m", "options": []})
+            requirement_from_dict({"kind": "bogus", "module": "m", "options": []})
