@@ -17,7 +17,13 @@ The CLI exposes the everyday operations a workflow owner would run:
 * ``sweep``     — run a (workflow × Γ × kind × solver × seed) grid from a
   JSON grid file, optionally in parallel (``--jobs``) and against a
   persistent derivation store (``--store``), emitting a JSON report,
+* ``store``     — maintain a persistent derivation store directory
+  (``store stats DIR``, ``store gc DIR --max-bytes N``),
 * ``engine``    — inspect the solver engine (``engine list-solvers``).
+
+``solve``, ``compare`` and ``sweep`` all accept ``--store DIR``: a warm
+store serves requirement derivations (module-granular), packed relations,
+out-sets and whole solve results across runs and processes.
 
 Solving goes through :mod:`repro.engine`; ``--solver`` accepts any name in
 the registry (``repro engine list-solvers``).  All files are the JSON
@@ -80,7 +86,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 def _cmd_solve(args: argparse.Namespace) -> int:
     problem = load_problem(args.problem)
-    planner = Planner.from_problem(problem)
+    planner = Planner.from_problem(problem, store=args.store or None)
     result = planner.solve(
         solver=args.solver or args.method,
         seed=args.seed,
@@ -90,6 +96,11 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     payload = solution_to_dict(result.solution)
     payload["solver"] = result.solver
     payload["cache_stats"] = result.cache_stats.as_dict()
+    if args.store:
+        # Surface the warm-store win directly: how many artifacts this
+        # solve was served from disk instead of deriving.
+        payload["store"] = args.store
+        payload["store_hits"] = result.cache_stats.store_hits
     if result.guarantee:
         payload["guarantee"] = result.guarantee
     if result.certificate is not None:
@@ -216,6 +227,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         seeds=tuple(range(args.seeds)),
         include_exact=not args.no_exact,
         n_jobs=args.jobs,
+        store=args.store or None,
     )
     print(
         format_records(
@@ -224,6 +236,39 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             caption=f"solver comparison on {args.problem}",
         )
     )
+    return 0
+
+
+def _open_store(directory: str):
+    import os
+
+    if not os.path.isdir(directory):
+        print(f"error: {directory} is not a store directory", file=sys.stderr)
+        return None
+    from .engine import DerivationStore
+
+    return DerivationStore(directory)
+
+
+def _cmd_store_stats(args: argparse.Namespace) -> int:
+    store = _open_store(args.dir)
+    if store is None:
+        return 1
+    print(json.dumps(store.disk_stats(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_store_gc(args: argparse.Namespace) -> int:
+    store = _open_store(args.dir)
+    if store is None:
+        return 1
+    try:
+        summary = store.gc(args.max_bytes)
+    except ValueError as exc:  # e.g. a negative --max-bytes
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    summary["root"] = args.dir
+    print(json.dumps(summary, indent=2, sort_keys=True))
     return 0
 
 
@@ -296,6 +341,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="attach a brute-force Γ-privacy certificate (small instances)",
     )
+    solve.add_argument(
+        "--store",
+        default="",
+        help=(
+            "persistent derivation store directory; a warm store skips "
+            f"derivation and reports store_hits (e.g. {DEFAULT_STORE_DIR})"
+        ),
+    )
     solve.add_argument("--output", default="")
     solve.set_defaults(func=_cmd_solve)
 
@@ -343,7 +396,42 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument(
         "--jobs", type=int, default=1, help="worker processes for the comparison"
     )
+    compare.add_argument(
+        "--store",
+        default="",
+        help=f"persistent derivation store directory (e.g. {DEFAULT_STORE_DIR})",
+    )
     compare.set_defaults(func=_cmd_compare)
+
+    store = sub.add_parser(
+        "store",
+        help="inspect or prune a persistent derivation store directory",
+        description=(
+            "Maintenance for long-lived .repro-store/ directories: 'stats' "
+            "summarizes bytes/files per artifact kind and entry counts "
+            "(workflow tier and shared module tier); 'gc' prunes least-"
+            "recently-used artifacts down to a byte budget, never touching "
+            "in-flight temp files.  Artifacts are re-derivable caches, so "
+            "gc never loses information."
+        ),
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_stats = store_sub.add_parser(
+        "stats", help="summarize what a store directory holds"
+    )
+    store_stats.add_argument("dir")
+    store_stats.set_defaults(func=_cmd_store_stats)
+    store_gc = store_sub.add_parser(
+        "gc", help="prune a store to a byte budget (LRU by mtime)"
+    )
+    store_gc.add_argument("dir")
+    store_gc.add_argument(
+        "--max-bytes",
+        type=int,
+        required=True,
+        help="target size; oldest-touched artifacts are deleted first",
+    )
+    store_gc.set_defaults(func=_cmd_store_gc)
 
     sweep = sub.add_parser(
         "sweep",

@@ -64,6 +64,7 @@ from .requirements import (
     SetRequirement,
     SetRequirementList,
     derive_cardinality_requirements,
+    derive_module_requirement,
     derive_set_requirements,
     derive_workflow_requirements,
 )
@@ -133,6 +134,7 @@ __all__ = [
     "CardinalityRequirementList",
     "derive_set_requirements",
     "derive_cardinality_requirements",
+    "derive_module_requirement",
     "derive_workflow_requirements",
     # composition
     "flip_assignment",

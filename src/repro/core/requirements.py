@@ -29,6 +29,7 @@ from .relation import Relation
 from .standalone import (
     minimal_safe_cardinality_pairs,
     minimal_safe_hidden_subsets,
+    pareto_minimal_pairs,
 )
 from .workflow import Workflow
 
@@ -40,6 +41,7 @@ __all__ = [
     "RequirementList",
     "derive_set_requirements",
     "derive_cardinality_requirements",
+    "derive_module_requirement",
     "derive_workflow_requirements",
 ]
 
@@ -221,6 +223,7 @@ def derive_set_requirements(
     gamma: int,
     relation: Relation | None = None,
     backend: str | None = None,
+    compiled=None,
 ) -> SetRequirementList:
     """Derive a module's set-constraint list from standalone privacy analysis.
 
@@ -228,10 +231,19 @@ def derive_set_requirements(
     (Section 3.2's exhaustive enumeration), split into their input and output
     parts.  Theorem 4 guarantees these standalone options remain sufficient
     inside an all-private workflow.
+
+    ``compiled`` accepts an already-compiled
+    :class:`~repro.kernel.module_kernel.CompiledModule` (e.g. one served
+    from the derivation store's module tier, warm privacy-level memos
+    included); when given, the sweep runs on it directly and ``relation`` /
+    ``backend`` are ignored.
     """
-    minimal = minimal_safe_hidden_subsets(
-        module, gamma, relation=relation, backend=backend
-    )
+    if compiled is not None:
+        minimal = compiled.minimal_safe_hidden_subsets(gamma)
+    else:
+        minimal = minimal_safe_hidden_subsets(
+            module, gamma, relation=relation, backend=backend
+        )
     inputs = set(module.input_names)
     outputs = set(module.output_names)
     options = [
@@ -246,17 +258,52 @@ def derive_cardinality_requirements(
     gamma: int,
     relation: Relation | None = None,
     backend: str | None = None,
+    compiled=None,
 ) -> CardinalityRequirementList:
-    """Derive a module's cardinality-constraint list (Pareto-minimal pairs)."""
-    pairs = minimal_safe_cardinality_pairs(
-        module, gamma, relation=relation, backend=backend
-    )
+    """Derive a module's cardinality-constraint list (Pareto-minimal pairs).
+
+    ``compiled`` works as in :func:`derive_set_requirements`.
+    """
+    if compiled is not None:
+        pairs = pareto_minimal_pairs(compiled.safe_cardinality_pairs(gamma))
+    else:
+        pairs = minimal_safe_cardinality_pairs(
+            module, gamma, relation=relation, backend=backend
+        )
     if not pairs:
         raise RequirementError(
             f"module {module.name!r} admits no cardinality-safe pair for Γ={gamma}"
         )
     options = [CardinalityRequirement(alpha, beta) for alpha, beta in pairs]
     return CardinalityRequirementList(module.name, options)
+
+
+def derive_module_requirement(
+    module: Module,
+    gamma: int,
+    kind: str = "set",
+    relation: Relation | None = None,
+    backend: str | None = None,
+    compiled=None,
+) -> RequirementList:
+    """The requirement list of *one* module — the unit of derivation.
+
+    Everything here is a pure function of the module's own content (its
+    name, schemas and tabulated functionality) plus ``(Γ, kind)``: the
+    paper's composition theorems turn standalone guarantees into workflow
+    requirement lists module by module, which is what lets the engine key
+    these artifacts by :func:`~repro.workloads.module_fingerprint` and share
+    them across every workflow containing the module.
+    """
+    if kind == "set":
+        return derive_set_requirements(
+            module, gamma, relation=relation, backend=backend, compiled=compiled
+        )
+    if kind == "cardinality":
+        return derive_cardinality_requirements(
+            module, gamma, relation=relation, backend=backend, compiled=compiled
+        )
+    raise RequirementError(f"unknown requirement kind {kind!r}")
 
 
 def derive_workflow_requirements(
@@ -288,14 +335,12 @@ def derive_workflow_requirements(
         if modules is not None
         else list(workflow.private_modules)
     )
-    lists: dict[str, RequirementList] = {}
-    for module in targets:
-        if kind == "set":
-            lists[module.name] = derive_set_requirements(
-                module, gamma, backend=backend
-            )
-        else:
-            lists[module.name] = derive_cardinality_requirements(
-                module, gamma, backend=backend
-            )
-    return lists
+    # A workflow's requirement mapping is nothing but the per-module
+    # derivations assembled in workflow module order — the property the
+    # engine's module-granular cache tier relies on.
+    return {
+        module.name: derive_module_requirement(
+            module, gamma, kind=kind, backend=backend
+        )
+        for module in targets
+    }

@@ -34,6 +34,7 @@ __all__ = [
     "minimum_cost_safe_subset",
     "enumerate_safe_hidden_subsets",
     "minimal_safe_hidden_subsets",
+    "pareto_minimal_pairs",
     "safe_cardinality_pairs",
     "minimal_safe_cardinality_pairs",
 ]
@@ -271,6 +272,20 @@ def safe_cardinality_pairs(
     return valid
 
 
+def pareto_minimal_pairs(pairs: Iterable[tuple[int, int]]) -> list[tuple[int, int]]:
+    """The Pareto frontier of ``(α, β)`` pairs under component-wise dominance.
+
+    A pair dominates another if it requires no more hidden inputs *and* no
+    more hidden outputs.  Shared by the reference and compiled derivation
+    paths so the dominance rule can never diverge between them.
+    """
+    minimal: list[tuple[int, int]] = []
+    for alpha, beta in sorted(pairs):
+        if not any(a <= alpha and b <= beta for a, b in minimal):
+            minimal.append((alpha, beta))
+    return minimal
+
+
 def minimal_safe_cardinality_pairs(
     module: Module,
     gamma: int,
@@ -279,13 +294,9 @@ def minimal_safe_cardinality_pairs(
 ) -> list[tuple[int, int]]:
     """The Pareto-minimal ``(α, β)`` pairs among :func:`safe_cardinality_pairs`.
 
-    A pair dominates another if it requires no more hidden inputs *and* no
-    more hidden outputs.  The Pareto frontier is what a non-redundant
-    cardinality requirement list ``L_i`` contains (Section 4.2 / B.4).
+    The Pareto frontier is what a non-redundant cardinality requirement
+    list ``L_i`` contains (Section 4.2 / B.4).
     """
-    pairs = safe_cardinality_pairs(module, gamma, relation=relation, backend=backend)
-    minimal: list[tuple[int, int]] = []
-    for alpha, beta in sorted(pairs):
-        if not any(a <= alpha and b <= beta for a, b in minimal):
-            minimal.append((alpha, beta))
-    return minimal
+    return pareto_minimal_pairs(
+        safe_cardinality_pairs(module, gamma, relation=relation, backend=backend)
+    )

@@ -17,7 +17,8 @@ Components
 :class:`Planner`
     Derives requirement lists and materializes relations **once**, memoizes
     them in a :class:`DerivationCache`, auto-selects solvers, and verifies
-    Γ-privacy on request.
+    Γ-privacy on request.  ``Planner.evolve`` produces a planner for an
+    edited workflow that re-derives only the modules whose content changed.
 :class:`SolverRegistry` / :func:`register_solver`
     Decorator-based registry of algorithms with metadata (constraint kind,
     scope, randomization, guarantee); pre-populated with every algorithm in
@@ -28,11 +29,14 @@ Components
     Two-tier memoization of requirement derivation, provenance relations,
     compiled kernel packs and verification out-sets: a bounded in-memory
     front plus an optional persistent :class:`DerivationStore` back, with
-    hit/miss counters for both tiers.
+    hit/miss counters for both tiers.  Requirement derivation is
+    module-granular: per-module lists and packs are keyed by module content
+    fingerprint and shared across workflows, cost variants and edit-chains.
 :class:`DerivationStore`
     Content-addressed, disk-backed persistence for derived artifacts keyed
-    by workflow fingerprint — a warm store skips derivation across process
-    boundaries.
+    by workflow fingerprint — plus a shared ``modules/`` tier keyed by
+    module fingerprint — so a warm store skips derivation across process
+    boundaries.  ``disk_stats``/``gc`` keep long-lived stores bounded.
 :func:`run_sweep` / :class:`SweepSpec`
     The parallel sweep executor: fan a (workflow × Γ × kind × solver ×
     seed) grid over worker processes with per-worker store attachment,

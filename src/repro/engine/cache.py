@@ -29,6 +29,17 @@ Since PR 3 the cache is **two-tier**:
   ``Planner.solve`` skip derivation entirely *across process boundaries* —
   sweep workers, repeated CLI runs, CI re-runs.
 
+Since PR 4 requirement derivation is additionally **module-granular**: a
+workflow's requirement mapping is assembled from per-module lookups keyed
+by :func:`~repro.workloads.module_fingerprint` (module *content*, costs and
+privacy flags excluded).  The per-module tables — requirement lists and
+compiled module packs — are shared by every workflow the cache has seen and
+by the store's ``modules/`` tier, so two workflows sharing nine of ten
+modules derive the tenth only, and editing one module of a pipeline
+re-derives exactly that module (``reused_modules`` / ``rederived_modules``
+count it).  The workflow-level requirement entry is kept as a fast path on
+top: a fully warm repeat is one lookup, not one per module.
+
 Hit/miss counters are kept per category (including ``store_hits`` /
 ``store_misses`` for the back tier) so benchmarks and tests can assert the
 sharing actually happened.
@@ -39,13 +50,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping
 
+from ..core.module import Module
 from ..core.possible_worlds import workflow_out_sets
-from ..core.requirements import RequirementList, derive_workflow_requirements
+from ..core.requirements import RequirementList, derive_module_requirement
 from ..core.relation import Relation
 from ..core.workflow import Workflow
 from ..kernel import (
+    KERNEL,
     VALID_BACKENDS,
+    CompiledModule,
     CompiledWorkflow,
+    compile_module,
     compile_workflow,
     resolve_backend,
 )
@@ -75,6 +90,10 @@ class CacheStats:
     compile_misses: int = 0
     store_hits: int = 0
     store_misses: int = 0
+    #: Module-granular accounting: per-module requirement lookups served
+    #: from the shared module tier (memory or store) vs actually derived.
+    reused_modules: int = 0
+    rederived_modules: int = 0
 
     @property
     def hits(self) -> int:
@@ -106,6 +125,8 @@ class CacheStats:
             "compile_misses": self.compile_misses,
             "store_hits": self.store_hits,
             "store_misses": self.store_misses,
+            "reused_modules": self.reused_modules,
+            "rederived_modules": self.rederived_modules,
         }
 
     def delta(self, earlier: "CacheStats") -> "CacheStats":
@@ -146,6 +167,12 @@ class DerivationCache:
     _relations: dict[int, Relation] = field(default_factory=dict)
     _out_sets: dict[tuple, dict] = field(default_factory=dict)
     _compiled: dict[int, CompiledWorkflow] = field(default_factory=dict)
+    #: Shared module tier: keyed by module *content* fingerprint, so any two
+    #: workflows containing the same module hit the same entries.
+    _modules: dict[int, Module] = field(default_factory=dict)
+    _module_fingerprints: dict[int, str] = field(default_factory=dict)
+    _module_requirements: dict[tuple, RequirementList] = field(default_factory=dict)
+    _compiled_modules: dict[str, CompiledModule] = field(default_factory=dict)
     derivation_hits: int = 0
     derivation_misses: int = 0
     relation_hits: int = 0
@@ -156,10 +183,17 @@ class DerivationCache:
     compile_misses: int = 0
     store_hits: int = 0
     store_misses: int = 0
+    reused_modules: int = 0
+    rederived_modules: int = 0
 
     def _pin(self, workflow: Workflow) -> int:
         key = id(workflow)
         self._workflows.setdefault(key, workflow)
+        return key
+
+    def _pin_module(self, module: Module) -> int:
+        key = id(module)
+        self._modules.setdefault(key, module)
         return key
 
     def _remember(self, table: dict, key, value) -> None:
@@ -179,6 +213,22 @@ class DerivationCache:
 
             cached = workflow_fingerprint(workflow)
             self._fingerprints[key] = cached
+        return cached
+
+    def module_fingerprint(self, module: Module) -> str:
+        """The module's content hash (shared-tier key), computed at most once.
+
+        Costs and privacy flags are excluded (see
+        :func:`repro.workloads.module_fingerprint`), so a what-if cost
+        override or a privatization maps to the same entry.
+        """
+        key = self._pin_module(module)
+        cached = self._module_fingerprints.get(key)
+        if cached is None:
+            from ..workloads.fingerprint import module_fingerprint
+
+            cached = module_fingerprint(module)
+            self._module_fingerprints[key] = cached
         return cached
 
     def attach_store(self, store: "DerivationStore | None") -> None:
@@ -216,7 +266,83 @@ class DerivationCache:
             self.store.save_pack(self.fingerprint(workflow), compiled)
         return compiled
 
+    def compiled_module(self, module: Module) -> CompiledModule:
+        """The bit-compiled form of one module, packed at most once per content.
+
+        Keyed by module fingerprint, so every workflow containing the module
+        (and every Γ/kind sweep over it) shares one pack — in memory and,
+        when a store is attached, on disk (privacy-level memos included, so
+        a round-tripped pack answers repeat sweeps from the memo).
+        """
+        fingerprint = self.module_fingerprint(module)
+        cached = self._compiled_modules.get(fingerprint)
+        if cached is not None:
+            return cached
+        if self.store is not None:
+            loaded = self.store.load_module_pack(fingerprint, module)
+            if loaded is not None:
+                self.store_hits += 1
+                self._remember(self._compiled_modules, fingerprint, loaded)
+                return loaded
+            self.store_misses += 1
+        compiled = compile_module(module)
+        self._remember(self._compiled_modules, fingerprint, compiled)
+        return compiled
+
     # -- requirement derivation -------------------------------------------------
+    def module_requirement(
+        self,
+        module: Module,
+        gamma: int,
+        kind: str,
+        backend: str | None = None,
+    ) -> RequirementList:
+        """One module's requirement list, derived at most once per *content*.
+
+        This is the unit the whole derivation pipeline is keyed on: entries
+        are shared across workflows, cost variants and edit-chains through
+        the module fingerprint, both in the memory front and in the store's
+        ``modules/`` tier.  ``reused_modules`` / ``rederived_modules`` count
+        how the lookup was served.
+        """
+        backend = resolve_backend(backend)
+        fingerprint = self.module_fingerprint(module)
+        key = (fingerprint, gamma, kind, backend)
+        cached = self._module_requirements.get(key)
+        if cached is not None:
+            self.reused_modules += 1
+            return cached
+        if self.store is not None:
+            loaded = self.store.load_module_requirement(
+                fingerprint, gamma, kind, backend
+            )
+            if loaded is not None:
+                self.store_hits += 1
+                self.reused_modules += 1
+                self._remember(self._module_requirements, key, loaded)
+                return loaded
+            self.store_misses += 1
+        self.rederived_modules += 1
+        if backend == KERNEL:
+            compiled = self.compiled_module(module)
+            derived = derive_module_requirement(
+                module, gamma, kind=kind, compiled=compiled
+            )
+            if self.store is not None:
+                # Export the pack *after* the sweep so the privacy-level
+                # memos it populated ride along for future Γ/kind sweeps.
+                self.store.save_module_pack(fingerprint, compiled, module=module)
+        else:
+            derived = derive_module_requirement(
+                module, gamma, kind=kind, backend=backend
+            )
+        self._remember(self._module_requirements, key, derived)
+        if self.store is not None:
+            self.store.save_module_requirement(
+                fingerprint, gamma, kind, backend, derived, module=module
+            )
+        return derived
+
     def requirements(
         self,
         workflow: Workflow,
@@ -224,7 +350,13 @@ class DerivationCache:
         kind: str,
         backend: str | None = None,
     ) -> Mapping[str, RequirementList]:
-        """Requirement lists for every private module, derived at most once."""
+        """Requirement lists for every private module, derived at most once.
+
+        The workflow-level entry (memory, then store) is the fast path; on a
+        true workflow-level miss the mapping is *assembled* from per-module
+        lookups in workflow module order, so only modules this cache (or the
+        store) has never seen by content are actually derived.
+        """
         backend = resolve_backend(backend)
         key = (self._pin(workflow), gamma, kind, backend)
         cached = self._seeded_requirements.get(key)
@@ -244,9 +376,10 @@ class DerivationCache:
                 return loaded
             self.store_misses += 1
         self.derivation_misses += 1
-        derived = derive_workflow_requirements(
-            workflow, gamma, kind=kind, backend=backend
-        )
+        derived = {
+            module.name: self.module_requirement(module, gamma, kind, backend=backend)
+            for module in workflow.private_modules
+        }
         self._remember(self._requirements, key, derived)
         if self.store is not None:
             self.store.save_requirements(
@@ -384,6 +517,8 @@ class DerivationCache:
             compile_misses=self.compile_misses,
             store_hits=self.store_hits,
             store_misses=self.store_misses,
+            reused_modules=self.reused_modules,
+            rederived_modules=self.rederived_modules,
         )
 
     def clear(self) -> None:
@@ -400,8 +535,13 @@ class DerivationCache:
         self._relations.clear()
         self._out_sets.clear()
         self._compiled.clear()
+        self._modules.clear()
+        self._module_fingerprints.clear()
+        self._module_requirements.clear()
+        self._compiled_modules.clear()
         self.derivation_hits = self.derivation_misses = 0
         self.relation_hits = self.relation_misses = 0
         self.out_set_hits = self.out_set_misses = 0
         self.compile_hits = self.compile_misses = 0
         self.store_hits = self.store_misses = 0
+        self.reused_modules = self.rederived_modules = 0

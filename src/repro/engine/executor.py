@@ -13,9 +13,14 @@ guarantee the serial path had:
   one;
 * **failure isolation** — a solver error (or a crashed chunk) yields an
   error record for the affected cells, never a dead sweep;
-* **shared derivation** — cells are chunked by (instance, Γ, kind) so each
-  worker solves all solver×seed cells of one planner together, paying the
-  exponential requirement derivation once per chunk;
+* **shared derivation** — cells are chunked by *shared-module overlap*:
+  instances are grouped into families (union-find over their module content
+  fingerprints, computed straight from the serialized payloads), and all
+  cells of one family at one (Γ, kind) point are dispatched to one worker,
+  whose module-granular cache pays each *distinct* module derivation once
+  across the whole family — a grid over ``workflow_family`` edit-chain
+  variants derives each edited module once, not once per variant (unrelated
+  instances, and distinct Γ/kind points, still fan out as before);
 * **per-worker store attachment** — with a ``store`` directory, every
   worker attaches a persistent :class:`~repro.engine.store.DerivationStore`
   as its cache's back tier, so derivations (and whole solve results) are
@@ -324,8 +329,8 @@ def _error_record(cell: SweepCell, message: str, error_type: str) -> dict[str, A
 def _run_chunk_in(
     context: _WorkerContext, chunk: Mapping[str, Any]
 ) -> tuple[list[dict[str, Any]], dict[str, int]]:
-    """Run one chunk of cells (one planner's worth) and report stat deltas."""
-    instance: SweepInstance = chunk["instance"]
+    """Run one chunk of cells (one family's worth) and report stat deltas."""
+    instances: Mapping[str, SweepInstance] = chunk["instances"]
     cells: Sequence[SweepCell] = chunk["cells"]
     backend = chunk["backend"]
     verify = bool(chunk["verify"])
@@ -340,7 +345,7 @@ def _run_chunk_in(
         deriving = False
         try:
             planner, fingerprint = context.planner(
-                instance, cell.gamma, cell.kind, backend
+                instances[cell.label], cell.gamma, cell.kind, backend
             )
             gamma = planner.gamma if cell.gamma is None else cell.gamma
             kind = planner.kind if cell.kind is None else cell.kind
@@ -458,16 +463,82 @@ class SweepReport:
         }
 
 
+def _instance_module_fingerprints(instance: SweepInstance) -> frozenset[str]:
+    """Module content fingerprints of a serialized instance (best-effort).
+
+    Computed straight from the JSON payload — no workflow objects are built
+    on the driver side.  A malformed payload yields the empty set, which
+    simply makes the instance its own family (the worker will surface the
+    real error per cell).
+    """
+    from ..workloads.fingerprint import module_payload_fingerprint
+
+    try:
+        payload = instance.payload
+        if instance.source == "problem":
+            payload = payload["workflow"]
+        return frozenset(
+            module_payload_fingerprint(module) for module in payload["modules"]
+        )
+    except Exception:  # noqa: BLE001 - grouping is an optimization only
+        return frozenset()
+
+
+def _families(instances: Sequence[SweepInstance]) -> list[list[str]]:
+    """Group instance labels into families by shared-module overlap.
+
+    Union-find over module fingerprints: two instances sharing *any* module
+    (by content) land in one family.  Families are returned in first-
+    appearance order, members in instance order, so chunk expansion stays
+    deterministic.
+    """
+    parent: dict[str, str] = {instance.label: instance.label for instance in instances}
+
+    def find(label: str) -> str:
+        while parent[label] != label:
+            parent[label] = parent[parent[label]]
+            label = parent[label]
+        return label
+
+    owner: dict[str, str] = {}
+    for instance in instances:
+        for fingerprint in _instance_module_fingerprints(instance):
+            seen = owner.setdefault(fingerprint, instance.label)
+            if seen != instance.label:
+                parent[find(instance.label)] = find(seen)
+    families: dict[str, list[str]] = {}
+    for instance in instances:
+        families.setdefault(find(instance.label), []).append(instance.label)
+    return list(families.values())
+
+
 def _chunks_for(
     spec: SweepSpec, store_path: str | None, reuse_results: bool, chunk_size: int | None
 ) -> list[dict[str, Any]]:
-    """Group cells by (instance, Γ, kind) so each chunk shares one planner."""
+    """Group cells by (shared-module family, Γ, kind) to share derivations.
+
+    All cells of one family (instances connected by shared module content)
+    at one (Γ, kind) point go to one worker context, whose module-granular
+    cache derives each distinct module once for the whole family.  Distinct
+    (Γ, kind) points still fan out as separate chunks — requirement lists
+    are per-(Γ, kind) anyway, so splitting there keeps a single-instance
+    multi-Γ grid parallel instead of collapsing it into one serial chunk.
+    ``chunk_size`` additionally caps cells per dispatched chunk, trading
+    sharing for load balance.
+    """
     by_instance = {instance.label: instance for instance in spec.instances}
+    family_of = {
+        label: index
+        for index, family in enumerate(_families(spec.instances))
+        for label in family
+    }
     grouped: dict[tuple, list[SweepCell]] = {}
     for cell in spec.cells():
-        grouped.setdefault((cell.label, cell.gamma, cell.kind), []).append(cell)
+        grouped.setdefault(
+            (family_of[cell.label], cell.gamma, cell.kind), []
+        ).append(cell)
     chunks: list[dict[str, Any]] = []
-    for (label, _gamma, _kind), cells in grouped.items():
+    for cells in grouped.values():
         pieces = (
             [cells]
             if not chunk_size
@@ -476,7 +547,13 @@ def _chunks_for(
         for piece in pieces:
             chunks.append(
                 {
-                    "instance": by_instance[label],
+                    # Ship only the payloads this piece actually touches —
+                    # tabulated workflows can be large and chunks cross the
+                    # process boundary.
+                    "instances": {
+                        label: by_instance[label]
+                        for label in dict.fromkeys(c.label for c in piece)
+                    },
                     "cells": piece,
                     "backend": spec.backend,
                     "verify": spec.verify,
@@ -520,8 +597,9 @@ def run_sweep(
         the solver.  Derivation-level sharing happens regardless.
     chunk_size:
         Maximum cells per dispatched chunk; defaults to "all solver×seed
-        cells of one (instance, Γ, kind) planner", which maximizes
-        derivation sharing.  Smaller chunks trade sharing for balance.
+        cells of one (shared-module family, Γ, kind) group", which
+        maximizes derivation sharing.  Smaller chunks trade sharing for
+        balance.
     """
     if n_jobs <= 0:
         n_jobs = default_jobs()

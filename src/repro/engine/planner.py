@@ -22,13 +22,14 @@ from __future__ import annotations
 
 import random
 import time
-from typing import TYPE_CHECKING, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
+from ..core.module import Module
 from ..core.requirements import RequirementList, SetRequirementList
 from ..core.secure_view import SecureViewProblem
 from ..core.view import SecureViewSolution
 from ..core.workflow import Workflow
-from ..exceptions import RequirementError
+from ..exceptions import RequirementError, WorkflowError
 from ..kernel import resolve_backend
 from .cache import DerivationCache
 from .registry import SolverRegistry, SolverSpec, default_registry
@@ -136,6 +137,82 @@ class Planner:
         )
         planner._problems[None] = problem
         return planner
+
+    # -- incremental evolution --------------------------------------------------
+    def evolve(
+        self,
+        *,
+        add: Iterable[Module] = (),
+        remove: Iterable[str] = (),
+        replace: Mapping[str, Module] | None = None,
+        gamma: int | None = None,
+        kind: str | None = None,
+        costs: Mapping[str, float] | None = None,
+    ) -> "Planner":
+        """A planner for an edited workflow that re-derives only what changed.
+
+        Builds a new workflow by applying the edits to this planner's
+        workflow — ``remove`` drops modules by name, ``replace`` swaps
+        modules in place (keyed by the name being replaced), ``add`` appends
+        new modules — and returns a new :class:`Planner` over it **sharing
+        this planner's cache** (and therefore its store, registry and
+        backend).  Because every requirement derivation is keyed by module
+        content fingerprint, the new planner's first solve re-derives
+        exactly the modules whose content changed and reuses everything else
+        (``CacheStats.reused_modules`` / ``rederived_modules`` show the
+        split).  Workflow-level artifacts — the provenance relation, packed
+        workflow tables and verification out-sets — are re-keyed by the new
+        workflow fingerprint and recomputed when verification asks for them.
+
+        ``gamma`` / ``kind`` evolve the privacy target instead of (or along
+        with) the topology; ``costs`` applies a what-if cost override, which
+        never invalidates module artifacts (fingerprints exclude costs).
+        Explicitly seeded requirement lists are *not* carried over: they are
+        not re-derivable from content, so an evolved planner falls back to
+        derivation for every private module of the new workflow.
+        """
+        replacements = dict(replace or {})
+        removed = set(remove)
+        added = tuple(add)
+        known = set(self.workflow.module_names)
+        unknown = (removed | set(replacements)) - known
+        if unknown:
+            raise WorkflowError(f"evolve: unknown modules {sorted(unknown)!r}")
+        overlap = removed & set(replacements)
+        if overlap:
+            raise WorkflowError(
+                f"evolve: modules both removed and replaced {sorted(overlap)!r}"
+            )
+        modules: list[Module] = []
+        for module in self.workflow.modules:
+            if module.name in removed:
+                continue
+            modules.append(replacements.get(module.name, module))
+        modules.extend(added)
+        if not modules:
+            raise WorkflowError("evolve: the edited workflow has no modules left")
+        if not (removed or replacements or added):
+            # A pure Γ/kind/cost evolution keeps the same workflow object,
+            # so identity-keyed workflow-level entries (provenance relation,
+            # packed tables, out-sets) stay warm in the shared cache.
+            workflow = self.workflow
+        else:
+            workflow = Workflow(modules, name=self.workflow.name)
+        if costs:
+            workflow = workflow.with_attribute_costs(dict(costs))
+        hidable = self.hidable_attributes
+        if hidable is not None:
+            hidable = frozenset(hidable) & frozenset(workflow.attribute_names)
+        return Planner(
+            workflow,
+            self.gamma if gamma is None else gamma,
+            kind=self.kind if kind is None else kind,
+            hidable_attributes=hidable,
+            allow_privatization=self.allow_privatization,
+            cache=self.cache,
+            registry=self.registry,
+            backend=self.backend,
+        )
 
     # -- instance assembly ------------------------------------------------------
     def _cost_key(self, costs: Mapping[str, float] | None):

@@ -23,6 +23,29 @@ runs.  The store is the persistent back tier of the two-tier
 :class:`~repro.engine.cache.DerivationCache`; the cache owns the bounded
 in-memory front and probes the store on every memory miss.
 
+**The module tier.**  Requirement derivation — the exponential part of
+every solve — is per-module: each private module's list depends only on
+that module's own relation.  Module-level artifacts therefore live in a
+*shared* tier keyed by :func:`repro.workloads.module_fingerprint` (module
+content only, costs and privacy flags excluded)::
+
+    <root>/modules/<mfp[:2]>/<module-fingerprint>/
+        meta.json                      # module name / schema summary
+        pack.json                      # packed module relation + privacy-level
+                                       # memos (CompiledModule.to_payload)
+        req-g<gamma>-<kind>-<backend>.json   # one requirement list
+
+Any workflow containing the module — a what-if cost variant, an edited
+member of a workflow family, an entirely different pipeline reusing one
+step — hits the same entries, so editing one module of a ten-module
+workflow re-derives one module, not ten.
+
+**Maintenance.**  :meth:`DerivationStore.disk_stats` summarizes what a
+store directory holds; :meth:`DerivationStore.gc` prunes it to a byte
+budget, evicting least-recently-used artifacts (by mtime) and never
+touching in-flight ``*.tmp-*`` files.  Both back the ``repro store``
+CLI subcommands.
+
 Concurrency: writes go to a per-process temp file followed by an atomic
 ``os.replace``, so concurrent sweep workers racing on one key each publish
 a complete document and the last writer wins (all writers derive identical
@@ -38,7 +61,7 @@ import os
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Mapping
 
-from ..kernel import CompiledWorkflow
+from ..kernel import CompiledModule, CompiledWorkflow
 from ..workloads.serialization import (
     relation_from_dict,
     relation_to_dict,
@@ -47,6 +70,7 @@ from ..workloads.serialization import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.module import Module
     from ..core.relation import Relation
     from ..core.requirements import RequirementList
     from ..core.workflow import Workflow
@@ -54,7 +78,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["DerivationStore", "ResultKey", "OutSetKey"]
 
 #: Categories the store tracks hit/miss/write counters for.
-_CATEGORIES = ("requirements", "relation", "pack", "out_sets", "result")
+_CATEGORIES = (
+    "requirements",
+    "relation",
+    "pack",
+    "out_sets",
+    "result",
+    "module_requirement",
+    "module_pack",
+)
 
 
 def _decode_row(domains: list, row: list) -> tuple:
@@ -133,6 +165,10 @@ class DerivationStore:
     def _dir(self, fingerprint: str) -> Path:
         return self.root / fingerprint[:2] / fingerprint
 
+    def _module_dir(self, module_fingerprint: str) -> Path:
+        # "modules" can never collide with a workflow shard (2 hex chars).
+        return self.root / "modules" / module_fingerprint[:2] / module_fingerprint
+
     def _read(self, category: str, path: Path) -> Any | None:
         try:
             with open(path, "r", encoding="utf-8") as handle:
@@ -141,6 +177,12 @@ class DerivationStore:
             self.misses[category] += 1
             return None
         self.hits[category] += 1
+        try:
+            # Touch on read so gc's mtime ordering is genuinely least-
+            # recently-*used*, not least-recently-written.
+            os.utime(path, None)
+        except OSError:
+            pass
         return payload
 
     def _write(self, category: str | None, path: Path, payload: Any) -> None:
@@ -189,7 +231,7 @@ class DerivationStore:
                 item["module"]: requirement_from_dict(item)
                 for item in payload["requirements"]
             }
-        except (KeyError, TypeError, ValueError):
+        except Exception:  # corrupt entries degrade to misses, never crash
             self.hits["requirements"] -= 1
             self.misses["requirements"] += 1
             return None
@@ -268,6 +310,96 @@ class DerivationStore:
             "pack", self._dir(fingerprint) / "pack.json", compiled.to_payload()
         )
 
+    # -- shared module tier -----------------------------------------------------
+    def _write_module_meta(self, module_fingerprint: str, module: "Module") -> None:
+        meta_path = self._module_dir(module_fingerprint) / "meta.json"
+        if meta_path.exists():
+            return
+        self._write(
+            None,  # meta is bookkeeping, not a counted artifact
+            meta_path,
+            {
+                "fingerprint": module_fingerprint,
+                "module": module.name,
+                "inputs": list(module.input_names),
+                "outputs": list(module.output_names),
+            },
+        )
+
+    def load_module_requirement(
+        self, module_fingerprint: str, gamma: int, kind: str, backend: str
+    ) -> "RequirementList | None":
+        path = (
+            self._module_dir(module_fingerprint)
+            / f"req-g{gamma}-{kind}-{backend}.json"
+        )
+        payload = self._read("module_requirement", path)
+        if payload is None:
+            return None
+        try:
+            loaded = requirement_from_dict(payload["requirement"])
+            if payload["kind"] != kind:
+                raise ValueError("stored requirement kind mismatch")
+            return loaded
+        except Exception:  # corrupt entries degrade to misses, never crash
+            self.hits["module_requirement"] -= 1
+            self.misses["module_requirement"] += 1
+            return None
+
+    def save_module_requirement(
+        self,
+        module_fingerprint: str,
+        gamma: int,
+        kind: str,
+        backend: str,
+        requirement: "RequirementList",
+        module: "Module | None" = None,
+    ) -> None:
+        path = (
+            self._module_dir(module_fingerprint)
+            / f"req-g{gamma}-{kind}-{backend}.json"
+        )
+        self._write(
+            "module_requirement",
+            path,
+            {
+                "gamma": gamma,
+                "kind": kind,
+                "backend": backend,
+                "requirement": requirement_to_dict(requirement),
+            },
+        )
+        if module is not None:
+            self._write_module_meta(module_fingerprint, module)
+
+    def load_module_pack(
+        self, module_fingerprint: str, module: "Module"
+    ) -> CompiledModule | None:
+        path = self._module_dir(module_fingerprint) / "pack.json"
+        payload = self._read("module_pack", path)
+        if payload is None:
+            return None
+        try:
+            return CompiledModule.from_payload(module, payload)
+        except Exception:
+            self.hits["module_pack"] -= 1
+            self.misses["module_pack"] += 1
+            return None
+
+    def save_module_pack(
+        self,
+        module_fingerprint: str,
+        compiled: CompiledModule,
+        module: "Module | None" = None,
+    ) -> None:
+        self._write(
+            "module_pack",
+            self._module_dir(module_fingerprint) / "pack.json",
+            compiled.to_payload(),
+        )
+        if module is not None:
+            self._write_module_meta(module_fingerprint, module)
+
     # -- verification out-sets --------------------------------------------------
     def load_out_sets(
         self, fingerprint: str, workflow: "Workflow", key: tuple
@@ -335,6 +467,124 @@ class DerivationStore:
     def save_result(self, fingerprint: str, key: tuple, record: Mapping) -> None:
         path = self._dir(fingerprint) / f"result-{_key_digest(key)}.json"
         self._write("result", path, dict(record))
+
+    # -- maintenance ------------------------------------------------------------
+    @staticmethod
+    def _is_temp(path: Path) -> bool:
+        """An in-flight atomic-write temp file (``<name>.tmp-<pid>``)?"""
+        return ".tmp-" in path.name
+
+    def _artifact_files(self) -> list[Path]:
+        """Every persisted JSON artifact under the root, temp files excluded."""
+        return [
+            path
+            for path in self.root.rglob("*.json*")
+            if path.is_file() and not self._is_temp(path)
+        ]
+
+    def disk_stats(self) -> dict[str, Any]:
+        """What the store directory holds on disk (for ``repro store stats``).
+
+        Counts bytes and files per artifact kind plus the number of workflow
+        and shared-module entries.  Purely observational — no counters move.
+        """
+        kinds = {
+            "meta": 0,
+            "relation": 0,
+            "pack": 0,
+            "requirements": 0,
+            "out_sets": 0,
+            "results": 0,
+            "other": 0,
+        }
+        total_bytes = 0
+        files = 0
+        workflow_entries: set[Path] = set()
+        module_entries: set[Path] = set()
+        module_root = self.root / "modules"
+        for path in self._artifact_files():
+            files += 1
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                continue
+            entry = path.parent
+            if module_root in entry.parents or entry == module_root:
+                module_entries.add(entry)
+            else:
+                workflow_entries.add(entry)
+            name = path.name
+            if name == "meta.json":
+                kinds["meta"] += 1
+            elif name == "relation.json":
+                kinds["relation"] += 1
+            elif name == "pack.json":
+                kinds["pack"] += 1
+            elif name.startswith("req-"):
+                kinds["requirements"] += 1
+            elif name.startswith("outsets-"):
+                kinds["out_sets"] += 1
+            elif name.startswith("result-"):
+                kinds["results"] += 1
+            else:
+                kinds["other"] += 1
+        return {
+            "root": str(self.root),
+            "bytes": total_bytes,
+            "files": files,
+            "workflow_entries": len(workflow_entries),
+            "module_entries": len(module_entries),
+            "by_kind": kinds,
+        }
+
+    def gc(self, max_bytes: int) -> dict[str, int]:
+        """Prune the store to at most ``max_bytes``, LRU by file mtime.
+
+        Oldest-touched artifacts go first; in-flight ``*.tmp-*`` files are
+        never deleted (a concurrent writer may be about to publish them),
+        and emptied entry directories are removed.  Artifacts are always
+        re-derivable (the store is a cache, never the source of truth), so
+        eviction can never lose information.  Returns a summary of what was
+        deleted and kept.
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+        entries: list[tuple[float, int, Path]] = []
+        for path in self._artifact_files():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort()  # oldest first
+        total = sum(size for _, size, _ in entries)
+        deleted_files = 0
+        freed = 0
+        for _, size, path in entries:
+            if total - freed <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            deleted_files += 1
+            freed += size
+        # Sweep out directories the deletions emptied (entry dirs, shards).
+        for directory in sorted(
+            (p for p in self.root.rglob("*") if p.is_dir()),
+            key=lambda p: len(p.parts),
+            reverse=True,
+        ):
+            try:
+                directory.rmdir()  # only succeeds when empty
+            except OSError:
+                pass
+        return {
+            "deleted_files": deleted_files,
+            "freed_bytes": freed,
+            "kept_bytes": total - freed,
+            "max_bytes": max_bytes,
+        }
 
     # -- bookkeeping ------------------------------------------------------------
     def stats(self) -> dict[str, int]:

@@ -76,6 +76,59 @@ class CompiledModule:
         #: visible attribute bitmask -> privacy level (Γ-independent).
         self._level_cache: dict[int, int] = {}
 
+    # -- stable serialization --------------------------------------------------
+    def to_payload(self) -> dict:
+        """JSON-safe form of the packed module tables for the derivation store.
+
+        Besides the packed relation (which saves re-tabulating the module's
+        function over its whole input domain), the Γ-independent privacy
+        level memos accumulated so far are exported: a requirement
+        derivation sweep probes up to ``2^k`` visible masks, so a store-
+        round-tripped module answers most of a *different* Γ's sweep from
+        the memo without touching the relation at all.
+        """
+        return {
+            "pack": self.packed.to_dict(),
+            "levels": sorted(
+                [int(mask), int(level)] for mask, level in self._level_cache.items()
+            ),
+        }
+
+    @classmethod
+    def from_payload(
+        cls, module: "Module", payload: dict, relation: "Relation | None" = None
+    ) -> "CompiledModule":
+        """Rebuild a compiled module from :meth:`to_payload` output.
+
+        ``module`` must be the live module the payload was compiled from
+        (the store guarantees this by keying payloads on the module's
+        content fingerprint).  The packed codes are validated structurally
+        against the schema's layout, and memo entries are bounds-checked;
+        any mismatch raises so callers fall back to recompiling.  Loading
+        never materializes ``module.relation()`` — skipping the domain
+        enumeration is part of the saved work.
+        """
+        compiled = cls.__new__(cls)
+        compiled.module = module
+        compiled.relation = relation
+        compiled.layout = BitLayout(module.schema)
+        compiled.packed = PackedRelation.from_dict(compiled.layout, payload["pack"])
+        compiled.input_bits = compiled.layout.mask_for(module.input_names)
+        compiled.output_bits = compiled.layout.mask_for(module.output_names)
+        compiled.all_bits = compiled.input_bits | compiled.output_bits
+        compiled._range_size = module.range_size()
+        all_bits = compiled.layout.all_bits
+        levels: dict[int, int] = {}
+        for entry in payload.get("levels", ()):
+            mask, level = entry
+            mask = int(mask)
+            level = int(level)
+            if not 0 <= mask <= all_bits or level < 0:
+                raise ValueError("stored privacy-level memo entry out of range")
+            levels[mask] = level
+        compiled._level_cache = levels
+        return compiled
+
     # -- bitmask helpers ------------------------------------------------------
     def visible_bits(self, visible: Iterable[str]) -> int:
         """Bitmask of the visible attributes (unknown names ignored)."""

@@ -1,4 +1,4 @@
-"""Content-addressed workflow fingerprints.
+"""Content-addressed workflow and module fingerprints.
 
 The persistent derivation store (:mod:`repro.engine.store`) keys every
 artifact — requirement lists, provenance relations, compiled kernel packs,
@@ -20,6 +20,17 @@ sorted keys.  It is therefore invariant under
 
 It changes whenever anything semantically relevant changes: a module table,
 an attribute domain or cost, a privacy flag, or the workflow's name.
+
+**Module fingerprints** key the store's shared per-module tier.  The
+paper's Γ-privacy requirement of a private module depends only on that
+module's relation, so :func:`module_fingerprint` hashes exactly what the
+per-module derivations consume: the module name, its input/output schemas
+(names and domain values) and its tabulated functionality.  It deliberately
+*excludes* attribute hiding costs, the privatization cost and the
+private/public flag — none of them enter requirement derivation, privacy
+levels, or the module's packed relation — so a what-if cost override or a
+privatization never invalidates the module tier, and any two workflows
+containing the same module (by content) share its artifacts.
 """
 
 from __future__ import annotations
@@ -31,9 +42,17 @@ from typing import TYPE_CHECKING, Any, Mapping
 from .serialization import workflow_to_dict
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.module import Module
     from ..core.workflow import Workflow
 
-__all__ = ["canonical_workflow_payload", "payload_fingerprint", "workflow_fingerprint"]
+__all__ = [
+    "canonical_module_payload",
+    "canonical_workflow_payload",
+    "module_fingerprint",
+    "module_payload_fingerprint",
+    "payload_fingerprint",
+    "workflow_fingerprint",
+]
 
 
 def canonical_workflow_payload(workflow: "Workflow") -> dict[str, Any]:
@@ -59,3 +78,53 @@ def payload_fingerprint(payload: Mapping[str, Any]) -> str:
 def workflow_fingerprint(workflow: "Workflow") -> str:
     """Stable content hash of a workflow (see module docstring)."""
     return payload_fingerprint(canonical_workflow_payload(workflow))
+
+
+def _canonical_module_dict(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """Reduce a serialized module dict to its derivation-relevant content.
+
+    Keeps the name, the input/output attribute names and domain values, and
+    the tabulated functionality; drops costs and the privacy flag (see
+    module docstring).  Works on any :func:`_module_to_dict`-shaped payload,
+    so live modules and already-serialized sweep instances fingerprint
+    identically.
+    """
+    return {
+        "name": payload["name"],
+        "inputs": [
+            {"name": item["name"], "values": list(item["values"])}
+            for item in payload["inputs"]
+        ],
+        "outputs": [
+            {"name": item["name"], "values": list(item["values"])}
+            for item in payload["outputs"]
+        ],
+        # Row order is normalized (``_module_to_dict`` already sorts, but a
+        # hand-assembled payload may not) so the digest reflects the *map*,
+        # not the listing order.
+        "table": sorted(
+            ([list(key), list(value)] for key, value in payload["table"]),
+            key=lambda entry: json.dumps(entry, sort_keys=True, default=str),
+        ),
+    }
+
+
+def canonical_module_payload(module: "Module") -> dict[str, Any]:
+    """The derivation-relevant content of one module (see module docstring)."""
+    from .serialization import _module_to_dict
+
+    return _canonical_module_dict(_module_to_dict(module))
+
+
+def module_payload_fingerprint(payload: Mapping[str, Any]) -> str:
+    """Module fingerprint computed from a serialized module dict.
+
+    Used by the sweep executor to group serialized instances into families
+    by shared modules without rebuilding any workflow objects.
+    """
+    return payload_fingerprint(_canonical_module_dict(payload))
+
+
+def module_fingerprint(module: "Module") -> str:
+    """Stable content hash of one module's derivation-relevant content."""
+    return payload_fingerprint(canonical_module_payload(module))

@@ -41,6 +41,7 @@ __all__ = [
     "chain_workflow",
     "layered_workflow",
     "random_workflow",
+    "workflow_family",
     "random_cardinality_requirements",
     "random_set_requirements",
     "random_requirements",
@@ -279,6 +280,97 @@ def random_workflow(
             pool.append(attr)
             usage[attr.name] = 0
     return Workflow(modules, name=f"random[n={n_modules},seed={seed}]")
+
+
+def _reroll_module(module: Module, rng: random.Random) -> Module:
+    """A same-schema module with freshly randomized boolean functionality.
+
+    Keeps the module's name and input/output attributes (so the workflow
+    wiring is untouched) but replaces the function with new random gates
+    plus a per-output flip mask, retrying until the tabulated functionality
+    actually differs from the original — an "edit" that changes nothing
+    would make edit-chains degenerate.
+    """
+    from ..core.module import tabulate_function
+
+    for attr in module.schema:
+        if set(attr.domain.values) != {0, 1}:
+            raise WorkflowError(
+                f"workflow_family can only re-roll boolean modules; "
+                f"attribute {attr.name!r} of {module.name!r} is not boolean"
+            )
+    original = tabulate_function(module)
+    output_names = list(module.output_names)
+    for _ in range(16):
+        kinds = [rng.choice(["and", "or", "xor"]) for _ in output_names]
+        flips = [rng.randint(0, 1) for _ in output_names]
+        inner = _gate_function(output_names, list(module.input_names), kinds)
+
+        def function(values, _inner=inner, _flips=flips, _names=output_names):
+            mixed = _inner(values)
+            return {
+                name: int(mixed[name]) ^ flip for name, flip in zip(_names, _flips)
+            }
+
+        candidate = module.with_function(function)
+        if tabulate_function(candidate) != original:
+            return candidate
+    raise WorkflowError(
+        f"could not re-roll module {module.name!r} to a distinct functionality"
+    )
+
+
+def workflow_family(
+    base: Workflow | None = None,
+    n_variants: int = 4,
+    seed: int | None = 0,
+    edits_per_step: int = 1,
+    rng: random.Random | None = None,
+    n_modules: int = 6,
+    topology: str = "random",
+) -> list[Workflow]:
+    """An edit-chain of related workflows sharing most of their modules.
+
+    Returns ``[base, v1, ..., v_{n_variants}]`` where each variant is the
+    previous workflow with ``edits_per_step`` modules re-rolled to a new
+    random boolean functionality (same name, same attribute schemas, so the
+    DAG wiring is identical).  Consecutive variants therefore differ in
+    exactly ``edits_per_step`` module fingerprints and share all others —
+    the workload shape behind incremental re-solve (``Planner.evolve``) and
+    the sweep executor's shared-module chunking: a grid over one family
+    pays each *distinct* module derivation once.
+
+    ``base`` defaults to a :func:`chain_workflow` / :func:`random_workflow`
+    style instance built from ``n_modules`` and ``topology`` (``"chain"``,
+    ``"layered"`` or ``"random"``).  All modules must be boolean.
+    """
+    if n_variants < 0:
+        raise WorkflowError("workflow_family needs n_variants >= 0")
+    rng = _resolve_rng(rng, seed)
+    if base is None:
+        if topology == "chain":
+            base = chain_workflow(n_modules, rng=rng)
+        elif topology == "layered":
+            per_layer = max(2, int(round(n_modules**0.5)))
+            base = layered_workflow(max(1, n_modules // per_layer), per_layer, rng=rng)
+        elif topology == "random":
+            base = random_workflow(n_modules, rng=rng)
+        else:
+            raise WorkflowError(f"unknown workflow_family topology {topology!r}")
+    family = [base]
+    current = base
+    for step in range(1, n_variants + 1):
+        count = min(max(1, edits_per_step), len(current.module_names))
+        edited = rng.sample(list(current.module_names), count)
+        replacements = {
+            name: _reroll_module(current.module(name), rng) for name in edited
+        }
+        current = Workflow(
+            [replacements.get(m.name, m) for m in current.modules],
+            name=f"{base.name}@edit{step}",
+        )
+        family.append(current)
+    return family
 
 
 # ---------------------------------------------------------------------------

@@ -212,6 +212,29 @@ class TestSweep:
             for record in cold["records"]
         ]
 
+    def test_solve_with_store_reports_store_hits(self, problem_file, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["solve", problem_file, "--solver", "exact", "--verify",
+                     "--store", store]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["store"] == store and cold["store_hits"] == 0
+
+        assert main(["solve", problem_file, "--solver", "exact", "--verify",
+                     "--store", store]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["store_hits"] > 0
+        assert warm["hidden_attributes"] == cold["hidden_attributes"]
+        assert warm["cost"] == cold["cost"]
+
+    def test_compare_accepts_store(self, problem_file, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        args = ["compare", problem_file, "--methods", "greedy", "--no-exact",
+                "--store", store]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out.splitlines()[0] == first.splitlines()[0]
+
     def test_sweep_missing_grid_errors_cleanly(self, tmp_path, capsys):
         assert main(["sweep", str(tmp_path / "nope.json")]) == 1
         assert "error:" in capsys.readouterr().err
@@ -227,3 +250,65 @@ class TestSweep:
         empty.write_text("{}")
         assert main(["sweep", str(empty)]) == 1
         assert "error: invalid grid file" in capsys.readouterr().err
+
+
+class TestStoreMaintenance:
+    @pytest.fixture
+    def warm_store(self, problem_file, tmp_path, capsys) -> str:
+        store = str(tmp_path / "store")
+        assert main(["solve", problem_file, "--solver", "exact", "--verify",
+                     "--store", store]) == 0
+        capsys.readouterr()
+        return store
+
+    def test_store_stats_reports_contents(self, warm_store, capsys):
+        assert main(["store", "stats", warm_store]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["files"] > 0 and stats["bytes"] > 0
+        assert stats["workflow_entries"] >= 1
+        assert stats["by_kind"]["out_sets"] >= 1
+
+    def test_store_gc_prunes_to_budget_lru(self, warm_store, tmp_path, capsys):
+        import os
+        import time
+
+        # Touch one artifact so LRU keeps it over the others.
+        newest = None
+        for root, _dirs, files in os.walk(warm_store):
+            for name in files:
+                path = os.path.join(root, name)
+                os.utime(path, (time.time() + 60, time.time() + 60))
+                newest = path
+                break
+            if newest:
+                break
+        budget = os.path.getsize(newest)
+        assert main(["store", "gc", warm_store, "--max-bytes", str(budget)]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["deleted_files"] > 0
+        assert summary["kept_bytes"] <= budget
+        assert os.path.exists(newest)
+
+    def test_store_gc_never_deletes_temp_files(self, warm_store, capsys):
+        import os
+
+        temp = os.path.join(warm_store, "ab", "entry", "pack.json.tmp-123")
+        os.makedirs(os.path.dirname(temp), exist_ok=True)
+        with open(temp, "w", encoding="utf-8") as handle:
+            handle.write("{}")
+        assert main(["store", "gc", warm_store, "--max-bytes", "0"]) == 0
+        capsys.readouterr()
+        assert os.path.exists(temp)
+        assert main(["store", "stats", warm_store]) == 0
+        assert json.loads(capsys.readouterr().out)["files"] == 0
+
+    def test_store_gc_rejects_negative_budget_cleanly(self, warm_store, capsys):
+        assert main(["store", "gc", warm_store, "--max-bytes", "-1"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_store_commands_reject_missing_directory(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope")
+        assert main(["store", "stats", missing]) == 1
+        assert "not a store directory" in capsys.readouterr().err
+        assert main(["store", "gc", missing, "--max-bytes", "0"]) == 1
+        assert "not a store directory" in capsys.readouterr().err

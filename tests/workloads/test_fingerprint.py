@@ -8,6 +8,8 @@ from repro.core import Module, Workflow, boolean_attributes
 from repro.workloads import (
     canonical_workflow_payload,
     figure1_workflow,
+    module_fingerprint,
+    module_payload_fingerprint,
     payload_fingerprint,
     random_workflow,
     workflow_fingerprint,
@@ -89,3 +91,59 @@ class TestPayloadFingerprint:
         payload = canonical_workflow_payload(figure1_workflow())
         names = [module["name"] for module in payload["modules"]]
         assert names == sorted(names)
+
+
+class TestModuleFingerprint:
+    """The shared module tier's key: content only, costs/flags excluded."""
+
+    def test_equal_for_independent_builds(self):
+        one = figure1_workflow().module("m1")
+        two = figure1_workflow().module("m1")
+        assert one is not two
+        assert module_fingerprint(one) == module_fingerprint(two)
+
+    def test_differs_when_functionality_changes(self):
+        a, b = boolean_attributes(["a", "b"])
+        identity = Module("m", [a], [b], lambda v: {"b": v["a"]})
+        negation = Module("m", [a], [b], lambda v: {"b": 1 - v["a"]})
+        assert module_fingerprint(identity) != module_fingerprint(negation)
+
+    def test_differs_when_name_changes(self):
+        a, b = boolean_attributes(["a", "b"])
+        module = Module("m", [a], [b], lambda v: {"b": v["a"]})
+        assert module_fingerprint(module) != module_fingerprint(module.renamed("n"))
+
+    def test_invariant_under_costs_and_privacy_flags(self):
+        # Derivation artifacts never consult costs or the private flag, so
+        # a what-if re-costing or a privatization must hit the same entry.
+        module = figure1_workflow().module("m1")
+        fingerprint = module_fingerprint(module)
+        recosted = module.with_attribute_costs({module.attribute_names[0]: 42.0})
+        assert module_fingerprint(recosted) == fingerprint
+        public = Module(
+            module.name,
+            list(module.input_schema.attributes),
+            list(module.output_schema.attributes),
+            module._function,
+            private=False,
+            privatization_cost=99.0,
+        )
+        assert module_fingerprint(public) == fingerprint
+
+    def test_payload_path_matches_live_path(self):
+        # The executor fingerprints serialized module dicts directly; both
+        # routes must produce the same digest or families fall apart.
+        workflow = random_workflow(4, seed=13)
+        payload = workflow_to_dict(workflow)
+        for module, entry in zip(workflow.modules, payload["modules"]):
+            assert module_payload_fingerprint(entry) == module_fingerprint(module)
+
+    def test_workflow_name_does_not_leak_into_module_fingerprints(self):
+        # Edit-chain variants rename the *workflow*; their untouched modules
+        # must keep their fingerprints to share derivations.
+        workflow = random_workflow(3, seed=21)
+        renamed = Workflow(list(workflow.modules), name="elsewhere")
+        for module in workflow.modules:
+            assert module_fingerprint(module) == module_fingerprint(
+                renamed.module(module.name)
+            )
