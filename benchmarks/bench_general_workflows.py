@@ -6,9 +6,6 @@ import pytest
 
 from repro.analysis import format_table
 from repro.core import (
-    SecureViewProblem,
-    SetRequirement,
-    SetRequirementList,
     assemble_general_solution,
     is_gamma_private_workflow,
     workflow_privacy_level,

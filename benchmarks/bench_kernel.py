@@ -24,15 +24,14 @@ Run standalone (used by the CI smoke step) with::
 from __future__ import annotations
 
 import json
-import random
 import sys
 import time
 from pathlib import Path
 
-from repro.core import Module, Workflow, boolean_attributes, workflow_out_sets
+from repro.core import Workflow, workflow_out_sets
 from repro.core.requirements import derive_workflow_requirements
 from repro.kernel import clear_compile_cache
-from repro.workloads import figure1_workflow
+from repro.workloads import figure1_workflow, random_total_module
 
 RECORD_PATH = Path(__file__).resolve().parents[1] / "BENCH_kernel.json"
 
@@ -42,29 +41,6 @@ SPEEDUP_FLOOR = 2.0
 REPEATS = 3
 
 
-def _random_module(seed: int, n_inputs: int, n_outputs: int, name: str, prefix: str) -> Module:
-    """A random total boolean function (dense relation, high arity)."""
-    rng = random.Random(seed)
-    input_names = [f"{prefix}i{k}" for k in range(n_inputs)]
-    output_names = [f"{prefix}o{k}" for k in range(n_outputs)]
-    table = {
-        code: tuple(rng.randint(0, 1) for _ in range(n_outputs))
-        for code in range(2**n_inputs)
-    }
-
-    def function(values):
-        code = 0
-        for index, attr in enumerate(input_names):
-            code |= (values[attr] & 1) << index
-        return dict(zip(output_names, table[code]))
-
-    return Module(
-        name,
-        boolean_attributes(input_names),
-        boolean_attributes(output_names),
-        function,
-    )
-
 
 def derivation_workload(tiny: bool = False) -> Workflow:
     """Disjoint high-arity modules: derivation cost, no shared wiring."""
@@ -73,7 +49,7 @@ def derivation_workload(tiny: bool = False) -> Workflow:
     else:
         shapes = [(4, 4), (4, 3), (3, 4)]
     modules = [
-        _random_module(11 + index, n_in, n_out, f"m{index}", f"b{index}_")
+        random_total_module(11 + index, n_in, n_out, f"m{index}", f"b{index}_")
         for index, (n_in, n_out) in enumerate(shapes)
     ]
     return Workflow(modules, name="kernel-derivation-bench")

@@ -30,16 +30,15 @@ Run standalone (used by the CI smoke step) with::
 from __future__ import annotations
 
 import json
-import random
 import shutil
 import sys
 import tempfile
 import time
 from pathlib import Path
 
-from repro.core import Module, Workflow, boolean_attributes
+from repro.core import Workflow
 from repro.engine import SweepInstance, SweepSpec, run_sweep, scrub_record
-from repro.workloads import workflow_to_dict
+from repro.workloads import random_total_module, workflow_to_dict
 
 RECORD_PATH = Path(__file__).resolve().parents[1] / "BENCH_sweep.json"
 
@@ -49,35 +48,12 @@ SPEEDUP_FLOOR = 2.0
 WORKERS = 4
 
 
-def _random_module(seed: int, n_inputs: int, n_outputs: int, name: str, prefix: str) -> Module:
-    """A random total boolean function (dense relation, high arity)."""
-    rng = random.Random(seed)
-    input_names = [f"{prefix}i{k}" for k in range(n_inputs)]
-    output_names = [f"{prefix}o{k}" for k in range(n_outputs)]
-    table = {
-        code: tuple(rng.randint(0, 1) for _ in range(n_outputs))
-        for code in range(2**n_inputs)
-    }
-
-    def function(values):
-        code = 0
-        for index, attr in enumerate(input_names):
-            code |= (values[attr] & 1) << index
-        return dict(zip(output_names, table[code]))
-
-    return Module(
-        name,
-        boolean_attributes(input_names),
-        boolean_attributes(output_names),
-        function,
-    )
-
 
 def _sweep_workflow(seed: int, tiny: bool) -> Workflow:
     """Disjoint high-arity modules: derivation-dominated, like bench_kernel."""
     shapes = [(3, 2), (2, 2)] if tiny else [(7, 6), (6, 7)]
     modules = [
-        _random_module(seed * 100 + index, n_in, n_out, f"m{index}", f"s{index}_")
+        random_total_module(seed * 100 + index, n_in, n_out, f"m{index}", f"s{index}_")
         for index, (n_in, n_out) in enumerate(shapes)
     ]
     return Workflow(modules, name=f"sweep-bench-{seed}")

@@ -25,8 +25,6 @@ from __future__ import annotations
 
 from repro.analysis import Report
 from repro.core import (
-    Attribute,
-    BOOLEAN,
     Module,
     SecureViewProblem,
     Workflow,

@@ -22,7 +22,7 @@ property-tested to agree, the kernel is just much faster.
 
 from __future__ import annotations
 
-from repro.analysis import Report, format_table
+from repro.analysis import Report
 from repro.core import (
     ProvenanceView,
     count_standalone_worlds,
@@ -92,7 +92,31 @@ def main() -> None:
         rows,
     )
 
-    # 4. Verify the optimal view really is Γ-private, both through the
+    # 4. The same solve over the wire: start the long-lived solve service
+    #    in-process, submit through the thin client, and read the serving
+    #    counters.  (`repro serve --port 8080` runs the identical server as
+    #    a standalone process; `repro submit FILE --url ...` is this
+    #    client.)  Identical concurrent requests would coalesce into one
+    #    computation — examples/service_demo.py shows that live.
+    from repro.service import ServiceClient, ServiceServer, SolveService
+
+    server = ServiceServer(SolveService(workers=2), port=0).start()
+    try:
+        client = ServiceClient(server.url)
+        served = client.solve(workflow=workflow, gamma=gamma, kind="set",
+                              solver="exact")
+        metrics = client.metrics()
+        report.add_text(
+            f"Service solve over HTTP ({server.url}): cost {served['cost']:.1f}, "
+            f"solver {served['resolved_solver']!r}\n"
+            f"/metrics after one request: {metrics['requests']['solve']} solve "
+            f"request(s), {metrics['coalesced']} coalesced, cache delta "
+            f"{metrics['cache']['derivation_misses']} derivation(s)"
+        )
+    finally:
+        server.stop(drain_timeout=10)
+
+    # 5. Verify the optimal view really is Γ-private, both through the
     #    engine's certificate and by the brute-force possible-worlds check.
     optimal = planner.solve(solver="exact", verify=True)
     verified = is_gamma_private_workflow(

@@ -19,6 +19,11 @@ The CLI exposes the everyday operations a workflow owner would run:
   persistent derivation store (``--store``), emitting a JSON report,
 * ``store``     — maintain a persistent derivation store directory
   (``store stats DIR``, ``store gc DIR --max-bytes N``),
+* ``serve``     — run the long-lived solve service (threaded HTTP/JSON
+  server with one hot derivation cache, request coalescing, ``/metrics``;
+  SIGTERM/SIGINT drain in-flight work and exit 0),
+* ``submit``    — send a problem or workflow file to a running service and
+  print the solve record,
 * ``engine``    — inspect the solver engine (``engine list-solvers``).
 
 ``solve``, ``compare`` and ``sweep`` all accept ``--store DIR``: a warm
@@ -299,7 +304,120 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(text + "\n")
     print(text)
-    return 1 if (report.records and report.errors == len(report.records)) else 0
+    if report.errors and not args.allow_errors:
+        failed = [record["index"] for record in report.records if "error" in record]
+        print(
+            f"error: {report.errors} of {len(report.records)} sweep cell(s) "
+            f"failed (indices {failed}); pass --allow-errors to tolerate "
+            "partial failures",
+            file=sys.stderr,
+        )
+        return 1
+    if report.records and report.errors == len(report.records):
+        # --allow-errors tolerates *partial* failure; a sweep with zero
+        # usable records is still a failed sweep.
+        print(
+            f"error: all {report.errors} sweep cell(s) failed",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from .service import ServiceServer, SolveService
+
+    service = SolveService(
+        store=args.store or None,
+        workers=args.workers,
+        default_timeout=args.timeout if args.timeout > 0 else None,
+    )
+    try:
+        server = ServiceServer(
+            service, host=args.host, port=args.port, quiet=args.quiet
+        )
+    except OSError as exc:  # port in use, privileged bind, bad host ...
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 1
+
+    stopping = threading.Event()
+
+    def _graceful(signum, frame) -> None:
+        # serve_forever blocks this (main) thread, and httpd.shutdown must
+        # not be called from the serve thread — hand the drain to a helper.
+        # A second signal skips the drain: the operator asked twice.
+        if stopping.is_set():
+            import os
+
+            print(
+                "repro serve: second signal, exiting without draining",
+                file=sys.stderr,
+                flush=True,
+            )
+            os._exit(130)
+        stopping.set()
+        threading.Thread(target=server.stop, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _graceful)
+    signal.signal(signal.SIGINT, _graceful)
+    print(
+        f"repro serve: listening on {server.url} "
+        f"(workers={args.workers}, store={args.store or 'none'})",
+        flush=True,
+    )
+    server.serve_forever()  # returns once a signal (or /shutdown) drains us
+    metrics = service.metrics()
+    print(
+        "repro serve: drained and stopped after "
+        f"{metrics['requests']['solve']} solve / "
+        f"{metrics['requests']['sweep']} sweep request(s), "
+        f"{metrics['coalesced']} coalesced",
+        flush=True,
+    )
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service import ServiceClient, ServiceClientError
+
+    with open(args.file, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+
+    body: dict = {"solver": args.solver, "verify": args.verify}
+    if args.seed is not None:
+        body["seed"] = args.seed
+    if args.timeout:
+        body["timeout"] = args.timeout
+    if "modules" in payload:  # a bare workflow file: Γ/kind come from flags
+        body["workflow"] = payload
+        body["gamma"] = args.gamma if args.gamma is not None else 2
+        body["kind"] = args.kind
+    elif args.gamma is not None:
+        # A problem file re-targeted at an explicit Γ: submit its workflow
+        # and let the service derive requirements at (--gamma, --kind).
+        body["workflow"] = payload.get("workflow", payload)
+        body["gamma"] = args.gamma
+        body["kind"] = args.kind
+    else:
+        body["problem"] = payload
+
+    # The socket deadline must outlast the server-side wait deadline, or
+    # the client's own timeout races (and usually beats) the server's 504.
+    # Without an explicit --timeout the server's deadline is unknown (its
+    # --timeout default is 300 but operators can raise it), so allow a
+    # generous hour rather than baking in someone else's default.
+    client_timeout = (args.timeout + 30.0) if args.timeout else 3600.0
+    client = ServiceClient(args.url, timeout=client_timeout)
+    try:
+        record = client.submit(body)
+    except ServiceClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(record, indent=2, sort_keys=True, default=str))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -459,8 +577,78 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="re-run solvers even when the store holds the cell's result",
     )
+    sweep.add_argument(
+        "--allow-errors",
+        action="store_true",
+        help="exit 0 even when some cells produced error records",
+    )
     sweep.add_argument("--output", default="", help="also write the JSON report here")
     sweep.set_defaults(func=_cmd_sweep)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived solve service (HTTP/JSON)",
+        description=(
+            "A threaded HTTP server holding one hot derivation cache (and "
+            "optionally a persistent store) across requests.  Identical "
+            "concurrent requests coalesce into one computation; GET "
+            "/metrics exposes the counters.  SIGTERM/SIGINT (and POST "
+            "/shutdown) drain in-flight work and exit 0."
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080, help="0 picks a free port")
+    serve.add_argument(
+        "--workers", type=int, default=4, help="solve worker threads"
+    )
+    serve.add_argument(
+        "--store",
+        default="",
+        help=f"persistent derivation store directory (e.g. {DEFAULT_STORE_DIR})",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="default per-request deadline in seconds (0 = unbounded)",
+    )
+    serve.add_argument(
+        "--quiet",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="suppress per-request access logging",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a problem or workflow file to a running solve service",
+        description=(
+            "Sends one solve request to `repro serve`.  Problem files are "
+            "submitted with their baked Γ/kind/requirements; workflow files "
+            "(or problem files with an explicit --gamma) derive requirement "
+            "lists server-side, where they are cached and coalesced across "
+            "clients."
+        ),
+    )
+    submit.add_argument("file", help="problem or workflow JSON file")
+    submit.add_argument(
+        "--url", default="http://127.0.0.1:8080", help="service endpoint"
+    )
+    submit.add_argument("--solver", default="auto")
+    submit.add_argument("--seed", type=int, default=None)
+    submit.add_argument(
+        "--gamma",
+        type=int,
+        default=None,
+        help="derive at this Γ server-side (required meaning for workflow files)",
+    )
+    submit.add_argument("--kind", default="set", choices=["set", "cardinality"])
+    submit.add_argument("--verify", action="store_true")
+    submit.add_argument(
+        "--timeout", type=float, default=0.0, help="request deadline in seconds"
+    )
+    submit.set_defaults(func=_cmd_submit)
 
     return parser
 

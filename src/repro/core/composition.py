@@ -26,7 +26,6 @@ from typing import Iterable, Mapping
 from ..exceptions import PrivacyError
 from .attributes import Value
 from .module import Module
-from .privacy import standalone_out_set
 from .relation import Relation
 from .standalone import minimum_cost_safe_subset
 from .view import SecureViewSolution

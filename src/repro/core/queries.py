@@ -20,7 +20,7 @@ utility.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from typing import Mapping
 
 import networkx as nx
 

@@ -19,7 +19,7 @@ relations, and computes the data-sharing degree γ of Definition 3.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Iterable, Iterator, Mapping
 
 import networkx as nx
 

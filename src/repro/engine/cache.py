@@ -43,10 +43,19 @@ top: a fully warm repeat is one lookup, not one per module.
 Hit/miss counters are kept per category (including ``store_hits`` /
 ``store_misses`` for the back tier) so benchmarks and tests can assert the
 sharing actually happened.
+
+Since PR 5 every cache operation is **thread-safe**: lookups, derivations
+and counter updates run under one reentrant lock, so a single cache can
+back the long-lived solve service (:mod:`repro.service`), where many
+handler threads solve against the same hot cache concurrently.  The lock
+serializes *derivation*, not solving — solvers run outside the cache — and
+the service's request coalescing keeps identical concurrent derivations
+from queueing up behind each other in the first place.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping
 
@@ -70,10 +79,35 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["CacheStats", "DerivationCache", "MEMORY_LIMIT"]
 
-#: Bound on in-memory entries per artifact category (FIFO eviction).  The
-#: pinned-workflow table is exempt: pins are one small reference per
-#: workflow and must outlive their entries so ``id()`` reuse cannot alias.
+#: Bound on in-memory entries per artifact category (FIFO eviction).
 MEMORY_LIMIT = 128
+
+#: Bound on pinned workflows/modules.  Pins keep the objects behind the
+#: ``id()``-keyed tables alive so an id can never be recycled while its
+#: entries exist; evicting a pin therefore purges its entries with it.
+#: Long-lived processes (the solve service) would otherwise grow without
+#: bound as distinct instances stream past.  Workflows with *seeded*
+#: requirement lists are exempt — those lists are not re-derivable, so
+#: dropping them could change answers.
+PIN_LIMIT = 4 * MEMORY_LIMIT
+
+
+def _locked(method):
+    """Run a cache method under the instance's reentrant lock.
+
+    Reentrancy matters: ``requirements`` calls ``module_requirement``,
+    ``compiled_workflow`` calls ``relation`` and ``fingerprint``, and all of
+    them update shared tables and counters.
+    """
+
+    def wrapper(self, *args, **kwargs):
+        with self._lock:
+            return method(self, *args, **kwargs)
+
+    wrapper.__name__ = method.__name__
+    wrapper.__doc__ = method.__doc__
+    wrapper.__wrapped__ = method
+    return wrapper
 
 
 @dataclass(frozen=True)
@@ -156,6 +190,10 @@ class DerivationCache:
 
     store: "DerivationStore | None" = None
     max_entries: int = MEMORY_LIMIT
+    max_pins: int = PIN_LIMIT
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
     _workflows: dict[int, Workflow] = field(default_factory=dict)
     _fingerprints: dict[int, str] = field(default_factory=dict)
     _requirements: dict[tuple, Mapping[str, RequirementList]] = field(
@@ -186,14 +224,45 @@ class DerivationCache:
     reused_modules: int = 0
     rederived_modules: int = 0
 
+    def _evict_pin(self, key: int) -> None:
+        """Drop one pinned workflow and every id-keyed entry it anchors."""
+        self._workflows.pop(key, None)
+        self._fingerprints.pop(key, None)
+        self._relations.pop(key, None)
+        self._compiled.pop(key, None)
+        for table in (self._requirements, self._out_sets):
+            for entry_key in [k for k in table if k[0] == key]:
+                del table[entry_key]
+
     def _pin(self, workflow: Workflow) -> int:
         key = id(workflow)
-        self._workflows.setdefault(key, workflow)
+        if key in self._workflows:
+            return key
+        self._workflows[key] = workflow
+        if self.max_pins and len(self._workflows) > self.max_pins:
+            # Evict the oldest pin without seeded requirement lists (those
+            # are not re-derivable; everything id-keyed is).  Entries go
+            # with the pin so a recycled id can never alias stale state.
+            seeded = {entry_key[0] for entry_key in self._seeded_requirements}
+            for old in list(self._workflows):
+                if old != key and old not in seeded:
+                    self._evict_pin(old)
+                    break
         return key
 
     def _pin_module(self, module: Module) -> int:
         key = id(module)
-        self._modules.setdefault(key, module)
+        if key in self._modules:
+            return key
+        self._modules[key] = module
+        if self.max_pins and len(self._modules) > self.max_pins:
+            # Module-level artifacts are content-keyed (fingerprint
+            # strings), so only the pin and its id -> fingerprint memo go.
+            for old in list(self._modules):
+                if old != key:
+                    del self._modules[old]
+                    self._module_fingerprints.pop(old, None)
+                    break
         return key
 
     def _remember(self, table: dict, key, value) -> None:
@@ -204,6 +273,7 @@ class DerivationCache:
         table[key] = value
 
     # -- content fingerprints -----------------------------------------------------
+    @_locked
     def fingerprint(self, workflow: Workflow) -> str:
         """The workflow's content hash (store key), computed at most once."""
         key = self._pin(workflow)
@@ -215,6 +285,7 @@ class DerivationCache:
             self._fingerprints[key] = cached
         return cached
 
+    @_locked
     def module_fingerprint(self, module: Module) -> str:
         """The module's content hash (shared-tier key), computed at most once.
 
@@ -231,11 +302,13 @@ class DerivationCache:
             self._module_fingerprints[key] = cached
         return cached
 
+    @_locked
     def attach_store(self, store: "DerivationStore | None") -> None:
         """Attach (or detach, with ``None``) the persistent back tier."""
         self.store = store
 
     # -- kernel compilation -------------------------------------------------------
+    @_locked
     def compiled_workflow(self, workflow: Workflow) -> CompiledWorkflow:
         """The bit-compiled form of the workflow, packed at most once.
 
@@ -266,6 +339,7 @@ class DerivationCache:
             self.store.save_pack(self.fingerprint(workflow), compiled)
         return compiled
 
+    @_locked
     def compiled_module(self, module: Module) -> CompiledModule:
         """The bit-compiled form of one module, packed at most once per content.
 
@@ -290,6 +364,7 @@ class DerivationCache:
         return compiled
 
     # -- requirement derivation -------------------------------------------------
+    @_locked
     def module_requirement(
         self,
         module: Module,
@@ -343,6 +418,7 @@ class DerivationCache:
             )
         return derived
 
+    @_locked
     def requirements(
         self,
         workflow: Workflow,
@@ -388,6 +464,7 @@ class DerivationCache:
             )
         return derived
 
+    @_locked
     def seed_requirements(
         self,
         workflow: Workflow,
@@ -414,6 +491,7 @@ class DerivationCache:
             )
 
     # -- provenance relation ----------------------------------------------------
+    @_locked
     def relation(self, workflow: Workflow) -> Relation:
         """The workflow's provenance relation, materialized at most once."""
         key = self._pin(workflow)
@@ -439,6 +517,7 @@ class DerivationCache:
         return relation
 
     # -- out-set enumeration (verification) -------------------------------------
+    @_locked
     def module_out_sets(
         self,
         workflow: Workflow,
@@ -505,7 +584,16 @@ class DerivationCache:
 
     # -- bookkeeping ------------------------------------------------------------
     def stats(self) -> CacheStats:
-        """Snapshot of the hit/miss counters (front and store tiers)."""
+        """Snapshot of the hit/miss counters (front and store tiers).
+
+        Deliberately *not* under the cache lock: a worker holds that lock
+        for the whole of a derivation, and the serving tier's ``/metrics``
+        must stay responsive while the server is busiest.  Each counter
+        read is atomic (plain ints under the GIL); under concurrency the
+        snapshot may mix counters from instants a few operations apart,
+        which monitoring tolerates — quiescent readers (tests, benchmarks,
+        sweep deltas) see exact values.
+        """
         return CacheStats(
             derivation_hits=self.derivation_hits,
             derivation_misses=self.derivation_misses,
@@ -521,6 +609,7 @@ class DerivationCache:
             rederived_modules=self.rederived_modules,
         )
 
+    @_locked
     def clear(self) -> None:
         """Drop every in-memory entry (including pinned workflows, their
         fingerprints and pinned compiled packs) and reset all counters.

@@ -24,7 +24,6 @@ constraint (21) of the set-constraint general LP.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
 
 from ..core.requirements import CardinalityRequirementList
 from ..core.secure_view import SecureViewProblem

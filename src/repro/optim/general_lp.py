@@ -29,7 +29,7 @@ from ..core.requirements import SetRequirementList
 from ..core.secure_view import SecureViewProblem
 from ..core.view import SecureViewSolution
 from ..exceptions import RequirementError, SolverError
-from .cardinality_ip import build_cardinality_program, w_var, x_var, r_var
+from .cardinality_ip import w_var, x_var, r_var
 from .cardinality_rounding import solve_cardinality_rounding
 from .lp import LinearProgram, LPSolution
 

@@ -29,7 +29,6 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from ..core.attributes import Attribute, BOOLEAN, Schema, integer_domain
-from ..core.privacy import is_standalone_private
 from ..core.relation import Relation
 from ..exceptions import PrivacyError
 

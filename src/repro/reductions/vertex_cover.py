@@ -17,7 +17,6 @@ secure view of cost ``|E| + K``.
 from __future__ import annotations
 
 import itertools
-import random
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 

@@ -1,0 +1,58 @@
+"""Long-lived solve service over the Secure-View engine.
+
+Every other surface in this repository — the CLI, ``run_sweep``, a script
+holding a :class:`~repro.engine.Planner` — is a one-shot process: it pays
+interpreter start-up, store attachment and kernel compilation per
+invocation, then throws the hot state away.  This package keeps that state
+resident and serves it over HTTP/JSON (stdlib only)::
+
+    repro serve --store .repro-store --workers 4 --port 8080
+    repro submit problem.json --url http://127.0.0.1:8080
+
+Components
+----------
+:class:`SolveService`
+    The process core: one hot thread-safe
+    :class:`~repro.engine.cache.DerivationCache` (optionally store-backed),
+    a solve worker pool, an in-memory result cache, and **request
+    coalescing** — concurrent identical requests (same workflow
+    fingerprint, backend, Γ, kind, solver, seed, verify) attach to one
+    computation and all receive its result.
+:class:`RequestCoalescer`
+    The keyed single-flight table behind the coalescing, with
+    leader/follower counters (``coalesced`` in ``/metrics``).
+:class:`ServiceServer`
+    The threaded HTTP front: ``POST /solve``, ``POST /sweep``,
+    ``GET /healthz``, ``GET /metrics``, ``POST /shutdown``; graceful
+    drain on stop.
+:class:`ServiceClient`
+    Stdlib client used by ``repro submit`` and scripts.
+:class:`SolveJob` / :func:`parse_solve_payload`
+    The request codec; a job's ``key`` is the coalescing identity.
+"""
+
+from .client import ServiceClient, ServiceClientError
+from .coalescer import InFlight, RequestCoalescer
+from .jobs import (
+    InstanceCache,
+    ServiceError,
+    ServiceTimeout,
+    SolveJob,
+    parse_solve_payload,
+)
+from .server import ServiceServer
+from .service import SolveService
+
+__all__ = [
+    "InFlight",
+    "InstanceCache",
+    "RequestCoalescer",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceError",
+    "ServiceServer",
+    "ServiceTimeout",
+    "SolveJob",
+    "SolveService",
+    "parse_solve_payload",
+]

@@ -1,0 +1,177 @@
+"""Thin stdlib client for the solve service.
+
+:class:`ServiceClient` wraps ``urllib`` — no dependencies, usable from any
+script or from ``repro submit``::
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8080")
+    record = client.solve(workflow, gamma=2, kind="set", verify=True)
+    print(record["cost"], record["hidden_attributes"])
+    print(client.metrics()["coalesced"])
+
+``solve`` accepts a live :class:`~repro.core.workflow.Workflow` /
+:class:`~repro.core.secure_view.SecureViewProblem` (serialized on the way
+out) or an already-serialized payload mapping.  HTTP-level failures raise
+:class:`ServiceClientError` carrying the status code and the server's error
+payload, so callers can distinguish a malformed request (400) from a
+timeout (504) from a draining server (503).
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Mapping
+
+__all__ = ["ServiceClient", "ServiceClientError"]
+
+
+class ServiceClientError(Exception):
+    """An HTTP error response from the service (status + server payload)."""
+
+    def __init__(
+        self, status: int, message: str, payload: Mapping[str, Any] | None = None
+    ):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = dict(payload or {})
+
+
+def _instance_payload(instance: Any) -> Mapping[str, Any]:
+    """Serialize a live workflow/problem; pass mappings through untouched."""
+    if isinstance(instance, Mapping):
+        return instance
+    from ..core.secure_view import SecureViewProblem
+    from ..core.workflow import Workflow
+    from ..workloads.serialization import problem_to_dict, workflow_to_dict
+
+    if isinstance(instance, Workflow):
+        return workflow_to_dict(instance)
+    if isinstance(instance, SecureViewProblem):
+        return problem_to_dict(instance)
+    raise TypeError(f"cannot serialize {type(instance).__name__} for the service")
+
+
+class ServiceClient:
+    """HTTP client for one service endpoint (``http://host:port``)."""
+
+    def __init__(self, url: str, timeout: float = 300.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport --------------------------------------------------------------
+    def request(self, method: str, path: str, payload: Any = None) -> dict[str, Any]:
+        """One JSON round trip; raises :class:`ServiceClientError` on 4xx/5xx."""
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload, default=str).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.url}{path}", data=body, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                error_payload = json.loads(exc.read().decode("utf-8"))
+            except Exception:  # non-JSON error body
+                error_payload = {}
+            message = error_payload.get("error", exc.reason)
+            raise ServiceClientError(
+                exc.code, str(message), error_payload
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceClientError(
+                0, f"cannot reach {self.url}: {exc.reason}"
+            ) from exc
+        except (TimeoutError, OSError) as exc:
+            # Socket-level read timeouts (and connection resets mid-read)
+            # surface as bare OSError/TimeoutError, not URLError; fold them
+            # into the same controlled error so callers never see a raw
+            # socket traceback.
+            raise ServiceClientError(
+                0, f"request to {self.url} failed: {str(exc) or type(exc).__name__}"
+            ) from exc
+
+    # -- endpoints --------------------------------------------------------------
+    def submit(self, body: Mapping[str, Any]) -> dict[str, Any]:
+        """POST a raw, already-assembled ``/solve`` body."""
+        return self.request("POST", "/solve", body)
+
+    def solve(
+        self,
+        workflow: Any = None,
+        problem: Any = None,
+        *,
+        gamma: int | None = None,
+        kind: str | None = None,
+        solver: str = "auto",
+        seed: int | None = None,
+        verify: bool = False,
+        backend: str | None = None,
+        costs: Mapping[str, float] | None = None,
+        timeout: float | None = None,
+        label: str | None = None,
+    ) -> dict[str, Any]:
+        """Solve one instance on the server; the solve record."""
+        if (workflow is None) == (problem is None):
+            raise ValueError("pass exactly one of workflow= or problem=")
+        body: dict[str, Any] = {"solver": solver, "seed": seed, "verify": verify}
+        if workflow is not None:
+            body["workflow"] = _instance_payload(workflow)
+            body["gamma"] = gamma
+            body["kind"] = kind if kind is not None else "set"
+        else:
+            body["problem"] = _instance_payload(problem)
+        if backend is not None:
+            body["backend"] = backend
+        if costs is not None:
+            body["costs"] = dict(costs)
+        if timeout is not None:
+            body["timeout"] = timeout
+        if label is not None:
+            body["label"] = label
+        return self.submit(body)
+
+    def sweep(
+        self,
+        *,
+        workflows: tuple | list = (),
+        problems: tuple | list = (),
+        gammas: tuple | list = (2,),
+        kinds: tuple | list = ("set",),
+        solvers: tuple | list = ("auto",),
+        seeds: tuple | list = (0,),
+        verify: bool = False,
+        backend: str | None = None,
+        timeout: float | None = None,
+    ) -> dict[str, Any]:
+        """Run an inline grid on the server; the sweep report."""
+        body: dict[str, Any] = {
+            "workflows": [_instance_payload(w) for w in workflows],
+            "problems": [_instance_payload(p) for p in problems],
+            "gammas": list(gammas),
+            "kinds": list(kinds),
+            "solvers": list(solvers),
+            "seeds": list(seeds),
+            "verify": verify,
+        }
+        if backend is not None:
+            body["backend"] = backend
+        if timeout is not None:
+            body["timeout"] = timeout
+        return self.request("POST", "/sweep", body)
+
+    def healthz(self) -> dict[str, Any]:
+        return self.request("GET", "/healthz")
+
+    def metrics(self) -> dict[str, Any]:
+        return self.request("GET", "/metrics")
+
+    def shutdown(self) -> dict[str, Any]:
+        """Ask the server to drain and exit (202 acknowledged)."""
+        return self.request("POST", "/shutdown", {})

@@ -1,0 +1,286 @@
+"""Request payload codec for the solve service.
+
+A client talks to the service in plain JSON.  A solve request body names
+exactly one instance — ``"workflow"`` (a
+:func:`~repro.workloads.serialization.workflow_to_dict` payload, solved at
+the request's ``gamma``/``kind``) or ``"problem"`` (a
+:func:`~repro.workloads.serialization.problem_to_dict` payload with Γ, kind
+and requirement lists baked in) — plus solve parameters::
+
+    {"workflow": {...}, "gamma": 2, "kind": "set",
+     "solver": "auto", "seed": null, "verify": false,
+     "backend": null, "costs": {"a3": 10.0}, "timeout": 30.0}
+
+Parsing produces a :class:`SolveJob`, whose :attr:`SolveJob.key` is the
+**coalescing key**: ``(workflow_fingerprint, backend, gamma, kind, solver,
+seed, verify)`` (plus the cost-override items when present).  The
+fingerprint reuses the store's content canonicalization
+(:func:`~repro.workloads.fingerprint.workflow_fingerprint`), so two clients
+submitting the same workflow — regardless of module order, dict key order
+or formatting — produce the same key, coalesce while in flight, and share
+one persistent-store entry with every other surface (CLI, sweep executor).
+
+Anything malformed raises :class:`ServiceError` with an HTTP status the
+server maps onto the response; nothing here touches sockets, so the codec
+is directly unit-testable.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..kernel import VALID_BACKENDS, resolve_backend
+
+__all__ = [
+    "InstanceCache",
+    "ServiceError",
+    "ServiceTimeout",
+    "SolveJob",
+    "parse_solve_payload",
+]
+
+#: Requirement-list kinds a request may ask for (workflow instances only).
+VALID_KINDS = ("set", "cardinality")
+
+
+class ServiceError(Exception):
+    """A request-level failure, carrying the HTTP status to report."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"error": str(self), "status": self.status}
+
+
+class ServiceTimeout(ServiceError):
+    """The request's deadline passed before its computation finished.
+
+    The computation itself keeps running (worker threads cannot be
+    interrupted) and still lands in the cache and store, so a retry of the
+    same request is typically served instantly.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, status=504)
+
+
+@dataclass(frozen=True)
+class SolveJob:
+    """One parsed solve request, canonicalized for coalescing.
+
+    ``instance`` is the rebuilt :class:`~repro.core.workflow.Workflow` or
+    :class:`~repro.core.secure_view.SecureViewProblem` — the *same object*
+    for every request with the same content fingerprint (see
+    :class:`InstanceCache`), so the engine's identity-keyed memory tables
+    hit across requests.
+    """
+
+    source: str  # "workflow" | "problem"
+    instance: Any
+    fingerprint: str
+    label: str
+    gamma: int | None
+    kind: str | None
+    solver: str
+    seed: int | None
+    verify: bool
+    backend: str
+    costs: tuple[tuple[str, float], ...] | None
+    timeout: float | None
+
+    @property
+    def key(self) -> tuple:
+        """The coalescing identity of this request.
+
+        Identical in-flight requests attach to one computation; the cost
+        items ride along so a what-if override never aliases the base
+        solve.
+        """
+        return (
+            self.fingerprint,
+            self.backend,
+            self.gamma,
+            self.kind,
+            self.solver,
+            self.seed,
+            self.verify,
+            self.costs,
+        )
+
+
+class InstanceCache:
+    """Rebuilt instances keyed by content, bounded FIFO.
+
+    Two layers of deduplication: a raw-payload digest short-circuits exact
+    byte-for-byte repeats without rebuilding anything, and the canonical
+    content fingerprint maps semantically identical payloads (different
+    module order, different dict order) to one live object.  Returning the
+    *same* object matters because the engine's memory tables are keyed by
+    object identity — a repeated request then hits the cache front instead
+    of re-probing the store.
+    """
+
+    def __init__(self, max_entries: int = 64) -> None:
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._by_digest: OrderedDict[str, tuple[Any, str]] = OrderedDict()
+        self._by_fingerprint: OrderedDict[str, Any] = OrderedDict()
+
+    def _remember(self, table: OrderedDict, key: str, value: Any) -> None:
+        while len(table) >= self.max_entries:
+            table.popitem(last=False)
+        table[key] = value
+
+    def resolve(self, source: str, payload: Mapping[str, Any]) -> tuple[Any, str]:
+        """``(instance, fingerprint)`` for one request payload.
+
+        Serialized under one lock: concurrent first requests for the same
+        content must converge on a single rebuilt object, or the
+        identity-keyed engine tables would treat them as distinct
+        instances.  Rebuilding under the lock costs a few ms once per new
+        instance — repeats are dictionary hits.
+        """
+        from ..workloads.fingerprint import payload_fingerprint, workflow_fingerprint
+        from ..workloads.serialization import problem_from_dict, workflow_from_dict
+
+        with self._lock:
+            digest = payload_fingerprint({source: payload})
+            cached = self._by_digest.get(digest)
+            if cached is not None:
+                return cached
+            if source == "workflow":
+                instance = workflow_from_dict(payload)
+                fingerprint = workflow_fingerprint(instance)
+            else:
+                instance = problem_from_dict(payload)
+                # Mirrors the sweep executor's problem keying, so service
+                # and sweep share persistent-store result entries.
+                fingerprint = payload_fingerprint({"problem": payload})
+            existing = self._by_fingerprint.get(fingerprint)
+            if existing is not None:
+                instance = existing
+            else:
+                self._remember(self._by_fingerprint, fingerprint, instance)
+            built = (instance, fingerprint)
+            self._remember(self._by_digest, digest, built)
+            return built
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ServiceError(message)
+
+
+def _parse_seed(value: Any) -> int | None:
+    if value is None:
+        return None
+    _require(
+        isinstance(value, int) and not isinstance(value, bool),
+        "seed must be an integer or null",
+    )
+    return int(value)
+
+
+def _parse_timeout(value: Any) -> float | None:
+    if value is None:
+        return None
+    _require(
+        isinstance(value, (int, float)) and not isinstance(value, bool) and value > 0,
+        "timeout must be a positive number of seconds",
+    )
+    return float(value)
+
+
+def _parse_costs(value: Any) -> tuple[tuple[str, float], ...] | None:
+    if value is None:
+        return None
+    _require(isinstance(value, Mapping), "costs must be an object of attribute -> cost")
+    items: list[tuple[str, float]] = []
+    for name, cost in value.items():
+        _require(
+            isinstance(name, str)
+            and isinstance(cost, (int, float))
+            and not isinstance(cost, bool),
+            "costs must map attribute names to numbers",
+        )
+        items.append((name, float(cost)))
+    return tuple(sorted(items))
+
+
+def parse_solve_payload(
+    body: Any, instances: InstanceCache
+) -> SolveJob:
+    """Validate one ``POST /solve`` body and canonicalize it into a job.
+
+    Raises :class:`ServiceError` (status 400) on anything malformed — an
+    unknown field combination, a bad Γ, an unknown solver kind or backend,
+    or an instance payload the serializer rejects.
+    """
+    _require(isinstance(body, Mapping), "request body must be a JSON object")
+    has_workflow = "workflow" in body
+    has_problem = "problem" in body
+    _require(
+        has_workflow != has_problem,
+        "request must name exactly one of 'workflow' or 'problem'",
+    )
+    source = "workflow" if has_workflow else "problem"
+    payload = body[source]
+    _require(isinstance(payload, Mapping), f"'{source}' must be a JSON object")
+
+    if has_workflow:
+        gamma = body.get("gamma")
+        _require(
+            isinstance(gamma, int) and not isinstance(gamma, bool) and gamma >= 1,
+            "workflow requests need an integer 'gamma' >= 1",
+        )
+        kind = body.get("kind", "set")
+        _require(kind in VALID_KINDS, f"kind must be one of {VALID_KINDS}")
+    else:
+        _require(
+            "gamma" not in body and "kind" not in body,
+            "problem requests carry Γ and kind in the problem payload",
+        )
+        gamma = None
+        kind = None
+
+    solver = body.get("solver", "auto")
+    _require(isinstance(solver, str) and bool(solver), "solver must be a name string")
+    verify = body.get("verify", False)
+    _require(isinstance(verify, bool), "verify must be a boolean")
+    backend = body.get("backend")
+    _require(
+        backend is None or backend in VALID_BACKENDS,
+        f"backend must be one of {sorted(VALID_BACKENDS)}",
+    )
+
+    try:
+        instance, fingerprint = instances.resolve(source, payload)
+    except ServiceError:
+        raise
+    except Exception as exc:  # serializer-level validation failures
+        raise ServiceError(f"invalid {source} payload: {exc}") from exc
+
+    label = body.get("label")
+    if label is None:
+        label = payload.get("name") or payload.get("workflow", {}).get("name") or source
+    _require(isinstance(label, str), "label must be a string")
+
+    return SolveJob(
+        source=source,
+        instance=instance,
+        fingerprint=fingerprint,
+        label=label,
+        gamma=gamma,
+        kind=kind,
+        solver=solver,
+        seed=_parse_seed(body.get("seed")),
+        verify=verify,
+        backend=resolve_backend(backend),
+        costs=_parse_costs(body.get("costs")),
+        timeout=_parse_timeout(body.get("timeout")),
+    )

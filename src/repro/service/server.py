@@ -1,0 +1,236 @@
+"""Threaded HTTP/JSON front for a :class:`~repro.service.service.SolveService`.
+
+Stdlib only: a :class:`http.server.ThreadingHTTPServer` whose handler
+threads parse JSON bodies, call the service, and serialize the answer.
+Handler threads never compute — computation happens in the service's worker
+pool — so slow solves occupy pool slots, not the accept loop.
+
+Routes
+------
+``GET /healthz``
+    Liveness: ``{"status": "ok" | "draining", "in_flight": n, ...}``.
+``GET /metrics``
+    Request counts, in-flight gauge, coalescing counters, and the shared
+    cache's hit/miss delta since start (see ``SolveService.metrics``).
+``POST /solve``
+    One solve request (see :mod:`repro.service.jobs` for the body schema).
+``POST /sweep``
+    An inline grid fanned through the solve pipeline.
+``POST /shutdown``
+    Ack with 202 and gracefully stop the server (drain, then exit the
+    serve loop).  The CLI additionally wires SIGTERM/SIGINT to the same
+    path, so ``kill -TERM`` on ``repro serve`` drains and exits 0.
+
+Error mapping: malformed JSON or payloads → 400, unknown routes → 404,
+request deadline passed → 504, draining → 503, solver/domain failures →
+422, anything unexpected → 500; every error body is
+``{"error": "...", "status": N}``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from ..exceptions import ProvenanceError
+from .jobs import ServiceError
+from .service import SolveService
+
+__all__ = ["ServiceServer"]
+
+#: Refuse request bodies larger than this (a serialized workflow payload is
+#: typically a few hundred KB at the arities this library targets).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+def _scrub_nonfinite(value: Any) -> Any:
+    """Replace inf/nan floats with ``None`` anywhere in a JSON-able tree."""
+    import math
+
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {key: _scrub_nonfinite(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_scrub_nonfinite(item) for item in value]
+    return value
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve"
+    #: Set by :class:`ServiceServer` on the handler subclass it builds.
+    service: SolveService
+    quiet: bool = True
+
+    # -- plumbing ---------------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if not self.quiet:
+            super().log_message(format, *args)
+
+    def _respond(self, status: int, payload: Any) -> None:
+        try:
+            text = json.dumps(payload, sort_keys=True, default=str, allow_nan=False)
+        except ValueError:
+            # Strict JSON on the wire: non-RFC-8259 floats (inf/nan) would
+            # break every non-Python client, so scrub them to null rather
+            # than emit the Python-only Infinity/NaN tokens.
+            text = json.dumps(
+                _scrub_nonfinite(payload), sort_keys=True, default=str, allow_nan=False
+            )
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        # One request per connection keeps draining simple: no handler
+        # thread ever idles on a keep-alive socket across the shutdown.
+        self.send_header("Connection", "close")
+        self.close_connection = True
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):  # client went away
+            pass
+
+    def _fail(self, exc: BaseException) -> None:
+        if isinstance(exc, ServiceError):
+            self._respond(exc.status, exc.as_dict())
+        elif isinstance(exc, ProvenanceError):
+            # Well-formed request, unsolvable instance (unknown solver,
+            # infeasible requirements, work limits): the client's fault
+            # semantically, but not a malformed message.
+            self._respond(422, {"error": str(exc), "status": 422})
+        else:
+            self._respond(500, {"error": str(exc), "status": 500})
+
+    def _read_body(self) -> Any:
+        length = self.headers.get("Content-Length")
+        try:
+            length = int(length)
+        except (TypeError, ValueError):
+            raise ServiceError("Content-Length required", status=411)
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise ServiceError("request body too large", status=413)
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ServiceError(f"request body is not valid JSON: {exc}") from exc
+
+    # -- routes -----------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        try:
+            if self.path == "/healthz":
+                self._respond(200, self.service.healthz())
+            elif self.path == "/metrics":
+                self._respond(200, self.service.metrics())
+            else:
+                self._respond(
+                    404, {"error": f"no such path {self.path!r}", "status": 404}
+                )
+        except Exception as exc:  # noqa: BLE001 - a handler must always answer
+            self._fail(exc)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        try:
+            if self.path == "/solve":
+                self._respond(200, self.service.solve_payload(self._read_body()))
+            elif self.path == "/sweep":
+                self._respond(200, self.service.sweep_payload(self._read_body()))
+            elif self.path == "/shutdown":
+                self._respond(202, {"status": "shutting down"})
+                self.server.owner.stop_async()  # type: ignore[attr-defined]
+            else:
+                self._respond(
+                    404, {"error": f"no such path {self.path!r}", "status": 404}
+                )
+        except Exception as exc:  # noqa: BLE001 - a handler must always answer
+            self._fail(exc)
+
+
+class ServiceServer:
+    """Bind a :class:`SolveService` to a host/port and run the serve loop.
+
+    The constructor binds the socket (so callers can read the ephemeral
+    ``port`` before serving); :meth:`serve_forever` blocks until
+    :meth:`stop` is called from another thread (or :meth:`start` runs the
+    loop on a daemon thread for in-process use — tests, benchmarks, the
+    demo).
+    """
+
+    def __init__(
+        self,
+        service: SolveService,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        quiet: bool = True,
+    ) -> None:
+        self.service = service
+        # A socket timeout bounds idle connections so joining handler
+        # threads on close can never hang on a client that connected but
+        # sent nothing.
+        handler = type(
+            "_BoundHandler",
+            (_Handler,),
+            {"service": service, "quiet": quiet, "timeout": 30},
+        )
+        self.httpd = ThreadingHTTPServer((host, port), handler)
+        # Non-daemon handler threads: server_close() joins them, so a
+        # graceful stop only returns after every drained request's
+        # response has actually been written — drain must never drop the
+        # very response it waited for.
+        self.httpd.daemon_threads = False
+        self.httpd.owner = self  # type: ignore[attr-defined]
+        self._stopped = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- serving ----------------------------------------------------------------
+    def serve_forever(self) -> None:
+        """Run the accept loop on the calling thread until :meth:`stop`."""
+        try:
+            self.httpd.serve_forever(poll_interval=0.1)
+        finally:
+            self.httpd.server_close()
+
+    def start(self) -> "ServiceServer":
+        """Run the serve loop on a daemon thread (in-process embedding)."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    # -- shutdown ---------------------------------------------------------------
+    def stop(self, drain_timeout: float | None = None) -> bool:
+        """Drain the service, stop the accept loop, close the socket.
+
+        Safe to call from any thread (including a signal handler's helper
+        thread) and idempotent.  Returns whether the drain completed within
+        ``drain_timeout``.
+        """
+        if self._stopped.is_set():
+            return True
+        self._stopped.set()
+        drained = self.service.drain(drain_timeout)
+        self.httpd.shutdown()
+        if self._thread is not None and self._thread is not threading.current_thread():
+            self._thread.join(timeout=5.0)
+        return drained
+
+    def stop_async(self) -> None:
+        """Trigger :meth:`stop` without blocking the calling (handler) thread."""
+        threading.Thread(target=self.stop, name="repro-serve-stop", daemon=True).start()

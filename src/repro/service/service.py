@@ -1,0 +1,513 @@
+"""The long-lived solve service: hot cache, worker pool, coalescing.
+
+A :class:`SolveService` is the process-resident core the HTTP layer
+(:mod:`repro.service.server`) fronts.  It owns exactly one
+:class:`~repro.engine.cache.DerivationCache` (optionally backed by a
+persistent :class:`~repro.engine.store.DerivationStore`) and a thread pool,
+and it keeps them **hot**: every request that reaches it reuses the same
+compiled kernel packs, per-module requirement lists and planners, so the
+amortized cost of a solve approaches the solver call itself — the
+interpreter start-up, store attachment and kernel compilation a one-shot
+CLI invocation pays per run are paid once per *process*.
+
+Request flow for ``solve_payload``:
+
+1. parse + canonicalize the body into a :class:`~repro.service.jobs.SolveJob`
+   (its :attr:`~repro.service.jobs.SolveJob.key` is the coalescing key);
+2. probe the bounded in-memory **result cache** — a repeat of a completed
+   request is answered without touching the pool;
+3. :meth:`~repro.service.coalescer.RequestCoalescer.join` — an identical
+   in-flight request attaches to the running computation (``coalesced``);
+4. a leader submits the computation to the worker pool; completion is
+   published through a done-callback, so a leader whose *wait* times out
+   still resolves its followers and still populates the caches;
+5. inside the computation, the persistent store's result tier is probed
+   first (sharing entries with ``repro sweep --store`` and warm CLI runs),
+   then the planner solves through the shared thread-safe cache.
+
+``sweep_payload`` expands a grid into per-cell jobs and pushes them all
+through the *same* pipeline, so sweep cells coalesce with each other and
+with concurrent ``/solve`` traffic, and overlapping workflows share the
+module tier (``reused_modules`` in ``/metrics`` counts it).
+
+Shutdown is graceful by construction: :meth:`SolveService.drain` stops
+admitting new work (503), waits for every in-flight computation to publish
+its result, then shuts the pool down.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Mapping
+
+from ..engine import DerivationCache, Planner
+from ..engine.store import DerivationStore, ResultKey
+from .coalescer import RequestCoalescer
+from .jobs import (
+    InstanceCache,
+    ServiceError,
+    ServiceTimeout,
+    SolveJob,
+    parse_solve_payload,
+)
+
+__all__ = ["SolveService"]
+
+#: Bound on memoized planners and completed-result records (FIFO eviction).
+STATE_LIMIT = 128
+RESULT_LIMIT = 256
+
+
+class SolveService:
+    """Thread-safe solve core shared by every handler thread.
+
+    Parameters
+    ----------
+    store:
+        Persistent derivation store (instance or directory path) attached
+        as the cache's back tier; omit for a purely in-memory service.
+    workers:
+        Worker threads executing solve computations.  Handler threads never
+        compute — they coalesce, submit and wait — so the pool bounds
+        concurrent solver work independently of connection count.
+    registry:
+        Solver registry for dispatch; defaults to the process-wide one.
+    default_timeout:
+        Per-request deadline (seconds) when the request does not set its
+        own ``timeout``; ``None`` waits indefinitely.
+    reuse_results:
+        Serve repeated completed requests from the in-memory result cache
+        and the store's result tier.  Note this applies to seeded *and*
+        unseeded randomized solves alike (matching the sweep executor):
+        clients wanting fresh randomness per call should vary ``seed``.
+    """
+
+    def __init__(
+        self,
+        store: "DerivationStore | str | None" = None,
+        workers: int = 4,
+        registry: Any = None,
+        default_timeout: float | None = 60.0,
+        reuse_results: bool = True,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if isinstance(store, (str,)) or hasattr(store, "__fspath__"):
+            store = DerivationStore(store)
+        self.cache = DerivationCache(store=store)
+        self.registry = registry
+        self.workers = workers
+        self.default_timeout = default_timeout
+        self.reuse_results = reuse_results
+        self.pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-solve"
+        )
+        self.coalescer = RequestCoalescer()
+        self.instances = InstanceCache()
+        self._planners: OrderedDict[tuple, Planner] = OrderedDict()
+        self._results: OrderedDict[tuple, dict[str, Any]] = OrderedDict()
+        self._state = threading.Lock()
+        self._idle = threading.Condition(self._state)
+        self._in_flight = 0
+        self._draining = False
+        #: Set the moment a drain begins (before it waits) — lets callers
+        #: and tests sequence "no new work admitted" without polling.
+        self.drain_started = threading.Event()
+        self._started_monotonic = time.monotonic()
+        self._started_at = time.time()
+        self._baseline = self.cache.stats()
+        self.request_counts: dict[str, int] = {
+            "solve": 0,
+            "sweep": 0,
+            "healthz": 0,
+            "metrics": 0,
+        }
+        self.error_count = 0
+        self.timeout_count = 0
+        self.result_hits_memory = 0
+        self.result_hits_store = 0
+
+    # -- bookkeeping under the state lock ---------------------------------------
+    def _count(self, counter: str) -> None:
+        with self._state:
+            self.request_counts[counter] += 1
+
+    def _count_failure(self, exc: BaseException) -> None:
+        with self._state:
+            if isinstance(exc, ServiceTimeout):
+                self.timeout_count += 1
+            else:
+                self.error_count += 1
+
+    @property
+    def draining(self) -> bool:
+        with self._state:
+            return self._draining
+
+    @property
+    def in_flight(self) -> int:
+        """Computations currently queued or running in the pool."""
+        with self._state:
+            return self._in_flight
+
+    # -- planner and result memoization -----------------------------------------
+    def _planner_for(self, job: SolveJob) -> Planner:
+        key = (job.source, job.fingerprint, job.gamma, job.kind, job.backend)
+        with self._state:
+            planner = self._planners.get(key)
+            if planner is not None:
+                return planner
+        if job.source == "workflow":
+            planner = Planner(
+                job.instance,
+                job.gamma,
+                kind=job.kind,
+                cache=self.cache,
+                registry=self.registry,
+                backend=job.backend,
+            )
+        else:
+            planner = Planner.from_problem(
+                job.instance,
+                cache=self.cache,
+                registry=self.registry,
+                backend=job.backend,
+            )
+        with self._state:
+            # First construction wins so concurrent requests converge on one
+            # planner (and therefore one identity-keyed cache entry set).
+            existing = self._planners.get(key)
+            if existing is not None:
+                return existing
+            while len(self._planners) >= STATE_LIMIT:
+                self._planners.popitem(last=False)
+            self._planners[key] = planner
+            return planner
+
+    def _remember_result(self, key: tuple, record: Mapping[str, Any]) -> None:
+        with self._state:
+            while len(self._results) >= RESULT_LIMIT:
+                self._results.popitem(last=False)
+            self._results[key] = dict(record)
+
+    def _lookup_result(self, key: tuple) -> dict[str, Any] | None:
+        with self._state:
+            record = self._results.get(key)
+            return dict(record) if record is not None else None
+
+    # -- the computation (runs on a pool thread) --------------------------------
+    def _compute(self, job: SolveJob) -> dict[str, Any]:
+        before = self.cache.stats()
+        planner = self._planner_for(job)
+        gamma = planner.gamma if job.gamma is None else job.gamma
+        kind = planner.kind if job.kind is None else job.kind
+        result_key = ResultKey(
+            planner.backend, gamma, kind, job.solver, job.seed, job.verify
+        )
+        store = self.cache.store
+        # Cost overrides are excluded from the persistent result tier: its
+        # key has no cost dimension (by design — fingerprints exclude
+        # costs), so persisting an override would alias the base solve.
+        persistable = job.costs is None
+        if store is not None and self.reuse_results and persistable:
+            stored = store.load_result(job.fingerprint, result_key)
+            if stored is not None:
+                with self._state:
+                    self.result_hits_store += 1
+                if "error" in stored:
+                    # The sweep executor persists derivation-time
+                    # infeasibility as an error record (it is a pure
+                    # function of workflow content).  A fresh solve of
+                    # this request raises and maps to 422, so a
+                    # store-served repeat must answer identically — never
+                    # a 200 with cost Infinity (and never enter the
+                    # memory result cache as a "success").
+                    raise ServiceError(str(stored["error"]), status=422)
+                record = dict(stored)
+                record["workflow"] = job.label
+                record["from_store"] = True
+                record["fingerprint"] = job.fingerprint
+                # Same schema as a fresh computation: a (near-zero) cache
+                # delta, so clients never KeyError on which tier answered.
+                record["cache"] = self.cache.stats().delta(before).as_dict()
+                self._remember_result(job.key, record)
+                return record
+        result = planner.solve(
+            solver=job.solver,
+            seed=job.seed,
+            verify=job.verify,
+            costs=dict(job.costs) if job.costs else None,
+        )
+        # Per-record deltas are informational under concurrency (another
+        # request may tick the shared counters in between); the /metrics
+        # delta against the service baseline is the authoritative total.
+        delta = result.cache_stats.delta(before)
+        record: dict[str, Any] = {
+            "workflow": job.label,
+            "gamma": gamma,
+            "kind": kind,
+            "solver": job.solver,
+            "resolved_solver": result.solver,
+            "method": str(result.solution.meta.get("method", result.solver)),
+            "seed": job.seed,
+            "cost": result.cost,
+            "hidden_attributes": sorted(result.hidden_attributes),
+            "privatized_modules": sorted(result.privatized_modules),
+            "guarantee": result.guarantee,
+            "seconds": result.seconds,
+        }
+        if result.certificate is not None:
+            record["verified"] = result.certificate.ok
+        if store is not None and persistable:
+            store.save_result(job.fingerprint, result_key, record)
+        record["from_store"] = False
+        record["fingerprint"] = job.fingerprint
+        record["cache"] = delta.as_dict()
+        self._remember_result(job.key, record)
+        return record
+
+    # -- admission and coalescing -----------------------------------------------
+    def _begin(self, job: SolveJob):
+        """Join (or start) the computation for a job; ``(is_leader, entry)``."""
+        leader, entry = self.coalescer.join(job.key)
+        if not leader:
+            return leader, entry
+        with self._state:
+            if self._draining:
+                refusal = ServiceError("service is draining", status=503)
+                self.coalescer.resolve(entry, error=refusal)
+                return leader, entry
+            self._in_flight += 1
+        future = self.pool.submit(self._compute, job)
+
+        def _publish(fut) -> None:
+            error = fut.exception()
+            self.coalescer.resolve(
+                entry,
+                result=None if error is not None else fut.result(),
+                error=error,
+            )
+            with self._state:
+                self._in_flight -= 1
+                self._idle.notify_all()
+
+        future.add_done_callback(_publish)
+        return leader, entry
+
+    def _effective_timeout(self, job: SolveJob) -> float | None:
+        return job.timeout if job.timeout is not None else self.default_timeout
+
+    def submit(self, job: SolveJob) -> dict[str, Any]:
+        """Run one job end to end (blocking); the solve record."""
+        if self.draining:
+            raise ServiceError("service is draining", status=503)
+        if self.reuse_results:
+            record = self._lookup_result(job.key)
+            if record is not None:
+                with self._state:
+                    self.result_hits_memory += 1
+                record["coalesced"] = False
+                return record
+        leader, entry = self._begin(job)
+        record = dict(self.coalescer.wait(entry, self._effective_timeout(job)))
+        record["coalesced"] = not leader
+        return record
+
+    # -- public endpoints --------------------------------------------------------
+    def solve_payload(self, body: Any) -> dict[str, Any]:
+        """``POST /solve``: parse, coalesce, compute, answer."""
+        self._count("solve")
+        try:
+            job = parse_solve_payload(body, self.instances)
+            return self.submit(job)
+        except BaseException as exc:
+            self._count_failure(exc)
+            raise
+
+    def sweep_payload(self, body: Any) -> dict[str, Any]:
+        """``POST /sweep``: expand an inline grid through the solve pipeline.
+
+        The grid mirrors the executor's: ``workflows`` / ``problems`` are
+        arrays of *inline instance payloads* (the service reads no files),
+        crossed with ``gammas`` × ``kinds`` × ``solvers`` × ``seeds``.
+        Cells fan out concurrently, coalesce with each other and with
+        ``/solve`` traffic, and fail in isolation: a solver error yields an
+        error record, never a dead sweep.
+        """
+        self._count("sweep")
+        try:
+            jobs = self._expand_sweep(body)
+        except BaseException as exc:
+            self._count_failure(exc)
+            raise
+        started = time.perf_counter()
+        before = self.cache.stats()
+        coalesced_before = self.coalescer.coalesced
+        # Same admission path as /solve: completed identical cells come
+        # straight from the result cache; the rest join (or start) their
+        # computation.  `begun` holds either a finished record or a
+        # (leader, entry) pair to wait on.
+        begun: list[Any] = []
+        for job in jobs:
+            record = self._lookup_result(job.key) if self.reuse_results else None
+            if record is not None:
+                with self._state:
+                    self.result_hits_memory += 1
+                record["coalesced"] = False
+                begun.append(record)
+            else:
+                begun.append(self._begin(job))
+        # One deadline for the whole request, shared by every cell wait —
+        # not one full timeout per cell (a 20-cell grid is one request,
+        # not 20 requests' worth of patience).
+        timeout = (
+            self.default_timeout if not jobs else self._effective_timeout(jobs[0])
+        )
+        deadline = None if timeout is None else time.monotonic() + timeout
+        records: list[dict[str, Any]] = []
+        for index, (job, outcome) in enumerate(zip(jobs, begun)):
+            try:
+                if isinstance(outcome, dict):
+                    record = outcome
+                else:
+                    leader, entry = outcome
+                    remaining = (
+                        None if deadline is None
+                        else max(0.0, deadline - time.monotonic())
+                    )
+                    record = dict(self.coalescer.wait(entry, remaining))
+                    record["coalesced"] = not leader
+            except BaseException as exc:
+                self._count_failure(exc)
+                record = {
+                    "workflow": job.label,
+                    "gamma": job.gamma,
+                    "kind": job.kind,
+                    "solver": job.solver,
+                    "seed": job.seed,
+                    "method": job.solver,
+                    # null, not float("inf"): Infinity is not valid JSON
+                    # and this report crosses the HTTP boundary.
+                    "cost": None,
+                    "error": str(exc),
+                    "error_type": type(exc).__name__,
+                    "from_store": False,
+                }
+            record["index"] = index
+            records.append(record)
+        delta = self.cache.stats().delta(before)
+        return {
+            "cells": len(records),
+            "errors": sum(1 for record in records if "error" in record),
+            "coalesced": self.coalescer.coalesced - coalesced_before,
+            "seconds": time.perf_counter() - started,
+            "stats": delta.as_dict(),
+            "records": records,
+        }
+
+    def _expand_sweep(self, body: Any) -> list[SolveJob]:
+        if not isinstance(body, Mapping):
+            raise ServiceError("request body must be a JSON object")
+        for axis in ("workflows", "problems", "gammas", "kinds", "solvers", "seeds"):
+            value = body.get(axis)
+            if value is not None and (
+                isinstance(value, (str, Mapping))
+                or not isinstance(value, (list, tuple))
+            ):
+                raise ServiceError(f"sweep key {axis!r} must be a JSON array")
+        # An explicit JSON null is treated like an absent axis (the
+        # validation above admits it, so it must not reach tuple(None)).
+        sources = [("workflow", payload) for payload in body.get("workflows") or ()]
+        sources += [("problem", payload) for payload in body.get("problems") or ()]
+        if not sources:
+            raise ServiceError("sweep names no 'workflows' or 'problems'")
+        gammas = tuple(body.get("gammas") or (2,))
+        kinds = tuple(body.get("kinds") or ("set",))
+        solvers = tuple(body.get("solvers") or ("auto",))
+        seeds = tuple(body.get("seeds") or (0,))
+        shared = {
+            key: body[key]
+            for key in ("verify", "backend", "timeout")
+            if key in body
+        }
+        jobs: list[SolveJob] = []
+        for source, payload in sources:
+            points = (
+                [(None, None)]
+                if source == "problem"
+                else [(gamma, kind) for gamma in gammas for kind in kinds]
+            )
+            for gamma, kind in points:
+                for solver in solvers:
+                    for seed in seeds:
+                        cell: dict[str, Any] = {
+                            source: payload,
+                            "solver": solver,
+                            "seed": seed,
+                            **shared,
+                        }
+                        if source == "workflow":
+                            cell["gamma"] = gamma
+                            cell["kind"] = kind
+                        jobs.append(parse_solve_payload(cell, self.instances))
+        return jobs
+
+    def healthz(self) -> dict[str, Any]:
+        """``GET /healthz``: liveness plus a drain indicator."""
+        self._count("healthz")
+        with self._state:
+            return {
+                "status": "draining" if self._draining else "ok",
+                "in_flight": self._in_flight,
+                "uptime_seconds": time.monotonic() - self._started_monotonic,
+            }
+
+    def metrics(self) -> dict[str, Any]:
+        """``GET /metrics``: request counters, coalescing, cache/store deltas.
+
+        ``cache`` is the :meth:`~repro.engine.cache.CacheStats.delta` of the
+        shared cache against the service's start-time baseline, so
+        ``reused_modules`` / ``store_hits`` there measure exactly what this
+        process served without re-deriving.
+        """
+        self._count("metrics")
+        cache_delta = self.cache.stats().delta(self._baseline)
+        store = self.cache.store
+        with self._state:
+            payload: dict[str, Any] = {
+                "started_at": self._started_at,
+                "uptime_seconds": time.monotonic() - self._started_monotonic,
+                "workers": self.workers,
+                "draining": self._draining,
+                "in_flight": self._in_flight,
+                "requests": dict(self.request_counts),
+                "errors": self.error_count,
+                "timeouts": self.timeout_count,
+                "coalesced": self.coalescer.coalesced,
+                "leaders": self.coalescer.leaders,
+                "result_hits": {
+                    "memory": self.result_hits_memory,
+                    "store": self.result_hits_store,
+                },
+                "cache": cache_delta.as_dict(),
+            }
+        payload["store"] = store.stats() if store is not None else None
+        return payload
+
+    # -- lifecycle ---------------------------------------------------------------
+    def drain(self, timeout: float | None = None) -> bool:
+        """Stop admitting work, wait for in-flight computations, stop the pool.
+
+        Idempotent.  Returns ``True`` when everything drained within
+        ``timeout`` (``None`` waits indefinitely); on ``False`` the pool is
+        still shut down, but without waiting for stragglers.
+        """
+        with self._state:
+            self._draining = True
+            self.drain_started.set()
+            drained = self._idle.wait_for(lambda: self._in_flight == 0, timeout)
+        self.pool.shutdown(wait=drained)
+        return drained

@@ -17,7 +17,7 @@ from __future__ import annotations
 import random
 from typing import Mapping, Sequence
 
-from ..core.attributes import Attribute, BOOLEAN, boolean_attributes
+from ..core.attributes import Attribute, boolean_attributes
 from ..core.module import Module
 from ..exceptions import SchemaError
 

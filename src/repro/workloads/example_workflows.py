@@ -16,13 +16,11 @@
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Mapping
 
 from ..core.attributes import Attribute, BOOLEAN
 from ..core.module import Module
 from ..core.requirements import (
-    CardinalityRequirement,
-    CardinalityRequirementList,
     SetRequirement,
     SetRequirementList,
 )
@@ -35,7 +33,6 @@ from .boolean_modules import (
     identity_module,
     majority_module,
     make_attributes,
-    or_module,
     random_permutation_module,
     xor_mask_module,
 )

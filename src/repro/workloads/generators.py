@@ -24,7 +24,7 @@ from __future__ import annotations
 import random
 from typing import Mapping, Sequence
 
-from ..core.attributes import Attribute, BOOLEAN
+from ..core.attributes import Attribute, BOOLEAN, boolean_attributes
 from ..core.module import Module
 from ..core.requirements import (
     CardinalityRequirement,
@@ -40,6 +40,7 @@ from ..exceptions import WorkflowError
 __all__ = [
     "chain_workflow",
     "layered_workflow",
+    "random_total_module",
     "random_workflow",
     "workflow_family",
     "random_cardinality_requirements",
@@ -47,6 +48,41 @@ __all__ = [
     "random_requirements",
     "random_problem",
 ]
+
+
+def random_total_module(
+    seed: int, n_inputs: int, n_outputs: int, name: str, prefix: str
+) -> Module:
+    """A random *total* boolean function as a module (dense relation).
+
+    Every input code maps to an independently random output tuple, so the
+    module's relation has ``2^n_inputs`` rows and essentially no exploitable
+    structure — the derivation-dominated regime the kernel, sweep,
+    incremental and service benchmarks all measure in.  Attribute names are
+    ``{prefix}i<k>`` / ``{prefix}o<k>``, letting callers build workflows of
+    schema-disjoint modules (or content-identical ones, by repeating
+    ``seed``/``name``/``prefix``).  Deterministic in ``seed``.
+    """
+    rng = random.Random(seed)
+    input_names = [f"{prefix}i{k}" for k in range(n_inputs)]
+    output_names = [f"{prefix}o{k}" for k in range(n_outputs)]
+    table = {
+        code: tuple(rng.randint(0, 1) for _ in range(n_outputs))
+        for code in range(2**n_inputs)
+    }
+
+    def function(values):
+        code = 0
+        for index, attr in enumerate(input_names):
+            code |= (values[attr] & 1) << index
+        return dict(zip(output_names, table[code]))
+
+    return Module(
+        name,
+        boolean_attributes(input_names),
+        boolean_attributes(output_names),
+        function,
+    )
 
 
 def _resolve_rng(rng: random.Random | None, seed: int | None) -> random.Random:

@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis import compare_solvers, sweep, time_solver
-from repro.workloads import example5_problem, random_problem
+from repro.workloads import example5_problem
 
 
 class TestTimeSolver:

@@ -11,7 +11,7 @@ from repro.core import (
 )
 from repro.exceptions import PrivacyError
 from repro.optim import solve_exact_ip
-from repro.workloads import example7_chain, figure1_workflow
+from repro.workloads import example7_chain
 
 
 class TestCandidateOutputs:

@@ -8,7 +8,6 @@ from repro.core import Module, boolean_attributes, tabulate_function
 from repro.exceptions import SchemaError, WiringError
 from repro.workloads import (
     constant_module,
-    figure1_m1_module,
     identity_module,
     parity_module,
     random_permutation_module,

@@ -12,7 +12,7 @@ from repro.core import (
     SetRequirementList,
 )
 from repro.exceptions import RequirementError
-from repro.workloads import example7_chain, figure1_workflow
+from repro.workloads import example7_chain
 
 
 def set_list(module: str, *attribute_sets: set[str]) -> SetRequirementList:

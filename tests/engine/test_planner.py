@@ -171,3 +171,44 @@ class TestSolverListing:
         keys = [(spec.cost_rank, spec.name) for spec in specs]
         assert keys == sorted(keys)
         assert specs  # figure 1 always has applicable solvers
+
+
+class TestPinBounds:
+    """Pinned workflows/modules are bounded so long-lived caches cannot leak."""
+
+    def test_workflow_pins_evict_oldest_with_their_entries(self):
+        cache = DerivationCache(max_pins=3)
+        workflows = [figure1_workflow() for _ in range(6)]
+        for workflow in workflows:
+            cache.requirements(workflow, 2, "set")
+        assert len(cache._workflows) <= 3
+        assert len(cache._fingerprints) <= 3
+        # Evicted pins took their id-keyed requirement entries with them.
+        live = set(cache._workflows)
+        assert all(key[0] in live for key in cache._requirements)
+        # The survivors still answer from memory (hit, no re-derivation).
+        before = cache.stats().derivation_misses
+        cache.requirements(workflows[-1], 2, "set")
+        assert cache.stats().derivation_misses == before
+
+    def test_seeded_workflows_are_never_evicted(self):
+        cache = DerivationCache(max_pins=2)
+        problem = SecureViewProblem.from_standalone_analysis(
+            figure1_workflow(), 2, kind="set"
+        )
+        seeded = Planner.from_problem(problem, cache=cache)
+        for _ in range(5):
+            cache.requirements(figure1_workflow(), 2, "set")
+        # The seeded workflow outlives the churn and still solves from its
+        # caller-provided (non-re-derivable) requirement lists.
+        assert id(problem.workflow) in cache._workflows
+        assert seeded.solve(solver="exact").cost == 3.0
+
+    def test_module_pins_are_bounded(self):
+        cache = DerivationCache(max_pins=2)
+        for _ in range(5):
+            workflow = figure1_workflow()
+            for module in workflow.private_modules:
+                cache.module_requirement(module, 2, "set")
+        assert len(cache._modules) <= 2 + len(figure1_workflow().private_modules)
+        assert len(cache._module_fingerprints) == len(cache._modules)

@@ -7,7 +7,6 @@ import math
 import pytest
 
 from repro.core import (
-    SecureViewProblem,
     assemble_all_private_solution,
     assemble_general_solution,
     is_gamma_private_workflow,

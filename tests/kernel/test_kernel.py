@@ -8,7 +8,6 @@ from repro.core import (
     Attribute,
     Module,
     Relation,
-    Workflow,
     boolean_attributes,
     standalone_privacy_level,
 )

@@ -12,7 +12,7 @@ from repro.optim import (
     random_feasible,
     solve_exact_ip,
 )
-from repro.workloads import figure1_workflow, random_problem
+from repro.workloads import figure1_workflow
 
 
 class TestHideEverything:

@@ -6,7 +6,7 @@ import itertools
 
 import pytest
 
-from repro.core import SafeViewOracle, is_standalone_private, minimum_cost_safe_subset
+from repro.core import is_standalone_private, minimum_cost_safe_subset
 from repro.exceptions import PrivacyError
 from repro.reductions import (
     AdversarialSafeViewOracle,

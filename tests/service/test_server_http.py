@@ -1,0 +1,204 @@
+"""End-to-end tests over real HTTP: routes, error mapping, shutdown."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.service import (
+    ServiceClient,
+    ServiceClientError,
+    ServiceServer,
+    SolveService,
+)
+from repro.workloads import figure1_workflow
+from repro.workloads.serialization import problem_to_dict
+from repro.core import SecureViewProblem
+
+
+@pytest.fixture
+def served():
+    """A running server on an ephemeral port, stopped after the test."""
+    service = SolveService(workers=2, default_timeout=30)
+    server = ServiceServer(service, port=0).start()
+    try:
+        yield service, server, ServiceClient(server.url, timeout=30)
+    finally:
+        server.stop(drain_timeout=30)
+
+
+class TestRoutes:
+    def test_healthz_and_metrics(self, served):
+        _, _, client = served
+        health = client.healthz()
+        assert health["status"] == "ok" and health["in_flight"] == 0
+        metrics = client.metrics()
+        assert metrics["requests"]["healthz"] == 1
+        assert metrics["workers"] == 2
+        assert "cache" in metrics and "coalesced" in metrics
+
+    def test_solve_roundtrip_with_workflow_object(self, served):
+        _, _, client = served
+        record = client.solve(
+            workflow=figure1_workflow(), gamma=2, kind="set",
+            solver="exact", verify=True,
+        )
+        assert record["cost"] == 3.0
+        assert record["verified"] is True
+        assert record["resolved_solver"] == "exact"
+
+    def test_solve_roundtrip_with_problem_object(self, served):
+        _, _, client = served
+        problem = SecureViewProblem.from_standalone_analysis(
+            figure1_workflow(), 2, kind="set"
+        )
+        record = client.solve(problem=problem_to_dict(problem), solver="exact")
+        assert record["cost"] == 3.0
+
+    def test_sweep_roundtrip(self, served):
+        _, _, client = served
+        report = client.sweep(
+            workflows=[figure1_workflow()], solvers=["exact", "greedy"]
+        )
+        assert report["cells"] == 2 and report["errors"] == 0
+
+
+class TestErrorMapping:
+    def test_malformed_json_body_is_400(self, served):
+        _, server, client = served
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.request("POST", "/solve", payload=None)  # empty body
+        assert excinfo.value.status == 400
+        request = urllib.request.Request(
+            f"{server.url}/solve",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as http_error:
+            urllib.request.urlopen(request, timeout=30)
+        assert http_error.value.code == 400
+        assert "not valid JSON" in json.loads(http_error.value.read())["error"]
+
+    def test_invalid_payload_is_400_with_reason(self, served):
+        _, _, client = served
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.submit({"workflow": {"modules": []}, "gamma": "two"})
+        assert excinfo.value.status == 400
+        assert "gamma" in str(excinfo.value)
+
+    def test_unknown_solver_is_422(self, served):
+        _, _, client = served
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.solve(workflow=figure1_workflow(), gamma=2, solver="no-such")
+        assert excinfo.value.status == 422
+
+    def test_unknown_path_is_404(self, served):
+        _, _, client = served
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.request("GET", "/nope")
+        assert excinfo.value.status == 404
+        with pytest.raises(ServiceClientError) as post_excinfo:
+            client.request("POST", "/healthz", {})
+        assert post_excinfo.value.status == 404
+
+    def test_error_cells_serialize_as_strict_json(self, served, figure1_payload):
+        """Partial-failure sweep reports must parse under RFC 8259 rules."""
+        _, server, _ = served
+        request = urllib.request.Request(
+            f"{server.url}/sweep",
+            data=json.dumps(
+                {"workflows": [figure1_payload], "solvers": ["no-such-solver"]}
+            ).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            raw = response.read()
+        assert b"Infinity" not in raw and b"NaN" not in raw
+
+        def _reject_constants(token: str) -> None:
+            raise AssertionError(f"non-RFC JSON constant {token!r} in response")
+
+        report = json.loads(raw.decode("utf-8"), parse_constant=_reject_constants)
+        assert report["errors"] == 1
+        assert report["records"][0]["cost"] is None
+
+    def test_client_socket_timeout_is_a_controlled_error(
+        self, blocker, figure1_payload
+    ):
+        """A response slower than the client deadline must not traceback."""
+        service = SolveService(workers=1, registry=blocker.registry, default_timeout=30)
+        server = ServiceServer(service, port=0).start()
+        try:
+            impatient = ServiceClient(server.url, timeout=0.2)
+            with pytest.raises(ServiceClientError) as excinfo:
+                # No request-level timeout: the server would hold the
+                # connection for its 30s default, far past the socket
+                # deadline.
+                impatient.submit(
+                    {"workflow": figure1_payload, "gamma": 2, "solver": "blocker"}
+                )
+            assert excinfo.value.status == 0
+            assert "timed out" in str(excinfo.value)
+        finally:
+            blocker.release.set()
+            server.stop(drain_timeout=30)
+
+    def test_timeout_is_504(self, blocker, figure1_payload):
+        service = SolveService(workers=1, registry=blocker.registry, default_timeout=30)
+        server = ServiceServer(service, port=0).start()
+        try:
+            client = ServiceClient(server.url, timeout=30)
+            with pytest.raises(ServiceClientError) as excinfo:
+                client.submit(
+                    {"workflow": figure1_payload, "gamma": 2,
+                     "solver": "blocker", "timeout": 0.05}
+                )
+            assert excinfo.value.status == 504
+        finally:
+            blocker.release.set()
+            server.stop(drain_timeout=30)
+
+
+class TestShutdown:
+    def test_shutdown_endpoint_drains_and_stops_the_server(self, figure1_payload):
+        service = SolveService(workers=1, default_timeout=30)
+        server = ServiceServer(service, port=0).start()
+        client = ServiceClient(server.url, timeout=30)
+        client.submit({"workflow": figure1_payload, "gamma": 2})
+        ack = client.shutdown()
+        assert ack["status"] == "shutting down"
+        server._thread.join(timeout=30)
+        assert not server._thread.is_alive()
+        assert service.draining
+        # Stopping again is a no-op, not an error.
+        assert server.stop(drain_timeout=1)
+
+    def test_stop_during_inflight_work_delivers_the_result(
+        self, blocker, figure1_payload
+    ):
+        service = SolveService(workers=1, registry=blocker.registry, default_timeout=30)
+        server = ServiceServer(service, port=0).start()
+        client = ServiceClient(server.url, timeout=30)
+        outcome: dict = {}
+
+        def call() -> None:
+            outcome["record"] = client.submit(
+                {"workflow": figure1_payload, "gamma": 2, "solver": "blocker"}
+            )
+
+        request_thread = threading.Thread(target=call)
+        request_thread.start()
+        assert blocker.started.wait(30)
+
+        stopper = threading.Thread(target=server.stop)
+        stopper.start()
+        assert service.drain_started.wait(30)
+        blocker.release.set()
+        request_thread.join(timeout=30)
+        stopper.join(timeout=30)
+        assert outcome["record"]["cost"] > 0

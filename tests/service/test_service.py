@@ -1,0 +1,264 @@
+"""Tests for the service core: module-tier reuse, timeouts, drain, sweeps."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service import ServiceError, ServiceTimeout, SolveService
+from repro.workloads import figure1_workflow
+from repro.workloads.serialization import problem_to_dict
+from repro.core import SecureViewProblem
+
+
+class TestModuleTierReuse:
+    def test_overlapping_workflows_pay_the_shared_module_once(
+        self, overlapping_payloads
+    ):
+        left, right = overlapping_payloads
+        service = SolveService(workers=2, default_timeout=30)
+        service.solve_payload({"workflow": left, "gamma": 2, "kind": "set"})
+        service.solve_payload({"workflow": right, "gamma": 2, "kind": "set"})
+        metrics = service.metrics()
+        # Three distinct module contents across the two workflows; the
+        # shared one is derived once and *reused* by the second workflow.
+        assert metrics["cache"]["rederived_modules"] == 3
+        assert metrics["cache"]["reused_modules"] == 1
+        assert metrics["coalesced"] == 0  # distinct keys — sharing, not coalescing
+        assert service.drain(timeout=30)
+
+    def test_stored_error_records_answer_422_like_a_fresh_solve(
+        self, tmp_path, figure1_payload
+    ):
+        """A sweep-persisted infeasibility record must not become a 200."""
+        from repro.engine.store import DerivationStore, ResultKey
+        from repro.service import InstanceCache, parse_solve_payload
+
+        body = {"workflow": figure1_payload, "gamma": 2, "kind": "set",
+                "solver": "exact"}
+        job = parse_solve_payload(dict(body), InstanceCache())
+        store = DerivationStore(str(tmp_path / "store"))
+        store.save_result(
+            job.fingerprint,
+            ResultKey("kernel", 2, "set", "exact", None, False),
+            {
+                "workflow": job.label, "gamma": 2, "kind": "set",
+                "solver": "exact", "seed": None, "method": "exact",
+                "cost": float("inf"), "error": "empty requirement list",
+                "error_type": "RequirementError",
+            },
+        )
+        service = SolveService(store=store, workers=1, default_timeout=30)
+        with pytest.raises(ServiceError) as excinfo:
+            service.solve_payload(dict(body))
+        assert excinfo.value.status == 422
+        assert "empty requirement list" in str(excinfo.value)
+        # The error was never memorized as a success either.
+        with pytest.raises(ServiceError):
+            service.solve_payload(dict(body))
+        assert service.drain(timeout=30)
+
+    def test_store_backed_service_shares_results_across_restarts(
+        self, tmp_path, figure1_payload
+    ):
+        body = {
+            "workflow": figure1_payload, "gamma": 2,
+            "kind": "set", "solver": "exact",
+        }
+        first = SolveService(
+            store=str(tmp_path / "store"), workers=1, default_timeout=30
+        )
+        cold = first.solve_payload(dict(body))
+        assert not cold["from_store"]
+        assert first.drain(timeout=30)
+
+        second = SolveService(
+            store=str(tmp_path / "store"), workers=1, default_timeout=30
+        )
+        warm = second.solve_payload(dict(body))
+        assert warm["from_store"]
+        assert warm["cost"] == cold["cost"]
+        # Same record schema whichever tier answered.
+        assert set(warm) == set(cold)
+        assert second.metrics()["result_hits"]["store"] == 1
+        assert second.drain(timeout=30)
+
+
+class TestTimeouts:
+    def test_deadline_expiry_raises_504_but_the_result_still_lands(
+        self, blocker, figure1_payload
+    ):
+        service = SolveService(workers=1, registry=blocker.registry, default_timeout=30)
+        body = {
+            "workflow": figure1_payload, "gamma": 2, "kind": "set",
+            "solver": "blocker", "timeout": 0.05,
+        }
+        with pytest.raises(ServiceTimeout) as excinfo:
+            service.solve_payload(dict(body))
+        assert excinfo.value.status == 504
+        assert service.metrics()["timeouts"] == 1
+        # The abandoned computation still completes, resolves, and caches —
+        # a follow-up of the same request attaches or hits the cache, but
+        # never recomputes.
+        blocker.release.set()
+        retry = service.solve_payload(dict(body, timeout=30))
+        assert retry["cost"] > 0
+        assert blocker.calls == 1
+        assert service.drain(timeout=30)
+
+
+class TestDrain:
+    def test_drain_waits_for_inflight_rejects_new_and_completes(
+        self, blocker, figure1_payload
+    ):
+        service = SolveService(workers=1, registry=blocker.registry, default_timeout=30)
+        body = {
+            "workflow": figure1_payload, "gamma": 2, "kind": "set", "solver": "blocker"
+        }
+        outcome: dict = {}
+
+        def call() -> None:
+            outcome["record"] = service.solve_payload(dict(body))
+
+        solver_thread = threading.Thread(target=call)
+        solver_thread.start()
+        assert blocker.started.wait(30)
+
+        drained = threading.Event()
+        drain_thread = threading.Thread(
+            target=lambda: (service.drain(), drained.set())
+        )
+        drain_thread.start()
+        assert service.drain_started.wait(30)
+
+        # While the blocked computation is in flight the drain must not
+        # complete, and new work must be refused with 503.
+        assert not drained.is_set()
+        with pytest.raises(ServiceError) as excinfo:
+            service.solve_payload(
+                {"workflow": figure1_payload, "gamma": 3, "kind": "set"}
+            )
+        assert excinfo.value.status == 503
+
+        blocker.release.set()
+        solver_thread.join(timeout=30)
+        drain_thread.join(timeout=30)
+        assert drained.is_set()
+        assert outcome["record"]["cost"] > 0  # in-flight work was not dropped
+        assert service.in_flight == 0
+
+    def test_drain_is_idempotent(self, figure1_payload):
+        service = SolveService(workers=1, default_timeout=30)
+        service.solve_payload({"workflow": figure1_payload, "gamma": 2, "kind": "set"})
+        assert service.drain(timeout=30)
+        assert service.drain(timeout=30)
+
+
+class TestSweep:
+    def test_sweep_expands_deterministically_and_isolates_failures(
+        self, figure1_payload
+    ):
+        service = SolveService(workers=2, default_timeout=30)
+        report = service.sweep_payload(
+            {
+                "workflows": [figure1_payload],
+                "gammas": [2],
+                "kinds": ["set"],
+                "solvers": ["exact", "greedy", "no-such-solver"],
+                "seeds": [0],
+            }
+        )
+        assert report["cells"] == 3
+        assert [record["index"] for record in report["records"]] == [0, 1, 2]
+        assert report["errors"] == 1
+        failed = [r for r in report["records"] if "error" in r]
+        assert failed[0]["solver"] == "no-such-solver"
+        assert failed[0]["error_type"] == "SolverError"
+        ok = [r for r in report["records"] if "error" not in r]
+        assert all(r["cost"] > 0 for r in ok)
+        # One instance, one (Γ, kind) point: the derivation ran once and
+        # the second solver reused it through the shared hot cache.
+        assert report["stats"]["derivation_misses"] == 1
+        assert service.drain(timeout=30)
+
+    def test_sweep_accepts_problem_payloads(self):
+        problem = SecureViewProblem.from_standalone_analysis(
+            figure1_workflow(), 2, kind="set"
+        )
+        service = SolveService(workers=2, default_timeout=30)
+        report = service.sweep_payload(
+            {"problems": [problem_to_dict(problem)], "solvers": ["exact", "greedy"]}
+        )
+        assert report["cells"] == 2 and report["errors"] == 0
+        assert service.drain(timeout=30)
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            {},
+            {"workflows": "nope"},
+            {"workflows": [], "problems": []},
+            {"workflows": None, "problems": None},
+            {"workflows": [{"modules": []}], "gammas": "2"},
+        ],
+    )
+    def test_malformed_sweeps_are_rejected(self, body):
+        service = SolveService(workers=1, default_timeout=30)
+        with pytest.raises(ServiceError) as excinfo:
+            service.sweep_payload(body)
+        assert excinfo.value.status == 400
+        assert service.drain(timeout=30)
+
+    def test_null_axes_mean_defaults_not_a_crash(self, figure1_payload):
+        """Explicit JSON nulls on grid axes behave like absent keys (400/200,
+        never a 500 TypeError)."""
+        service = SolveService(workers=1, default_timeout=30)
+        report = service.sweep_payload(
+            {
+                "workflows": [figure1_payload],
+                "gammas": None,
+                "kinds": None,
+                "solvers": ["exact"],
+                "seeds": None,
+            }
+        )
+        assert report["cells"] == 1 and report["errors"] == 0
+        assert report["records"][0]["gamma"] == 2  # the default axis
+        assert service.drain(timeout=30)
+
+    def test_repeated_sweeps_hit_the_result_cache(self, figure1_payload):
+        """A storeless service must not re-run solvers for a repeated grid."""
+        service = SolveService(workers=2, default_timeout=30)
+        grid = {"workflows": [figure1_payload], "solvers": ["exact", "greedy"]}
+        first = service.sweep_payload(dict(grid))
+        second = service.sweep_payload(dict(grid))
+        assert first["errors"] == second["errors"] == 0
+        assert service.metrics()["result_hits"]["memory"] == 2
+        assert [r["cost"] for r in second["records"]] == [
+            r["cost"] for r in first["records"]
+        ]
+        assert service.drain(timeout=30)
+
+    def test_sweep_deadline_is_shared_not_per_cell(self, blocker, figure1_payload):
+        """N blocked cells time out within ~one budget, not N budgets."""
+        import time
+
+        service = SolveService(workers=1, registry=blocker.registry, default_timeout=30)
+        started = time.monotonic()
+        report = service.sweep_payload(
+            {
+                "workflows": [figure1_payload],
+                "gammas": [2, 3, 4],
+                "solvers": ["blocker"],
+                "timeout": 0.2,
+            }
+        )
+        elapsed = time.monotonic() - started
+        assert report["errors"] == 3
+        assert all(r["error_type"] == "ServiceTimeout" for r in report["records"])
+        # Three cells against one shared 0.2s deadline: well under 3 x 0.2s
+        # plus scheduling slack.
+        assert elapsed < 0.5, elapsed
+        blocker.release.set()
+        assert service.drain(timeout=30)

@@ -235,6 +235,50 @@ class TestSweep:
         assert main(args) == 0
         assert capsys.readouterr().out.splitlines()[0] == first.splitlines()[0]
 
+    def test_sweep_with_error_cells_exits_nonzero_listing_indices(
+        self, grid_file, tmp_path, capsys
+    ):
+        import json as json_module
+
+        grid = json_module.loads(open(grid_file).read())
+        grid["solvers"] = ["set_lp", "no-such-solver"]
+        bad_grid = tmp_path / "bad-grid.json"
+        bad_grid.write_text(json_module.dumps(grid))
+        assert main(["sweep", str(bad_grid)]) == 1
+        captured = capsys.readouterr()
+        report = json.loads(captured.out)
+        assert report["errors"] == 2
+        failing = [r["index"] for r in report["records"] if "error" in r]
+        assert "sweep cell(s) failed" in captured.err
+        for index in failing:
+            assert str(index) in captured.err
+
+    def test_sweep_allow_errors_tolerates_partial_failures(
+        self, grid_file, tmp_path, capsys
+    ):
+        import json as json_module
+
+        grid = json_module.loads(open(grid_file).read())
+        grid["solvers"] = ["set_lp", "no-such-solver"]
+        bad_grid = tmp_path / "bad-grid.json"
+        bad_grid.write_text(json_module.dumps(grid))
+        assert main(["sweep", str(bad_grid), "--allow-errors"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["errors"] == 2
+        assert report["cells"] == 4
+
+    def test_sweep_allow_errors_still_fails_when_every_cell_failed(
+        self, grid_file, tmp_path, capsys
+    ):
+        import json as json_module
+
+        grid = json_module.loads(open(grid_file).read())
+        grid["solvers"] = ["no-such-solver"]
+        dead_grid = tmp_path / "dead-grid.json"
+        dead_grid.write_text(json_module.dumps(grid))
+        assert main(["sweep", str(dead_grid), "--allow-errors"]) == 1
+        assert "all 2 sweep cell(s) failed" in capsys.readouterr().err
+
     def test_sweep_missing_grid_errors_cleanly(self, tmp_path, capsys):
         assert main(["sweep", str(tmp_path / "nope.json")]) == 1
         assert "error:" in capsys.readouterr().err
@@ -250,6 +294,52 @@ class TestSweep:
         empty.write_text("{}")
         assert main(["sweep", str(empty)]) == 1
         assert "error: invalid grid file" in capsys.readouterr().err
+
+
+class TestServeAndSubmit:
+    @pytest.fixture
+    def server(self):
+        from repro.service import ServiceServer, SolveService
+
+        service = SolveService(workers=2, default_timeout=30)
+        instance = ServiceServer(service, port=0).start()
+        try:
+            yield instance
+        finally:
+            instance.stop(drain_timeout=30)
+
+    def test_submit_problem_file(self, problem_file, server, capsys):
+        assert main(["submit", problem_file, "--url", server.url,
+                     "--solver", "exact"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["cost"] == 3.0
+        assert record["resolved_solver"] == "exact"
+
+    def test_submit_with_gamma_derives_server_side(self, problem_file, server, capsys):
+        assert main(["submit", problem_file, "--url", server.url,
+                     "--gamma", "2", "--kind", "set", "--verify"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["gamma"] == 2
+        assert record["verified"] is True
+
+    def test_submit_twice_hits_the_result_cache(self, problem_file, server, capsys):
+        args = ["submit", problem_file, "--url", server.url, "--gamma", "2"]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(args) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["cost"] == first["cost"]
+        assert server.service.metrics()["result_hits"]["memory"] >= 1
+
+    def test_submit_unreachable_service_errors_cleanly(self, problem_file, capsys):
+        assert main(["submit", problem_file, "--url", "http://127.0.0.1:9"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_submit_invalid_request_errors_cleanly(self, tmp_path, server, capsys):
+        workflow_only = tmp_path / "broken.json"
+        workflow_only.write_text(json.dumps({"modules": [{"name": "broken"}]}))
+        assert main(["submit", str(workflow_only), "--url", server.url]) == 1
+        assert "error:" in capsys.readouterr().err
 
 
 class TestStoreMaintenance:

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core import Module, Workflow, boolean_attributes
 from repro.workloads import (
