@@ -18,6 +18,10 @@ benchmark records both effects in ``BENCH_service.json``:
   1.  Thread scheduling is the only nondeterminism, so the phase sizes the
   instance to keep derivation well above scheduling jitter (and retries a
   fresh service up to 3 times before declaring failure).
+* **async jobs** — an N-cell grid posted to ``/jobs/sweep`` must hand back
+  its job handle in well under 100 ms (the submit latency is the point of
+  the endpoint); the record also captures the background cell throughput.
+  ``--jobs-only`` runs just this phase.
 * **module reuse** — a distinct-but-overlapping follow-up workflow reuses
   the shared module tier (``reused_modules``), proving that the serving win
   is not limited to byte-identical requests.
@@ -192,7 +196,51 @@ def run_coalescing_phase(tiny: bool) -> dict:
 
 
 # ---------------------------------------------------------------------------
-# Phase 3: overlapping (non-identical) requests share the module tier
+# Phase 3: async job mode — submit latency and background throughput
+# ---------------------------------------------------------------------------
+
+def run_jobs_phase(tiny: bool) -> dict:
+    """``POST /jobs/sweep`` answers immediately; cells land in background.
+
+    Measures the submit latency (the whole point of the async endpoint:
+    the handle must come back in well under 100 ms regardless of grid
+    size) and the background throughput of the job over real HTTP.
+    """
+    n_cells = 20 if tiny else 50
+    payload = workflow_to_dict(_derivation_heavy_workflow(tiny))
+    grid = {
+        "workflows": [payload],
+        "gammas": [2],
+        "kinds": ["cardinality"],
+        "solvers": ["auto"],
+        "seeds": list(range(n_cells)),
+    }
+    service = SolveService(workers=2, default_timeout=300.0)
+    server = ServiceServer(service, port=0).start()
+    try:
+        client = ServiceClient(server.url, timeout=300.0)
+        submit_started = time.perf_counter()
+        handle = client.submit_sweep_job(grid)
+        submit_seconds = time.perf_counter() - submit_started
+        final = client.wait_job(handle["job"], timeout=300, poll=0.05)
+        wall_seconds = final["seconds"]
+        metrics = client.metrics()
+    finally:
+        server.stop(drain_timeout=30)
+    assert final["state"] == "done", final
+    assert final["completed"] == n_cells, final
+    assert metrics["jobs"]["done"] == 1, metrics["jobs"]
+    assert metrics["jobs"]["cells"]["completed"] == n_cells, metrics["jobs"]
+    return {
+        "cells": n_cells,
+        "submit_seconds": submit_seconds,
+        "wall_seconds": wall_seconds,
+        "cells_per_second": n_cells / wall_seconds if wall_seconds else float("inf"),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Phase 4: overlapping (non-identical) requests share the module tier
 # ---------------------------------------------------------------------------
 
 def run_module_reuse_phase(tiny: bool) -> dict:
@@ -217,6 +265,7 @@ def run_benchmark(tiny: bool = False) -> dict:
     with tempfile.TemporaryDirectory(prefix="bench-service-") as workdir:
         throughput = run_throughput_phase(tiny, Path(workdir))
     coalescing = run_coalescing_phase(tiny)
+    jobs = run_jobs_phase(tiny)
     module_reuse = run_module_reuse_phase(tiny)
     record = {
         "benchmark": "bench_service",
@@ -228,11 +277,13 @@ def run_benchmark(tiny: bool = False) -> dict:
         "coalesced": coalescing["coalesced"],
         "coalesce_derivations": coalescing["derivations"],
         "coalesce_attempt": coalescing["attempt"],
+        **{f"jobs_{key}": value for key, value in jobs.items()},
         "module_reuse": module_reuse,
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
     }
     assert record["coalesced"] == K_CONCURRENT - 1, record
     assert record["coalesce_derivations"] == 1, record
+    assert record["jobs_submit_seconds"] < 0.1, record
     assert (
         module_reuse["rederived_modules"] == module_reuse["expected_rederived"]
     ), record
@@ -288,6 +339,16 @@ if pytest is not None:
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     tiny = "--tiny" in argv
+    if "--jobs-only" in argv:
+        # Just the async-job phase (no record written): a fast smoke for
+        # CI and local iteration on the job subsystem.
+        jobs = run_jobs_phase(tiny)
+        print(
+            f"async job: handle in {jobs['submit_seconds'] * 1e3:.1f} ms, "
+            f"{jobs['cells']} cells in {jobs['wall_seconds']:.3f}s "
+            f"({jobs['cells_per_second']:.1f} cells/s)"
+        )
+        return 0 if jobs["submit_seconds"] < 0.1 else 1
     record = run_benchmark(tiny=tiny)
     print(
         f"cold CLI: {record['throughput_cold_cli_seconds_total']:.3f}s for "
@@ -302,6 +363,11 @@ def main(argv: list[str] | None = None) -> int:
         f"coalescing: {record['coalesce_requests']} identical concurrent requests "
         f"-> {record['coalesce_derivations']} derivation "
         f"({record['coalesced']} coalesced)"
+    )
+    print(
+        f"async job: handle in {record['jobs_submit_seconds'] * 1e3:.1f} ms, "
+        f"{record['jobs_cells']} cells in {record['jobs_wall_seconds']:.3f}s "
+        f"({record['jobs_cells_per_second']:.1f} cells/s)"
     )
     print(
         f"module reuse: {record['module_reuse']['reused_modules']} reused / "

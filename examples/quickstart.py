@@ -113,6 +113,22 @@ def main() -> None:
             f"request(s), {metrics['coalesced']} coalesced, cache delta "
             f"{metrics['cache']['derivation_misses']} derivation(s)"
         )
+
+        # A whole grid, asynchronously: POST /jobs/sweep answers with a
+        # job handle immediately; the cells run in the background while
+        # the client polls progress.  (`repro submit FILE --async
+        # [--watch]` is the CLI spelling.)
+        handle = client.sweep_async(
+            workflows=[workflow], gammas=[gamma], kinds=["set"],
+            solvers=["exact", "set_lp", "greedy"],
+        )
+        job = client.wait_job(handle["job"], timeout=60)
+        report.add_text(
+            f"Async sweep job {handle['job']}: handle returned before any of "
+            f"the {handle['cells']} cells ran; final state {job['state']!r} "
+            f"with {job['completed']} completed record(s) in "
+            f"{job['seconds']:.3f}s"
+        )
     finally:
         server.stop(drain_timeout=10)
 

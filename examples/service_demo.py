@@ -14,7 +14,10 @@ through the three serving effects the service exists for:
 2. **module-tier reuse** — a *different* workflow sharing modules with the
    first reuses their derivations (``reused_modules``), so the serving win
    extends beyond byte-identical requests;
-3. **graceful shutdown** — ``POST /shutdown`` (or SIGTERM on ``repro
+3. **async jobs** — a grid posted to ``/jobs/sweep`` answers with a job
+   handle immediately; the client polls ``GET /jobs/<id>`` for progress
+   and partial records while the cells run in the background;
+4. **graceful shutdown** — ``POST /shutdown`` (or SIGTERM on ``repro
    serve``) drains in-flight work before the process exits.
 """
 
@@ -71,7 +74,32 @@ def main() -> None:
         f"reused {metrics['cache']['reused_modules']} from the shared tier"
     )
 
-    # -- 3. graceful shutdown ------------------------------------------------
+    # -- 3. an async sweep job: handle now, records in the background --------
+    handle = client.sweep_async(
+        workflows=[payload, workflow_to_dict(edited)],
+        gammas=[2],
+        kinds=["cardinality"],
+        solvers=["auto"],
+        seeds=list(range(5)),
+    )
+    print(
+        f"\nasync job {handle['job']}: submitted {handle['cells']} cells, "
+        f"state {handle['state']!r} before any ran"
+    )
+
+    def show_progress(status: dict) -> None:
+        landed = status["completed"] + status["failed"]
+        print(f"  poll: {status['state']} {landed}/{status['cells']} cell(s)")
+
+    final = client.wait_job(handle["job"], timeout=120, poll=0.05,
+                            on_progress=show_progress)
+    print(
+        f"job finished {final['state']!r}: {final['completed']} completed / "
+        f"{final['failed']} failed in {final['seconds']:.3f}s; "
+        f"jobs metrics: {client.metrics()['jobs']}"
+    )
+
+    # -- 4. graceful shutdown ------------------------------------------------
     print(f"\nshutdown: {client.shutdown()['status']}")
     server._thread.join(timeout=30)
     print(f"server thread alive: {server._thread.is_alive()} (drained and closed)")

@@ -20,10 +20,12 @@ The CLI exposes the everyday operations a workflow owner would run:
 * ``store``     — maintain a persistent derivation store directory
   (``store stats DIR``, ``store gc DIR --max-bytes N``),
 * ``serve``     — run the long-lived solve service (threaded HTTP/JSON
-  server with one hot derivation cache, request coalescing, ``/metrics``;
-  SIGTERM/SIGINT drain in-flight work and exit 0),
+  server with one hot derivation cache, request coalescing, async jobs,
+  background maintenance — store GC budget, cache TTLs, restart warm-up —
+  and ``/metrics``; SIGTERM/SIGINT drain in-flight work and exit 0),
 * ``submit``    — send a problem or workflow file to a running service and
-  print the solve record,
+  print the solve record (``--async`` submits a job and returns its
+  handle; ``--watch`` polls it to completion),
 * ``engine``    — inspect the solver engine (``engine list-solvers``).
 
 ``solve``, ``compare`` and ``sweep`` all accept ``--store DIR``: a warm
@@ -330,10 +332,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from .service import ServiceServer, SolveService
 
+    # Cross-flag validation argparse cannot express: maintenance against a
+    # store needs a store to maintain.  Exit 2 like any other usage error.
+    if not args.store and args.store_max_bytes is not None:
+        print("error: --store-max-bytes requires --store", file=sys.stderr)
+        return 2
+    if not args.store and args.warmup:
+        print("error: --warmup requires --store (nothing to warm from)", file=sys.stderr)
+        return 2
     service = SolveService(
         store=args.store or None,
         workers=args.workers,
         default_timeout=args.timeout if args.timeout > 0 else None,
+        result_cache_size=args.result_cache_size,
+        result_ttl=args.result_ttl,
+        job_ttl=args.job_ttl,
+        max_jobs=args.max_jobs,
+        store_max_bytes=args.store_max_bytes,
+        warmup=args.warmup,
+        maintenance_interval=args.maintenance_interval or None,
     )
     try:
         server = ServiceServer(
@@ -373,7 +390,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(
         "repro serve: drained and stopped after "
         f"{metrics['requests']['solve']} solve / "
-        f"{metrics['requests']['sweep']} sweep request(s), "
+        f"{metrics['requests']['sweep']} sweep / "
+        f"{metrics['requests']['jobs']} job request(s), "
         f"{metrics['coalesced']} coalesced",
         flush=True,
     )
@@ -411,6 +429,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     # generous hour rather than baking in someone else's default.
     client_timeout = (args.timeout + 30.0) if args.timeout else 3600.0
     client = ServiceClient(args.url, timeout=client_timeout)
+    if args.async_job or args.watch:
+        return _submit_async(args, client, body)
     try:
         record = client.submit(body)
     except ServiceClientError as exc:
@@ -418,6 +438,96 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         return 1
     print(json.dumps(record, indent=2, sort_keys=True, default=str))
     return 0
+
+
+def _submit_async(args: argparse.Namespace, client, body: dict) -> int:
+    """``repro submit --async [--watch]``: job handle now, records later."""
+    from .service import ServiceClientError
+
+    grid: dict = {"solvers": [args.solver], "verify": args.verify}
+    # A one-element seed axis, even when the seed is null — the grid
+    # default would otherwise silently pin seed 0.
+    grid["seeds"] = [args.seed]
+    if args.timeout:
+        grid["timeout"] = args.timeout
+    if "workflow" in body:
+        grid["workflows"] = [body["workflow"]]
+        grid["gammas"] = [body["gamma"]]
+        grid["kinds"] = [body["kind"]]
+    else:
+        grid["problems"] = [body["problem"]]
+    try:
+        handle = client.submit_sweep_job(grid)
+        if not args.watch:
+            print(json.dumps(handle, indent=2, sort_keys=True, default=str))
+            return 0
+
+        last_seen = {"progress": -1}
+
+        def _progress(status: dict) -> None:
+            landed = status.get("completed", 0) + status.get("failed", 0)
+            if landed != last_seen["progress"]:
+                last_seen["progress"] = landed
+                print(
+                    f"repro submit: job {handle['job']} {status.get('state')} "
+                    f"{landed}/{status.get('cells')} cell(s)",
+                    file=sys.stderr,
+                    flush=True,
+                )
+
+        final = client.wait_job(
+            handle["job"],
+            timeout=args.timeout or None,
+            on_progress=_progress,
+        )
+    except ServiceClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(final, indent=2, sort_keys=True, default=str))
+    if final.get("state") != "done" or final.get("failed", 0):
+        return 1
+    return 0
+
+
+def _arg_positive_int(text: str) -> int:
+    """argparse type: an integer >= 1 (usage error — exit 2 — otherwise)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _arg_nonnegative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _arg_positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if not value > 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
+def _arg_nonnegative_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -599,7 +709,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080, help="0 picks a free port")
     serve.add_argument(
-        "--workers", type=int, default=4, help="solve worker threads"
+        "--workers", type=_arg_positive_int, default=4, help="solve worker threads"
     )
     serve.add_argument(
         "--store",
@@ -611,6 +721,60 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=300.0,
         help="default per-request deadline in seconds (0 = unbounded)",
+    )
+    serve.add_argument(
+        "--result-cache-size",
+        type=_arg_positive_int,
+        default=256,
+        help="bound on the in-memory completed-result cache (default 256)",
+    )
+    serve.add_argument(
+        "--result-ttl",
+        type=_arg_positive_float,
+        default=None,
+        help=(
+            "seconds a cached result/planner stays valid; expired by the "
+            "maintenance pass (default: no TTL, size bound only)"
+        ),
+    )
+    serve.add_argument(
+        "--job-ttl",
+        type=_arg_positive_float,
+        default=600.0,
+        help="seconds a *finished* async job stays queryable (default 600)",
+    )
+    serve.add_argument(
+        "--max-jobs",
+        type=_arg_positive_int,
+        default=256,
+        help="bound on tracked async jobs; full of active jobs answers 429",
+    )
+    serve.add_argument(
+        "--store-max-bytes",
+        type=_arg_nonnegative_int,
+        default=None,
+        help=(
+            "byte budget the maintenance pass GCs the store down to "
+            "(requires --store; default: no GC)"
+        ),
+    )
+    serve.add_argument(
+        "--warmup",
+        type=_arg_nonnegative_int,
+        default=0,
+        help=(
+            "re-compile the N most-requested workflow fingerprints from the "
+            "store at start-up (requires --store; default 0)"
+        ),
+    )
+    serve.add_argument(
+        "--maintenance-interval",
+        type=_arg_nonnegative_float,
+        default=30.0,
+        help=(
+            "seconds between background maintenance passes, jittered ±10%% "
+            "(0 disables the maintenance thread; default 30)"
+        ),
     )
     serve.add_argument(
         "--quiet",
@@ -647,6 +811,23 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--verify", action="store_true")
     submit.add_argument(
         "--timeout", type=float, default=0.0, help="request deadline in seconds"
+    )
+    submit.add_argument(
+        "--async",
+        dest="async_job",
+        action="store_true",
+        help=(
+            "submit as an asynchronous job (POST /jobs/sweep) and print the "
+            "job handle instead of waiting for the record"
+        ),
+    )
+    submit.add_argument(
+        "--watch",
+        action="store_true",
+        help=(
+            "with --async (implied): poll the job, stream progress to "
+            "stderr, print the final status; exit 1 on failed cells"
+        ),
     )
     submit.set_defaults(func=_cmd_submit)
 

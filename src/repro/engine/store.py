@@ -203,19 +203,46 @@ class DerivationStore:
         if category is not None:
             self.writes[category] += 1
 
+    @staticmethod
+    def _read_raw(path: Path) -> dict[str, Any]:
+        """Best-effort JSON object read: no counters, no mtime touch.
+
+        Meta documents are bookkeeping (popularity, summaries), not cached
+        artifacts — reading one must neither count as a store hit nor
+        refresh its LRU position.
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return {}
+        return payload if isinstance(payload, dict) else {}
+
     def _write_meta(self, fingerprint: str, workflow: "Workflow") -> None:
         meta_path = self._dir(fingerprint) / "meta.json"
-        if meta_path.exists():
+        existing = self._read_raw(meta_path)
+        if existing.get("workflow_payload") is not None:
             return
-        self._write(
-            None,  # meta is bookkeeping, not a counted artifact
-            meta_path,
+        from ..workloads.serialization import workflow_to_dict
+
+        payload = dict(existing)  # preserve popularity bumped before save
+        payload.update(
             {
                 "fingerprint": fingerprint,
                 "workflow": workflow.name,
                 "modules": len(workflow),
                 "attributes": len(workflow.attribute_names),
+                # The canonical serialization rides along so maintenance
+                # (service warm-up) can rebuild the instance without the
+                # original submitter — meta is the only tier that knows
+                # what a fingerprint *is*.
+                "workflow_payload": workflow_to_dict(workflow),
             },
+        )
+        self._write(
+            None,  # meta is bookkeeping, not a counted artifact
+            meta_path,
+            payload,
         )
 
     # -- requirements -----------------------------------------------------------
@@ -467,6 +494,70 @@ class DerivationStore:
     def save_result(self, fingerprint: str, key: tuple, record: Mapping) -> None:
         path = self._dir(fingerprint) / f"result-{_key_digest(key)}.json"
         self._write("result", path, dict(record))
+
+    # -- popularity (meta tier) -------------------------------------------------
+    def bump_popularity(self, fingerprint: str, by: int = 1) -> int:
+        """Add ``by`` requests to a workflow entry's persistent popularity.
+
+        The counter lives in the entry's ``meta.json`` so it survives
+        restarts and rides the same GC policy as the artifacts it ranks.
+        Read-modify-write without a cross-process lock: concurrent bumpers
+        may lose increments, which ranking tolerates (popularity is a
+        heuristic, not an invariant).  Returns the new count.
+        """
+        meta_path = self._dir(fingerprint) / "meta.json"
+        meta = self._read_raw(meta_path)
+        meta.setdefault("fingerprint", fingerprint)
+        meta["popularity"] = int(meta.get("popularity", 0) or 0) + int(by)
+        self._write(None, meta_path, meta)
+        return meta["popularity"]
+
+    def popularity(self, fingerprint: str) -> int:
+        """The persisted request count for one workflow entry (0 if none)."""
+        meta = self._read_raw(self._dir(fingerprint) / "meta.json")
+        return int(meta.get("popularity", 0) or 0)
+
+    def popular_workflows(self, k: int) -> list[tuple[str, int, dict]]:
+        """The ``k`` most-requested workflow entries that can be rebuilt.
+
+        ``(fingerprint, popularity, workflow_payload)`` tuples, most
+        popular first (fingerprint breaks ties deterministically).  Entries
+        without a serialized payload or without any recorded popularity are
+        skipped — they cannot be warmed, or nobody asked for them.
+        """
+        ranked: list[tuple[int, str, dict]] = []
+        # Workflow shards are two hex characters, so the glob can never
+        # descend into the "modules" tier.
+        for meta_path in self.root.glob("??/*/meta.json"):
+            meta = self._read_raw(meta_path)
+            payload = meta.get("workflow_payload")
+            count = int(meta.get("popularity", 0) or 0)
+            if not isinstance(payload, dict) or count <= 0:
+                continue
+            fingerprint = str(meta.get("fingerprint") or meta_path.parent.name)
+            ranked.append((count, fingerprint, payload))
+        ranked.sort(key=lambda item: (-item[0], item[1]))
+        return [(fp, count, payload) for count, fp, payload in ranked[: max(0, k)]]
+
+    def stored_requirement_points(self, fingerprint: str) -> list[tuple[int, str, str]]:
+        """Every ``(gamma, kind, backend)`` with a stored requirement doc.
+
+        Parsed from the entry's ``req-g<gamma>-<kind>-<backend>.json``
+        filenames; lets warm-up preload exactly the points past traffic
+        actually asked for instead of guessing a grid.
+        """
+        points: list[tuple[int, str, str]] = []
+        for path in self._dir(fingerprint).glob("req-g*.json"):
+            stem = path.name[len("req-g") : -len(".json")]
+            gamma_text, _, rest = stem.partition("-")
+            kind, _, backend = rest.partition("-")
+            try:
+                gamma = int(gamma_text)
+            except ValueError:
+                continue
+            if kind and backend:
+                points.append((gamma, kind, backend))
+        return sorted(points)
 
     # -- maintenance ------------------------------------------------------------
     @staticmethod

@@ -21,8 +21,16 @@ Components
 :class:`RequestCoalescer`
     The keyed single-flight table behind the coalescing, with
     leader/follower counters (``coalesced`` in ``/metrics``).
+:class:`JobManager` / :class:`MaintenanceScheduler`
+    The background subsystem: ``POST /jobs/sweep`` returns a job id
+    immediately and the cells run through the same pipeline
+    (``GET /jobs/<id>`` reports progress and partial records,
+    ``DELETE /jobs/<id>`` cancels); a scheduler thread owns store GC to a
+    byte budget, cache TTL expiry, popularity flushing and restart
+    warm-up.
 :class:`ServiceServer`
     The threaded HTTP front: ``POST /solve``, ``POST /sweep``,
+    ``POST /jobs/sweep``, ``GET /jobs[/<id>]``, ``DELETE /jobs/<id>``,
     ``GET /healthz``, ``GET /metrics``, ``POST /shutdown``; graceful
     drain on stop.
 :class:`ServiceClient`
@@ -31,9 +39,12 @@ Components
     The request codec; a job's ``key`` is the coalescing identity.
 """
 
+from .background import JobManager, MaintenanceScheduler, SweepJob
 from .client import ServiceClient, ServiceClientError
 from .coalescer import InFlight, RequestCoalescer
 from .jobs import (
+    JOB_STATES,
+    TERMINAL_JOB_STATES,
     InstanceCache,
     ServiceError,
     ServiceTimeout,
@@ -46,6 +57,9 @@ from .service import SolveService
 __all__ = [
     "InFlight",
     "InstanceCache",
+    "JOB_STATES",
+    "JobManager",
+    "MaintenanceScheduler",
     "RequestCoalescer",
     "ServiceClient",
     "ServiceClientError",
@@ -54,5 +68,7 @@ __all__ = [
     "ServiceTimeout",
     "SolveJob",
     "SolveService",
+    "SweepJob",
+    "TERMINAL_JOB_STATES",
     "parse_solve_payload",
 ]

@@ -21,11 +21,15 @@ timeout (504) from a draining server (503).
 from __future__ import annotations
 
 import json
+import time
 import urllib.error
 import urllib.request
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping
 
 __all__ = ["ServiceClient", "ServiceClientError"]
+
+#: Job states after which polling can stop (mirrors ``JOB_STATES``).
+_TERMINAL_JOB_STATES = ("done", "failed", "cancelled")
 
 
 class ServiceClientError(Exception):
@@ -165,6 +169,86 @@ class ServiceClient:
         if timeout is not None:
             body["timeout"] = timeout
         return self.request("POST", "/sweep", body)
+
+    # -- async jobs --------------------------------------------------------------
+    def submit_sweep_job(self, body: Mapping[str, Any]) -> dict[str, Any]:
+        """POST a raw, already-assembled grid to ``/jobs/sweep``; the handle."""
+        return self.request("POST", "/jobs/sweep", body)
+
+    def sweep_async(
+        self,
+        *,
+        workflows: tuple | list = (),
+        problems: tuple | list = (),
+        gammas: tuple | list = (2,),
+        kinds: tuple | list = ("set",),
+        solvers: tuple | list = ("auto",),
+        seeds: tuple | list = (0,),
+        verify: bool = False,
+        backend: str | None = None,
+        timeout: float | None = None,
+    ) -> dict[str, Any]:
+        """Submit an inline grid as an async job; ``{"job": id, ...}``.
+
+        Returns immediately; poll with :meth:`job` or block with
+        :meth:`wait_job`.
+        """
+        body: dict[str, Any] = {
+            "workflows": [_instance_payload(w) for w in workflows],
+            "problems": [_instance_payload(p) for p in problems],
+            "gammas": list(gammas),
+            "kinds": list(kinds),
+            "solvers": list(solvers),
+            "seeds": list(seeds),
+            "verify": verify,
+        }
+        if backend is not None:
+            body["backend"] = backend
+        if timeout is not None:
+            body["timeout"] = timeout
+        return self.submit_sweep_job(body)
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        """``GET /jobs/<id>``: state, progress counters, partial records."""
+        return self.request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> list[dict[str, Any]]:
+        """``GET /jobs``: summaries of every tracked job."""
+        return self.request("GET", "/jobs")["jobs"]
+
+    def cancel_job(self, job_id: str) -> dict[str, Any]:
+        """``DELETE /jobs/<id>``: stop pending cells; the job summary."""
+        return self.request("DELETE", f"/jobs/{job_id}")
+
+    def wait_job(
+        self,
+        job_id: str,
+        timeout: float | None = None,
+        poll: float = 0.2,
+        on_progress: "Callable[[dict[str, Any]], None] | None" = None,
+    ) -> dict[str, Any]:
+        """Poll until the job reaches a terminal state; its final status.
+
+        ``on_progress`` (if given) sees every polled snapshot — partial
+        records included — which is how ``repro submit --watch`` renders a
+        live progress line.  Raises :class:`ServiceClientError` (status 0)
+        if ``timeout`` elapses first; the job keeps running server-side.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            status = self.job(job_id)
+            if on_progress is not None:
+                on_progress(status)
+            if status.get("state") in _TERMINAL_JOB_STATES:
+                return status
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ServiceClientError(
+                    0,
+                    f"job {job_id} still {status.get('state')!r} "
+                    f"after {timeout}s (it keeps running server-side)",
+                    status,
+                )
+            time.sleep(poll)
 
     def healthz(self) -> dict[str, Any]:
         return self.request("GET", "/healthz")

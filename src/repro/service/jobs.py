@@ -36,6 +36,8 @@ from ..kernel import VALID_BACKENDS, resolve_backend
 
 __all__ = [
     "InstanceCache",
+    "JOB_STATES",
+    "TERMINAL_JOB_STATES",
     "ServiceError",
     "ServiceTimeout",
     "SolveJob",
@@ -44,6 +46,12 @@ __all__ = [
 
 #: Requirement-list kinds a request may ask for (workflow instances only).
 VALID_KINDS = ("set", "cardinality")
+
+#: Lifecycle of an asynchronous job (see :mod:`repro.service.background`).
+JOB_STATES = ("pending", "running", "done", "failed", "cancelled")
+
+#: The subset of :data:`JOB_STATES` a job never leaves once entered.
+TERMINAL_JOB_STATES = ("done", "failed", "cancelled")
 
 
 class ServiceError(Exception):

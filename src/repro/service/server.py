@@ -8,23 +8,34 @@ pool — so slow solves occupy pool slots, not the accept loop.
 Routes
 ------
 ``GET /healthz``
-    Liveness: ``{"status": "ok" | "draining", "in_flight": n, ...}``.
+    Liveness: ``{"status": "ok" | "draining", "draining": bool, ...}``.
+    Answers **503** once a drain has started (body still included), so
+    load balancers can stop routing before SIGTERM completes.
 ``GET /metrics``
-    Request counts, in-flight gauge, coalescing counters, and the shared
-    cache's hit/miss delta since start (see ``SolveService.metrics``).
+    Request counts, in-flight gauge, coalescing counters, job and
+    maintenance counters, and the shared cache's hit/miss delta since
+    start (see ``SolveService.metrics``).
 ``POST /solve``
     One solve request (see :mod:`repro.service.jobs` for the body schema).
 ``POST /sweep``
-    An inline grid fanned through the solve pipeline.
+    An inline grid fanned through the solve pipeline (blocks until done).
+``POST /jobs/sweep``
+    The same grid, asynchronously: answers 202 with a job id immediately
+    (see :mod:`repro.service.background`).
+``GET /jobs`` / ``GET /jobs/<id>``
+    Job summaries / one job's state, progress counters and partial
+    records.
+``DELETE /jobs/<id>``
+    Cancel: in-flight cells finish, pending cells are dropped.
 ``POST /shutdown``
     Ack with 202 and gracefully stop the server (drain, then exit the
     serve loop).  The CLI additionally wires SIGTERM/SIGINT to the same
     path, so ``kill -TERM`` on ``repro serve`` drains and exits 0.
 
-Error mapping: malformed JSON or payloads → 400, unknown routes → 404,
-request deadline passed → 504, draining → 503, solver/domain failures →
-422, anything unexpected → 500; every error body is
-``{"error": "...", "status": N}``.
+Error mapping: malformed JSON or payloads → 400, unknown routes and job
+ids → 404, request deadline passed → 504, draining → 503, a full job
+table → 429, solver/domain failures → 422, anything unexpected → 500;
+every error body is ``{"error": "...", "status": N}``.
 """
 
 from __future__ import annotations
@@ -120,12 +131,24 @@ class _Handler(BaseHTTPRequestHandler):
             raise ServiceError(f"request body is not valid JSON: {exc}") from exc
 
     # -- routes -----------------------------------------------------------------
+    def _job_id(self) -> str | None:
+        """The ``<id>`` of a ``/jobs/<id>`` path (``None`` when malformed)."""
+        job_id = self.path[len("/jobs/"):]
+        return job_id if job_id and "/" not in job_id else None
+
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
         try:
             if self.path == "/healthz":
-                self._respond(200, self.service.healthz())
+                payload = self.service.healthz()
+                # 503 while draining: body still answers, but balancers
+                # and pollers see "stop routing here" at the status level.
+                self._respond(503 if payload["draining"] else 200, payload)
             elif self.path == "/metrics":
                 self._respond(200, self.service.metrics())
+            elif self.path == "/jobs":
+                self._respond(200, {"jobs": self.service.jobs.list_jobs()})
+            elif self.path.startswith("/jobs/") and self._job_id():
+                self._respond(200, self.service.jobs.status(self._job_id()))
             else:
                 self._respond(
                     404, {"error": f"no such path {self.path!r}", "status": 404}
@@ -139,9 +162,23 @@ class _Handler(BaseHTTPRequestHandler):
                 self._respond(200, self.service.solve_payload(self._read_body()))
             elif self.path == "/sweep":
                 self._respond(200, self.service.sweep_payload(self._read_body()))
+            elif self.path == "/jobs/sweep":
+                # 202: accepted, not done — the body is the job handle.
+                self._respond(202, self.service.jobs.submit(self._read_body()))
             elif self.path == "/shutdown":
                 self._respond(202, {"status": "shutting down"})
                 self.server.owner.stop_async()  # type: ignore[attr-defined]
+            else:
+                self._respond(
+                    404, {"error": f"no such path {self.path!r}", "status": 404}
+                )
+        except Exception as exc:  # noqa: BLE001 - a handler must always answer
+            self._fail(exc)
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server naming
+        try:
+            if self.path.startswith("/jobs/") and self._job_id():
+                self._respond(200, self.service.jobs.cancel(self._job_id()))
             else:
                 self._respond(
                     404, {"error": f"no such path {self.path!r}", "status": 404}

@@ -45,6 +45,7 @@ from typing import Any, Mapping
 
 from ..engine import DerivationCache, Planner
 from ..engine.store import DerivationStore, ResultKey
+from .background import JobManager, MaintenanceScheduler
 from .coalescer import RequestCoalescer
 from .jobs import (
     InstanceCache,
@@ -56,7 +57,9 @@ from .jobs import (
 
 __all__ = ["SolveService"]
 
-#: Bound on memoized planners and completed-result records (FIFO eviction).
+#: Default bounds on memoized planners and completed-result records (FIFO
+#: eviction; override per service via ``planner_cache_size`` /
+#: ``result_cache_size``).
 STATE_LIMIT = 128
 RESULT_LIMIT = 256
 
@@ -83,6 +86,29 @@ class SolveService:
         and the store's result tier.  Note this applies to seeded *and*
         unseeded randomized solves alike (matching the sweep executor):
         clients wanting fresh randomness per call should vary ``seed``.
+    result_cache_size / planner_cache_size:
+        Bounds on the completed-result and planner memo tables (FIFO
+        eviction past the bound).
+    result_ttl:
+        Seconds a completed result (and an idle planner) stays cached;
+        ``None`` keeps entries until evicted by the size bound.  Enforced
+        lazily on lookup and eagerly by the maintenance pass.
+    job_ttl / max_jobs:
+        Async-job table policy (see :class:`~repro.service.background.JobManager`):
+        how long a *finished* job stays queryable, and how many jobs the
+        table tracks before refusing submits with 429.
+    store_max_bytes:
+        Byte budget the maintenance pass GCs an attached store down to;
+        ``None`` disables the GC task.
+    warmup:
+        Re-compile this many of the store's most-requested workflow
+        fingerprints at construction (popularity persists in the store's
+        meta tier), so a restarted service answers its first solves of
+        popular instances from the hot cache.
+    maintenance_interval:
+        Seconds between background maintenance passes (jittered ±10%);
+        ``0`` or ``None`` disables the thread (tasks still run on demand
+        via ``service.maintenance.run_once()``).
     """
 
     def __init__(
@@ -92,9 +118,33 @@ class SolveService:
         registry: Any = None,
         default_timeout: float | None = 60.0,
         reuse_results: bool = True,
+        result_cache_size: int = RESULT_LIMIT,
+        planner_cache_size: int = STATE_LIMIT,
+        result_ttl: float | None = None,
+        job_ttl: float | None = 600.0,
+        max_jobs: int = 256,
+        store_max_bytes: int | None = None,
+        warmup: int = 0,
+        maintenance_interval: float | None = 30.0,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if result_cache_size < 1:
+            raise ValueError("result_cache_size must be >= 1")
+        if planner_cache_size < 1:
+            raise ValueError("planner_cache_size must be >= 1")
+        if result_ttl is not None and result_ttl <= 0:
+            raise ValueError("result_ttl must be positive (or None)")
+        if job_ttl is not None and job_ttl <= 0:
+            raise ValueError("job_ttl must be positive (or None)")
+        if max_jobs < 1:
+            raise ValueError("max_jobs must be >= 1")
+        if store_max_bytes is not None and store_max_bytes < 0:
+            raise ValueError("store_max_bytes must be non-negative (or None)")
+        if warmup < 0:
+            raise ValueError("warmup must be non-negative")
+        if maintenance_interval is not None and maintenance_interval < 0:
+            raise ValueError("maintenance_interval must be non-negative")
         if isinstance(store, (str,)) or hasattr(store, "__fspath__"):
             store = DerivationStore(store)
         self.cache = DerivationCache(store=store)
@@ -102,17 +152,25 @@ class SolveService:
         self.workers = workers
         self.default_timeout = default_timeout
         self.reuse_results = reuse_results
+        self.result_cache_size = result_cache_size
+        self.planner_cache_size = planner_cache_size
+        self.result_ttl = result_ttl
         self.pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-solve"
         )
         self.coalescer = RequestCoalescer()
         self.instances = InstanceCache()
-        self._planners: OrderedDict[tuple, Planner] = OrderedDict()
-        self._results: OrderedDict[tuple, dict[str, Any]] = OrderedDict()
+        # Both memo tables stamp entries with their insertion time so the
+        # TTL task (and lazy lookups) can expire them.
+        self._planners: OrderedDict[tuple, tuple[Planner, float]] = OrderedDict()
+        self._results: OrderedDict[tuple, tuple[dict[str, Any], float]] = OrderedDict()
         self._state = threading.Lock()
         self._idle = threading.Condition(self._state)
         self._in_flight = 0
         self._draining = False
+        #: Pending popularity bumps (fingerprint -> requests), flushed to
+        #: the store's meta tier by the maintenance pass and on drain.
+        self._popularity: dict[str, int] = {}
         #: Set the moment a drain begins (before it waits) — lets callers
         #: and tests sequence "no new work admitted" without polling.
         self.drain_started = threading.Event()
@@ -122,6 +180,7 @@ class SolveService:
         self.request_counts: dict[str, int] = {
             "solve": 0,
             "sweep": 0,
+            "jobs": 0,
             "healthz": 0,
             "metrics": 0,
         }
@@ -129,6 +188,13 @@ class SolveService:
         self.timeout_count = 0
         self.result_hits_memory = 0
         self.result_hits_store = 0
+        self.jobs = JobManager(self, job_ttl=job_ttl, max_jobs=max_jobs)
+        self.maintenance = MaintenanceScheduler(
+            self, interval=maintenance_interval, store_max_bytes=store_max_bytes
+        )
+        if warmup:
+            self.maintenance.warm_up(warmup)
+        self.maintenance.start()
 
     # -- bookkeeping under the state lock ---------------------------------------
     def _count(self, counter: str) -> None:
@@ -157,9 +223,9 @@ class SolveService:
     def _planner_for(self, job: SolveJob) -> Planner:
         key = (job.source, job.fingerprint, job.gamma, job.kind, job.backend)
         with self._state:
-            planner = self._planners.get(key)
-            if planner is not None:
-                return planner
+            entry = self._planners.get(key)
+            if entry is not None:
+                return entry[0]
         if job.source == "workflow":
             planner = Planner(
                 job.instance,
@@ -181,22 +247,82 @@ class SolveService:
             # planner (and therefore one identity-keyed cache entry set).
             existing = self._planners.get(key)
             if existing is not None:
-                return existing
-            while len(self._planners) >= STATE_LIMIT:
+                return existing[0]
+            while len(self._planners) >= self.planner_cache_size:
                 self._planners.popitem(last=False)
-            self._planners[key] = planner
+            self._planners[key] = (planner, time.monotonic())
             return planner
 
     def _remember_result(self, key: tuple, record: Mapping[str, Any]) -> None:
         with self._state:
-            while len(self._results) >= RESULT_LIMIT:
+            while len(self._results) >= self.result_cache_size:
                 self._results.popitem(last=False)
-            self._results[key] = dict(record)
+            self._results[key] = (dict(record), time.monotonic())
 
     def _lookup_result(self, key: tuple) -> dict[str, Any] | None:
         with self._state:
-            record = self._results.get(key)
-            return dict(record) if record is not None else None
+            entry = self._results.get(key)
+            if entry is None:
+                return None
+            record, stamp = entry
+            if (
+                self.result_ttl is not None
+                and time.monotonic() - stamp >= self.result_ttl
+            ):
+                del self._results[key]
+                return None
+            return dict(record)
+
+    def expire_caches(self, now: float | None = None) -> int:
+        """Drop result/planner entries older than ``result_ttl``; count dropped.
+
+        The maintenance pass calls this periodically (``ttl_expired`` in
+        ``/metrics``); ``now`` (a ``time.monotonic`` value) is injectable
+        so tests can advance the clock without sleeping.  A no-op when no
+        TTL is configured.
+        """
+        if self.result_ttl is None:
+            return 0
+        now = time.monotonic() if now is None else now
+        dropped = 0
+        with self._state:
+            for table in (self._results, self._planners):
+                stale = [
+                    key
+                    for key, (_, stamp) in table.items()
+                    if now - stamp >= self.result_ttl
+                ]
+                for key in stale:
+                    del table[key]
+                dropped += len(stale)
+        return dropped
+
+    # -- popularity (persisted by maintenance into the store's meta tier) -------
+    def _note_popularity(self, job: SolveJob) -> None:
+        if job.source != "workflow":
+            return
+        with self._state:
+            self._popularity[job.fingerprint] = (
+                self._popularity.get(job.fingerprint, 0) + 1
+            )
+
+    def flush_popularity(self) -> int:
+        """Persist pending popularity bumps to the store's meta tier.
+
+        Returns the number of requests flushed.  Without a store the
+        pending counts are discarded (nowhere durable to put them), so the
+        table cannot grow without bound.
+        """
+        with self._state:
+            pending, self._popularity = self._popularity, {}
+        store = self.cache.store
+        if store is None or not pending:
+            return 0
+        flushed = 0
+        for fingerprint, count in pending.items():
+            store.bump_popularity(fingerprint, count)
+            flushed += count
+        return flushed
 
     # -- the computation (runs on a pool thread) --------------------------------
     def _compute(self, job: SolveJob) -> dict[str, Any]:
@@ -304,6 +430,7 @@ class SolveService:
         """Run one job end to end (blocking); the solve record."""
         if self.draining:
             raise ServiceError("service is draining", status=503)
+        self._note_popularity(job)
         if self.reuse_results:
             record = self._lookup_result(job.key)
             if record is not None:
@@ -352,6 +479,7 @@ class SolveService:
         # (leader, entry) pair to wait on.
         begun: list[Any] = []
         for job in jobs:
+            self._note_popularity(job)
             record = self._lookup_result(job.key) if self.reuse_results else None
             if record is not None:
                 with self._state:
@@ -456,11 +584,17 @@ class SolveService:
         return jobs
 
     def healthz(self) -> dict[str, Any]:
-        """``GET /healthz``: liveness plus a drain indicator."""
+        """``GET /healthz``: liveness plus a drain indicator.
+
+        ``draining`` is an explicit boolean (the HTTP layer answers 503 on
+        it) so load balancers and job pollers can tell "shutting down"
+        from "dead" before the drain completes.
+        """
         self._count("healthz")
         with self._state:
             return {
                 "status": "draining" if self._draining else "ok",
+                "draining": self._draining,
                 "in_flight": self._in_flight,
                 "uptime_seconds": time.monotonic() - self._started_monotonic,
             }
@@ -495,19 +629,39 @@ class SolveService:
                 "cache": cache_delta.as_dict(),
             }
         payload["store"] = store.stats() if store is not None else None
+        payload["jobs"] = self.jobs.metrics()
+        payload["maintenance"] = self.maintenance.metrics()
         return payload
 
     # -- lifecycle ---------------------------------------------------------------
     def drain(self, timeout: float | None = None) -> bool:
         """Stop admitting work, wait for in-flight computations, stop the pool.
 
-        Idempotent.  Returns ``True`` when everything drained within
-        ``timeout`` (``None`` waits indefinitely); on ``False`` the pool is
-        still shut down, but without waiting for stragglers.
+        Order matters: mark draining (new requests and job submits get
+        503), cancel active jobs and stop the maintenance thread, wait for
+        job runners to collect their in-flight cells, flush pending
+        popularity to the store, then wait out the pool.  Idempotent.
+        Returns ``True`` when everything drained within ``timeout``
+        (``None`` waits indefinitely); on ``False`` the pool is still shut
+        down, but without waiting for stragglers.
         """
+        deadline = None if timeout is None else time.monotonic() + timeout
+
+        def _remaining() -> float | None:
+            if deadline is None:
+                return None
+            return max(0.0, deadline - time.monotonic())
+
         with self._state:
             self._draining = True
             self.drain_started.set()
-            drained = self._idle.wait_for(lambda: self._in_flight == 0, timeout)
+        self.jobs.cancel_all()
+        self.maintenance.stop()
+        self.jobs.join(_remaining())
+        self.flush_popularity()
+        with self._state:
+            drained = self._idle.wait_for(
+                lambda: self._in_flight == 0, _remaining()
+            )
         self.pool.shutdown(wait=drained)
         return drained

@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
 from repro.engine import DerivationCache, DerivationStore, Planner
-from repro.engine.store import OutSetKey, ResultKey
+from repro.engine.store import OutSetKey, ResultKey, _key_digest
 from repro.workloads import figure1_workflow, random_workflow, workflow_fingerprint
 
 
@@ -248,3 +249,120 @@ class TestCacheStatsSurface:
         delta = cache.stats().delta(before)
         assert delta.derivation_misses == 1
         assert delta.derivation_hits == 0
+
+
+class TestStoreGC:
+    """LRU eviction to a byte budget (the maintenance GC task's engine)."""
+
+    @staticmethod
+    def _backdate(path, seconds: float) -> None:
+        stat = path.stat()
+        os.utime(path, (stat.st_atime - seconds, stat.st_mtime - seconds))
+
+    def test_touch_on_read_keeps_warm_artifacts_over_cold_ones(self, store):
+        warm_key = ResultKey("kernel", 2, "set", "exact", None, False)
+        cold_key = ResultKey("kernel", 3, "set", "exact", None, False)
+        fingerprint = "ab" * 32
+        store.save_result(fingerprint, warm_key, {"cost": 3.0})
+        store.save_result(fingerprint, cold_key, {"cost": 4.0})
+        warm_path, cold_path = (
+            store._dir(fingerprint) / f"result-{_key_digest(key)}.json"
+            for key in (warm_key, cold_key)
+        )
+        # Both written an hour ago, cold more recently than warm...
+        self._backdate(warm_path, 3600.0)
+        self._backdate(cold_path, 1800.0)
+        # ... but a read *touches* warm, so LRU now favors it.
+        assert store.load_result(fingerprint, warm_key) == {"cost": 3.0}
+        budget = warm_path.stat().st_size
+        summary = store.gc(max_bytes=budget)
+        assert summary["deleted_files"] == 1
+        assert summary["kept_bytes"] <= budget
+        assert store.load_result(fingerprint, warm_key) == {"cost": 3.0}
+        assert store.load_result(fingerprint, cold_key) is None
+
+    def test_gc_never_deletes_inflight_temp_files(self, store):
+        store.save_result(
+            "cd" * 32, ResultKey("kernel", 2, "set", "exact", None, False),
+            {"cost": 1.0},
+        )
+        entry_dir = store._dir("cd" * 32)
+        temp = entry_dir / f"result.json.tmp-{os.getpid()}"
+        temp.write_text("{in flight}")
+        summary = store.gc(max_bytes=0)
+        assert summary["kept_bytes"] == 0  # every *artifact* went
+        assert temp.exists()  # the in-flight temp did not
+        assert store.load_result(
+            "cd" * 32, ResultKey("kernel", 2, "set", "exact", None, False)
+        ) is None
+
+    def test_gc_sweeps_out_emptied_entry_directories(self, store):
+        fingerprint = "ef" * 32
+        store.save_result(
+            fingerprint, ResultKey("kernel", 2, "set", "exact", None, False),
+            {"cost": 2.0},
+        )
+        assert store._dir(fingerprint).is_dir()
+        store.gc(max_bytes=0)
+        assert not store._dir(fingerprint).exists()
+        assert store.root.is_dir()  # the root itself survives
+
+    def test_gc_rejects_negative_budget(self, store):
+        with pytest.raises(ValueError):
+            store.gc(max_bytes=-1)
+
+
+class TestPopularityMeta:
+    """The meta tier's popularity counter and warm-up queries."""
+
+    def test_bump_and_read_survive_reopen(self, store, tmp_path):
+        fingerprint = "ab" * 32
+        assert store.popularity(fingerprint) == 0
+        assert store.bump_popularity(fingerprint) == 1
+        assert store.bump_popularity(fingerprint, 4) == 5
+        reopened = DerivationStore(tmp_path / "store")
+        assert reopened.popularity(fingerprint) == 5
+
+    def test_popularity_survives_artifact_writes(self, store):
+        """Bump-before-save must not be clobbered by the meta write."""
+        workflow = figure1_workflow()
+        fingerprint = workflow_fingerprint(workflow)
+        store.bump_popularity(fingerprint, 2)
+        store.save_relation(fingerprint, workflow.provenance_relation(),
+                            workflow=workflow)
+        assert store.popularity(fingerprint) == 2
+        popular = store.popular_workflows(1)
+        assert popular[0][0] == fingerprint and popular[0][1] == 2
+
+    def test_popular_workflows_ranks_and_skips_unwarmables(self, store):
+        ranked_wf = figure1_workflow()
+        ranked = workflow_fingerprint(ranked_wf)
+        store.save_relation(ranked, ranked_wf.provenance_relation(),
+                            workflow=ranked_wf)
+        store.bump_popularity(ranked, 3)
+        other_wf = random_workflow(3, seed=7)
+        other = workflow_fingerprint(other_wf)
+        store.save_relation(other, other_wf.provenance_relation(),
+                            workflow=other_wf)
+        store.bump_popularity(other, 9)
+        # Popular but payload-less: bumped yet never saved — unwarmable.
+        store.bump_popularity("99" * 32, 50)
+        ranking = store.popular_workflows(10)
+        assert [(fp, count) for fp, count, _ in ranking] == [
+            (other, 9), (ranked, 3)
+        ]
+        assert ranking[0][2]["name"] == other_wf.name
+        assert store.popular_workflows(1) == ranking[:1]
+
+    def test_stored_requirement_points_parse_filenames(self, store):
+        workflow = figure1_workflow()
+        fingerprint = workflow_fingerprint(workflow)
+        cache = DerivationCache()
+        for kind in ("set", "cardinality"):
+            derived = cache.requirements(workflow, 2, kind, backend="kernel")
+            store.save_requirements(fingerprint, 2, kind, "kernel", derived)
+        assert store.stored_requirement_points(fingerprint) == [
+            (2, "cardinality", "kernel"),
+            (2, "set", "kernel"),
+        ]
+        assert store.stored_requirement_points("00" * 32) == []

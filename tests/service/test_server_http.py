@@ -164,7 +164,113 @@ class TestErrorMapping:
             server.stop(drain_timeout=30)
 
 
+class TestJobRoutes:
+    def test_async_sweep_roundtrip(self, served, figure1_payload):
+        _, server, client = served
+        # 202 on the wire: accepted, not done.
+        request = urllib.request.Request(
+            f"{server.url}/jobs/sweep",
+            data=json.dumps(
+                {"workflows": [figure1_payload], "solvers": ["exact", "greedy"]}
+            ).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            assert response.status == 202
+            handle = json.loads(response.read().decode("utf-8"))
+        assert handle["cells"] == 2
+
+        snapshots: list[dict] = []
+        final = client.wait_job(handle["job"], timeout=30, poll=0.02,
+                                on_progress=snapshots.append)
+        assert final["state"] == "done"
+        assert final["completed"] == 2 and final["failed"] == 0
+        assert [r["index"] for r in final["records"]] == [0, 1]
+        assert snapshots[-1] == final
+        listed = client.jobs()
+        assert handle["job"] in [job["job"] for job in listed]
+        metrics = client.metrics()
+        assert metrics["jobs"]["submitted"] == 1
+        assert metrics["jobs"]["done"] == 1
+        assert metrics["jobs"]["cells"]["completed"] == 2
+        assert metrics["requests"]["jobs"] >= 2
+        assert "maintenance" in metrics
+
+    def test_cancel_over_http(self, blocker, figure1_payload):
+        service = SolveService(workers=1, registry=blocker.registry,
+                               default_timeout=30)
+        server = ServiceServer(service, port=0).start()
+        try:
+            client = ServiceClient(server.url, timeout=30)
+            handle = client.sweep_async(
+                workflows=[figure1_payload], gammas=[2, 3, 4],
+                solvers=["blocker"],
+            )
+            assert blocker.started.wait(30)
+            ack = client.cancel_job(handle["job"])
+            assert ack["cancel_requested"] is True
+            blocker.release.set()
+            final = client.wait_job(handle["job"], timeout=30, poll=0.02)
+            assert final["state"] == "cancelled"
+            assert final["dropped"] == 2
+        finally:
+            blocker.release.set()
+            server.stop(drain_timeout=30)
+
+    def test_unknown_job_is_404_on_get_and_delete(self, served):
+        _, _, client = served
+        for method, call in (
+            ("GET", lambda: client.job("no-such-job")),
+            ("DELETE", lambda: client.cancel_job("no-such-job")),
+        ):
+            with pytest.raises(ServiceClientError) as excinfo:
+                call()
+            assert excinfo.value.status == 404, method
+        # Nested paths under /jobs/ are malformed, not routable.
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.request("GET", "/jobs/a/b")
+        assert excinfo.value.status == 404
+
+    def test_malformed_grid_is_400_not_a_job(self, served):
+        _, _, client = served
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.submit_sweep_job({"workflows": "nope"})
+        assert excinfo.value.status == 400
+        assert client.jobs() == []
+
+
 class TestShutdown:
+    def test_healthz_reports_draining_with_503(self, blocker, figure1_payload):
+        service = SolveService(workers=1, registry=blocker.registry,
+                               default_timeout=30)
+        server = ServiceServer(service, port=0).start()
+        client = ServiceClient(server.url, timeout=30)
+        health = client.healthz()
+        assert health["status"] == "ok" and health["draining"] is False
+
+        def call() -> None:
+            client.submit(
+                {"workflow": figure1_payload, "gamma": 2, "solver": "blocker"}
+            )
+
+        request_thread = threading.Thread(target=call)
+        request_thread.start()
+        assert blocker.started.wait(30)
+        stopper = threading.Thread(target=server.stop)
+        stopper.start()
+        assert service.drain_started.wait(30)
+        # Mid-drain: the body still answers, but at the status level load
+        # balancers see "stop routing here".
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.healthz()
+        assert excinfo.value.status == 503
+        assert excinfo.value.payload["status"] == "draining"
+        assert excinfo.value.payload["draining"] is True
+        blocker.release.set()
+        request_thread.join(timeout=30)
+        stopper.join(timeout=30)
+
     def test_shutdown_endpoint_drains_and_stops_the_server(self, figure1_payload):
         service = SolveService(workers=1, default_timeout=30)
         server = ServiceServer(service, port=0).start()

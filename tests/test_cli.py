@@ -341,6 +341,65 @@ class TestServeAndSubmit:
         assert main(["submit", str(workflow_only), "--url", server.url]) == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_submit_async_prints_the_job_handle(self, problem_file, server, capsys):
+        assert main(["submit", problem_file, "--url", server.url,
+                     "--solver", "exact", "--async"]) == 0
+        handle = json.loads(capsys.readouterr().out)
+        assert handle["cells"] == 1
+        # The job is real and queryable on the server afterwards.
+        from repro.service import ServiceClient
+
+        final = ServiceClient(server.url, timeout=30).wait_job(
+            handle["job"], timeout=30, poll=0.02
+        )
+        assert final["state"] == "done" and final["completed"] == 1
+
+    def test_submit_watch_polls_to_completion(self, problem_file, server, capsys):
+        assert main(["submit", problem_file, "--url", server.url,
+                     "--solver", "exact", "--watch"]) == 0
+        output = capsys.readouterr()
+        final = json.loads(output.out)
+        assert final["state"] == "done"
+        assert final["records"][0]["cost"] == 3.0
+        assert "repro submit: job" in output.err  # the progress stream
+
+    def test_submit_watch_failed_cell_exits_nonzero(
+        self, problem_file, server, capsys
+    ):
+        assert main(["submit", problem_file, "--url", server.url,
+                     "--solver", "no-such-solver", "--watch"]) == 1
+        final = json.loads(capsys.readouterr().out)
+        assert final["failed"] == 1
+
+
+class TestServeFlagValidation:
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--workers", "0"],
+            ["--result-cache-size", "0"],
+            ["--result-cache-size", "many"],
+            ["--result-ttl", "0"],
+            ["--result-ttl", "-3"],
+            ["--job-ttl", "0"],
+            ["--max-jobs", "0"],
+            ["--store-max-bytes", "-1"],
+            ["--warmup", "-2"],
+            ["--maintenance-interval", "-1"],
+        ],
+    )
+    def test_nonsensical_values_are_usage_errors(self, flags, capsys):
+        assert main(["serve", *flags]) == 2
+        assert "error" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "flags",
+        [["--store-max-bytes", "1000"], ["--warmup", "3"]],
+    )
+    def test_store_maintenance_flags_require_a_store(self, flags, capsys):
+        assert main(["serve", *flags]) == 2
+        assert "requires --store" in capsys.readouterr().err
+
 
 class TestStoreMaintenance:
     @pytest.fixture
