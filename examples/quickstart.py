@@ -132,6 +132,17 @@ def main() -> None:
     finally:
         server.stop(drain_timeout=10)
 
+    # The thread pool above timeslices one core behind the GIL.  To use
+    # real cores for K *distinct* concurrent requests, dispatch leader
+    # computations onto the persistent process execution tier instead:
+    #
+    #     repro serve --exec processes --exec-workers 4 --store DIR
+    #
+    # (in code: ``SolveService(exec_mode="processes", exec_workers=4)``).
+    # Coalescing, caches and drain behave identically; `/metrics` gains
+    # an ``exec`` block (dispatched, busy, worker_restarts, merged worker
+    # cache deltas) — examples/service_demo.py runs one live.
+
     # 5. Verify the optimal view really is Γ-private, both through the
     #    engine's certificate and by the brute-force possible-worlds check.
     optimal = planner.solve(solver="exact", verify=True)

@@ -18,7 +18,17 @@ through the three serving effects the service exists for:
    handle immediately; the client polls ``GET /jobs/<id>`` for progress
    and partial records while the cells run in the background;
 4. **graceful shutdown** — ``POST /shutdown`` (or SIGTERM on ``repro
-   serve``) drains in-flight work before the process exits.
+   serve``) drains in-flight work before the process exits;
+5. **the process execution tier** — the same service with
+   ``exec_mode="processes"`` (``repro serve --exec processes
+   --exec-workers N``) dispatches leader computations onto long-lived
+   worker processes, so distinct concurrent requests use real cores
+   instead of timeslicing one behind the GIL.  ``/metrics`` gains an
+   ``exec`` block and merges the workers' cache deltas.
+
+Process mode spawns workers that re-import this module, so the
+``if __name__ == "__main__"`` guard at the bottom is load-bearing —
+exactly as with :mod:`concurrent.futures` process pools.
 """
 
 from __future__ import annotations
@@ -103,6 +113,39 @@ def main() -> None:
     print(f"\nshutdown: {client.shutdown()['status']}")
     server._thread.join(timeout=30)
     print(f"server thread alive: {server._thread.is_alive()} (drained and closed)")
+
+    # -- 5. the multi-core execution tier ------------------------------------
+    # `repro serve --exec processes --exec-workers 2` is the CLI spelling.
+    service = SolveService(workers=2, exec_mode="processes", exec_workers=2,
+                           default_timeout=120.0)
+    service.exec_tier.wait_ready(timeout=120)
+    server = ServiceServer(service, port=0).start()
+    try:
+        client = ServiceClient(server.url)
+        bodies = [payload, workflow_to_dict(edited)]
+        threads = [
+            threading.Thread(
+                target=client.solve,
+                kwargs={"workflow": body, "gamma": 2, "kind": "cardinality"},
+            )
+            for body in bodies
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        exec_metrics = client.metrics()["exec"]
+        print(
+            f"\nexecution tier: {len(bodies)} distinct concurrent requests on "
+            f"exec={exec_metrics['mode']}:{exec_metrics['workers']} -> "
+            f"{exec_metrics['dispatched']} dispatched, "
+            f"{exec_metrics['completed']} completed on "
+            f"{exec_metrics['alive']} live worker(s), healthy="
+            f"{exec_metrics['healthy']}"
+        )
+    finally:
+        print(f"shutdown: {client.shutdown()['status']}")
+        server._thread.join(timeout=30)
 
 
 if __name__ == "__main__":

@@ -340,6 +340,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if not args.store and args.warmup:
         print("error: --warmup requires --store (nothing to warm from)", file=sys.stderr)
         return 2
+    if args.exec_workers is not None and args.exec_mode != "processes":
+        print(
+            "error: --exec-workers requires --exec processes",
+            file=sys.stderr,
+        )
+        return 2
     service = SolveService(
         store=args.store or None,
         workers=args.workers,
@@ -351,6 +357,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         store_max_bytes=args.store_max_bytes,
         warmup=args.warmup,
         maintenance_interval=args.maintenance_interval or None,
+        exec_mode=args.exec_mode,
+        exec_workers=args.exec_workers,
     )
     try:
         server = ServiceServer(
@@ -380,9 +388,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     signal.signal(signal.SIGTERM, _graceful)
     signal.signal(signal.SIGINT, _graceful)
+    exec_note = (
+        f"exec=processes:{service.exec_tier.workers}"
+        if service.exec_tier is not None
+        else "exec=threads"
+    )
     print(
         f"repro serve: listening on {server.url} "
-        f"(workers={args.workers}, store={args.store or 'none'})",
+        f"(workers={args.workers}, {exec_note}, store={args.store or 'none'})",
         flush=True,
     )
     server.serve_forever()  # returns once a signal (or /shutdown) drains us
@@ -710,6 +723,26 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8080, help="0 picks a free port")
     serve.add_argument(
         "--workers", type=_arg_positive_int, default=4, help="solve worker threads"
+    )
+    serve.add_argument(
+        "--exec",
+        dest="exec_mode",
+        choices=("threads", "processes"),
+        default="threads",
+        help=(
+            "execution tier for leader computations: 'threads' (in-process, "
+            "GIL-bound) or 'processes' (persistent worker processes; K "
+            "distinct concurrent solves use K cores; default: threads)"
+        ),
+    )
+    serve.add_argument(
+        "--exec-workers",
+        type=_arg_positive_int,
+        default=None,
+        help=(
+            "worker processes for --exec processes (default: --workers); "
+            "each keeps a hot cache and its own store attachment"
+        ),
     )
     serve.add_argument(
         "--store",

@@ -55,9 +55,11 @@ __all__ = [
     "SweepInstance",
     "SweepReport",
     "SweepSpec",
+    "WorkerContext",
     "default_jobs",
     "run_sweep",
     "spec_from_grid",
+    "worker_context",
 ]
 
 #: Keys of a record that legitimately differ between runs and process
@@ -244,8 +246,17 @@ def spec_from_grid(grid: Mapping[str, Any], base_dir: str = ".") -> SweepSpec:
 # Worker side
 # ---------------------------------------------------------------------------
 
-class _WorkerContext:
-    """Per-process state: one cache (with store back tier), rebuilt instances."""
+class WorkerContext:
+    """Per-process state: one cache (with store back tier), rebuilt instances.
+
+    This is the worker bootstrap shared by every process-fanning surface:
+    the sweep executor's pool initializer builds one per worker, and the
+    service's execution tier (:mod:`repro.service.exec_tier`) attaches its
+    long-lived solve workers through the same class — one module-granular
+    :class:`~repro.engine.cache.DerivationCache`, optionally backed by a
+    per-process :class:`~repro.engine.store.DerivationStore` over a shared
+    directory, plus identity-preserving instance/planner memos.
+    """
 
     def __init__(
         self, store_path: str | None, store: DerivationStore | None = None
@@ -299,13 +310,34 @@ class _WorkerContext:
         return planner, fingerprint
 
 
-#: Worker-process singleton, created by the pool initializer.
-_CONTEXT: _WorkerContext | None = None
+#: Backwards-compatible alias (pre-refactor internal name).
+_WorkerContext = WorkerContext
+
+#: Worker-process singleton, created by the pool initializer (or lazily by
+#: :func:`worker_context`).
+_CONTEXT: WorkerContext | None = None
+
+
+def worker_context(store_path: str | None = None) -> WorkerContext:
+    """The process-wide :class:`WorkerContext`, created on first use.
+
+    Every process-fanning surface bootstraps through here so one worker
+    process holds exactly one cache/store attachment no matter how it was
+    spawned.  ``store_path`` only matters on the creating call; later calls
+    return the existing singleton unchanged.
+    """
+    global _CONTEXT
+    if _CONTEXT is None:
+        _CONTEXT = WorkerContext(store_path)
+    return _CONTEXT
 
 
 def _init_worker(store_path: str | None) -> None:
+    # Pool initializers always start from a fresh context: a recycled
+    # interpreter (e.g. fork reuse) must attach the *this* sweep's store.
     global _CONTEXT
-    _CONTEXT = _WorkerContext(store_path)
+    _CONTEXT = None
+    worker_context(store_path)
 
 
 def _error_record(cell: SweepCell, message: str, error_type: str) -> dict[str, Any]:
@@ -327,7 +359,7 @@ def _error_record(cell: SweepCell, message: str, error_type: str) -> dict[str, A
 
 
 def _run_chunk_in(
-    context: _WorkerContext, chunk: Mapping[str, Any]
+    context: WorkerContext, chunk: Mapping[str, Any]
 ) -> tuple[list[dict[str, Any]], dict[str, int]]:
     """Run one chunk of cells (one family's worth) and report stat deltas."""
     instances: Mapping[str, SweepInstance] = chunk["instances"]
@@ -425,10 +457,7 @@ def _run_chunk_in(
 
 
 def _run_chunk(chunk: Mapping[str, Any]) -> tuple[list[dict[str, Any]], dict[str, int]]:
-    global _CONTEXT
-    if _CONTEXT is None:  # pragma: no cover - initializer always runs first
-        _CONTEXT = _WorkerContext(chunk.get("store_path"))
-    return _run_chunk_in(_CONTEXT, chunk)
+    return _run_chunk_in(worker_context(chunk.get("store_path")), chunk)
 
 
 # ---------------------------------------------------------------------------
@@ -620,7 +649,7 @@ def run_sweep(
     if n_jobs == 1 or len(chunks) <= 1:
         # In-process: reuse a caller-passed store instance so its counters
         # reflect the run (worker processes always open their own).
-        context = _WorkerContext(store_path, store=store_instance)
+        context = WorkerContext(store_path, store=store_instance)
         for chunk in chunks:
             chunk_records, delta = _run_chunk_in(context, chunk)
             records.extend(chunk_records)

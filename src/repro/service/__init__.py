@@ -42,6 +42,7 @@ Components
 from .background import JobManager, MaintenanceScheduler, SweepJob
 from .client import ServiceClient, ServiceClientError
 from .coalescer import InFlight, RequestCoalescer
+from .exec_tier import ProcessExecTier, TierUnavailable
 from .jobs import (
     JOB_STATES,
     TERMINAL_JOB_STATES,
@@ -49,6 +50,7 @@ from .jobs import (
     ServiceError,
     ServiceTimeout,
     SolveJob,
+    WorkerError,
     parse_solve_payload,
 )
 from .server import ServiceServer
@@ -60,6 +62,7 @@ __all__ = [
     "JOB_STATES",
     "JobManager",
     "MaintenanceScheduler",
+    "ProcessExecTier",
     "RequestCoalescer",
     "ServiceClient",
     "ServiceClientError",
@@ -70,5 +73,7 @@ __all__ = [
     "SolveService",
     "SweepJob",
     "TERMINAL_JOB_STATES",
+    "TierUnavailable",
+    "WorkerError",
     "parse_solve_payload",
 ]

@@ -8,9 +8,12 @@ pool — so slow solves occupy pool slots, not the accept loop.
 Routes
 ------
 ``GET /healthz``
-    Liveness: ``{"status": "ok" | "draining", "draining": bool, ...}``.
-    Answers **503** once a drain has started (body still included), so
-    load balancers can stop routing before SIGTERM completes.
+    Liveness: ``{"status": "ok" | "draining" | "unhealthy", "draining":
+    bool, "healthy": bool, ...}``.  Answers **503** once a drain has
+    started, and likewise when the process execution tier's worker pool is
+    dead and unrecoverable (body still included either way), so load
+    balancers can stop routing before SIGTERM completes — or route away
+    from a degraded replica.
 ``GET /metrics``
     Request counts, in-flight gauge, coalescing counters, job and
     maintenance counters, and the shared cache's hit/miss delta since
@@ -140,9 +143,13 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             if self.path == "/healthz":
                 payload = self.service.healthz()
-                # 503 while draining: body still answers, but balancers
-                # and pollers see "stop routing here" at the status level.
-                self._respond(503 if payload["draining"] else 200, payload)
+                # 503 while draining or with a dead execution tier: body
+                # still answers, but balancers and pollers see "stop
+                # routing here" at the status level.
+                unavailable = payload["draining"] or not payload.get(
+                    "healthy", True
+                )
+                self._respond(503 if unavailable else 200, payload)
             elif self.path == "/metrics":
                 self._respond(200, self.service.metrics())
             elif self.path == "/jobs":
