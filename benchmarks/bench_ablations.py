@@ -147,7 +147,11 @@ def test_bench_privatization_value(benchmark, report_sink):
                 [
                     f"seed {seed}",
                     f"{with_privatization:.1f}",
-                    "inf" if without_privatization == float("inf") else f"{without_privatization:.1f}",
+                    (
+                        "inf"
+                        if without_privatization == float("inf")
+                        else f"{without_privatization:.1f}"
+                    ),
                     note,
                 ]
             )

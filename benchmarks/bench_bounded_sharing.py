@@ -62,7 +62,11 @@ def test_bench_vertex_cover_reduction(benchmark, report_sink):
                     ["secure-view optimum", f"|E| + K = {expected}", solution.cost()],
                     ["minimum vertex cover K", "-", vc_opt],
                     ["2-approx vertex cover", f"<= {2 * vc_opt}", greedy_cover],
-                    ["workflow data sharing γ", 1, problem.workflow.data_sharing_degree()],
+                    [
+                        "workflow data sharing γ",
+                        1,
+                        problem.workflow.data_sharing_degree(),
+                    ],
                 ],
             ),
         )

@@ -17,7 +17,12 @@ from repro.optim import (
     solve_exact_ip,
     solve_greedy,
 )
-from repro.reductions import exact_set_cover, greedy_set_cover, random_set_cover, set_cover_to_secure_view
+from repro.reductions import (
+    exact_set_cover,
+    greedy_set_cover,
+    random_set_cover,
+    set_cover_to_secure_view,
+)
 from repro.workloads import random_problem
 
 
@@ -39,8 +44,16 @@ def test_bench_lp_rounding(benchmark, n_modules, report_sink):
             format_table(
                 ["quantity", "paper", "measured"],
                 [
-                    ["guarantee", f"O(log n) = {16 * math.log(n_modules):.1f}x", f"{max(ratios):.2f}x worst of 5 seeds"],
-                    ["mean ratio", "close to 1 in practice", f"{statistics.fmean(ratios):.2f}x"],
+                    [
+                        "guarantee",
+                        f"O(log n) = {16 * math.log(n_modules):.1f}x",
+                        f"{max(ratios):.2f}x worst of 5 seeds",
+                    ],
+                    [
+                        "mean ratio",
+                        "close to 1 in practice",
+                        f"{statistics.fmean(ratios):.2f}x",
+                    ],
                     ["optimum cost", "-", f"{optimum:.2f}"],
                 ],
             ),
@@ -104,8 +117,16 @@ def test_bench_set_cover_reduction(benchmark, report_sink):
             format_table(
                 ["quantity", "paper", "measured"],
                 [
-                    ["secure-view optimum = set-cover optimum", cover_opt, solution.cost()],
-                    ["greedy set cover (ln n approx)", f"<= {cover_opt} * ln(10)", greedy_cover],
+                    [
+                        "secure-view optimum = set-cover optimum",
+                        cover_opt,
+                        solution.cost(),
+                    ],
+                    [
+                        "greedy set cover (ln n approx)",
+                        f"<= {cover_opt} * ln(10)",
+                        greedy_cover,
+                    ],
                 ],
             ),
         )
@@ -134,8 +155,16 @@ def test_bench_greedy_vs_rounding_unbounded_sharing(benchmark, report_sink):
                 ["method", "cost", "ratio to optimum"],
                 [
                     ["exact IP", f"{optimum:.2f}", "1.00"],
-                    ["LP rounding (best of 3)", f"{rounding_cost:.2f}", f"{rounding_cost / optimum:.2f}"],
-                    ["greedy / union of standalone optima", f"{greedy_cost:.2f}", f"{greedy_cost / optimum:.2f}"],
+                    [
+                        "LP rounding (best of 3)",
+                        f"{rounding_cost:.2f}",
+                        f"{rounding_cost / optimum:.2f}",
+                    ],
+                    [
+                        "greedy / union of standalone optima",
+                        f"{greedy_cost:.2f}",
+                        f"{greedy_cost / optimum:.2f}",
+                    ],
                 ],
             ),
         )

@@ -33,7 +33,9 @@ def _cold_sweep(workflow, gamma):
     """The pre-engine pattern: each solver call derives requirements itself."""
     costs = []
     for solver in SWEEP_SOLVERS:
-        problem = SecureViewProblem.from_standalone_analysis(workflow, gamma, kind="set")
+        problem = SecureViewProblem.from_standalone_analysis(
+            workflow, gamma, kind="set"
+        )
         costs.append(problem.solve(method=solver).cost())
     return costs
 
@@ -72,7 +74,11 @@ def test_bench_shared_derivation_sweep(benchmark, report_sink):
             format_table(
                 ["pattern", "derivations", "seconds"],
                 [
-                    ["per-solver (pre-engine)", len(SWEEP_SOLVERS), f"{cold_seconds:.3f}"],
+                    [
+                        "per-solver (pre-engine)",
+                        len(SWEEP_SOLVERS),
+                        f"{cold_seconds:.3f}",
+                    ],
                     ["shared Planner", 1, f"{shared_seconds:.3f}"],
                 ],
             ),

@@ -87,7 +87,11 @@ def test_bench_general_lp(benchmark, n_modules, report_sink):
                 ["quantity", "paper", "measured"],
                 [
                     ["ratio to optimum", f"<= l_max = {problem.lmax}", f"{ratio:.2f}"],
-                    ["privatized public modules", "-", len(solution.privatized_modules)],
+                    [
+                        "privatized public modules",
+                        "-",
+                        len(solution.privatized_modules),
+                    ],
                 ],
             ),
         )
@@ -109,8 +113,16 @@ def test_bench_figure6_reduction(benchmark, report_sink):
             format_table(
                 ["quantity", "paper", "measured"],
                 [
-                    ["secure-view optimum = label-cover optimum", label_opt, solution.cost()],
-                    ["cost carried by privatization only", True, solution.cost() == len(solution.privatized_modules)],
+                    [
+                        "secure-view optimum = label-cover optimum",
+                        label_opt,
+                        solution.cost(),
+                    ],
+                    [
+                        "cost carried by privatization only",
+                        True,
+                        solution.cost() == len(solution.privatized_modules),
+                    ],
                 ],
             ),
         )
@@ -132,7 +144,11 @@ def test_bench_theorem9_reduction(benchmark, report_sink):
             format_table(
                 ["quantity", "paper", "measured"],
                 [
-                    ["secure-view optimum = set-cover optimum", cover_opt, solution.cost()],
+                    [
+                        "secure-view optimum = set-cover optimum",
+                        cover_opt,
+                        solution.cost(),
+                    ],
                     ["data sharing γ", 1, problem.workflow.data_sharing_degree()],
                 ],
             ),

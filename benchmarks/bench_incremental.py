@@ -69,7 +69,9 @@ def build_family(tiny: bool, n_edits: int) -> tuple[list[Workflow], list[str]]:
     for step in range(1, n_edits + 1):
         slot = (step - 1) % N_MODULES
         name = f"m{slot}"
-        modules[slot] = random_total_module(1000 * step + slot, *shape, name, f"s{slot}_")
+        modules[slot] = random_total_module(
+            1000 * step + slot, *shape, name, f"s{slot}_"
+        )
         family.append(Workflow(list(modules), name=f"family-edit{step}"))
         edited.append(name)
     return family, edited

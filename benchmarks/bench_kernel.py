@@ -15,6 +15,13 @@ requirement-derivation hot path and records it in ``BENCH_kernel.json``:
 * **verification** — workflow out-set enumeration on a small chain,
   reported for context (wall-clock only; the packed DFS prunes dead worlds
   early but the instance is tiny, so no floor is asserted).
+* **batched** — the PR 8 mask-sweep kernel: the full ``2^k`` visible-mask
+  privacy-level sweep (the requirement-derivation primitive) evaluated via
+  ``privacy_levels_batch`` vs one scalar relation pass per mask, on a
+  relation big enough for the vectorized path (``>= NUMPY_MIN_ROWS`` rows).
+  The batched path must be at least :data:`SPEEDUP_FLOOR` times faster and
+  must pay O(batches) relation passes instead of O(masks) (both asserted),
+  with byte-identical privacy levels.
 
 Run standalone (used by the CI smoke step) with::
 
@@ -29,8 +36,11 @@ import time
 from pathlib import Path
 
 from repro.core import Workflow, workflow_out_sets
-from repro.core.requirements import derive_workflow_requirements
-from repro.kernel import clear_compile_cache
+from repro.core.requirements import (
+    derive_module_requirement,
+    derive_workflow_requirements,
+)
+from repro.kernel import CompiledModule, clear_compile_cache, sweep_batching
 from repro.workloads import figure1_workflow, random_total_module
 
 RECORD_PATH = Path(__file__).resolve().parents[1] / "BENCH_kernel.json"
@@ -108,6 +118,73 @@ def measure_derivation(tiny: bool = False, gamma: int = 2) -> dict:
     return results
 
 
+def measure_batched_sweep(tiny: bool = False, gamma: int = 2) -> dict:
+    """Batched vs scalar mask-sweep on a numpy-eligible relation.
+
+    The measured unit is the full ``2^k`` visible-mask privacy-level sweep —
+    exactly the candidate space a requirement derivation probes — plus the
+    requirement derivation itself, both on a fresh compile per repeat so the
+    shared level memo never hides the relation passes.  Asserts byte-equal
+    levels and the O(masks) -> O(batches) relation-pass drop.
+    """
+    n_inputs, n_outputs = (8, 1) if tiny else (9, 2)
+    module = random_total_module(29, n_inputs, n_outputs, "mb", "bb_")
+    rows = 2**n_inputs
+    n_masks = 2 ** (n_inputs + n_outputs)
+    masks = list(range(n_masks))
+    levels: dict[str, list[int]] = {}
+    stats: dict[str, dict] = {}
+
+    def sweep(batched: bool):
+        def go():
+            compiled = CompiledModule(module)
+            with sweep_batching(batched):
+                key = "batched" if batched else "scalar"
+                levels[key] = compiled.privacy_levels_batch(masks)
+                stats[key] = dict(compiled.sweep_stats)
+
+        return go
+
+    scalar_seconds = _best_of(sweep(False))
+    batched_seconds = _best_of(sweep(True))
+    assert levels["batched"] == levels["scalar"], (
+        "batched and scalar sweeps disagree on privacy levels"
+    )
+    scalar_passes = stats["scalar"]["scalar_masks"]
+    batched_passes = stats["batched"]["batched_passes"]
+    assert scalar_passes == n_masks, stats
+    assert stats["batched"]["batched_masks"] == n_masks, stats
+    assert batched_passes * 8 <= n_masks, (
+        f"batched sweep paid {batched_passes} relation passes for "
+        f"{n_masks} masks; expected O(batches), not O(masks)"
+    )
+
+    def derive(batched: bool):
+        def go():
+            clear_compile_cache()
+            with sweep_batching(batched):
+                for kind in ("set", "cardinality"):
+                    derive_module_requirement(module, gamma, kind=kind)
+
+        return go
+
+    derivation_scalar = _best_of(derive(False))
+    derivation_batched = _best_of(derive(True))
+    return {
+        "rows": rows,
+        "masks": n_masks,
+        "gamma": gamma,
+        "scalar_seconds": scalar_seconds,
+        "batched_seconds": batched_seconds,
+        "speedup": scalar_seconds / batched_seconds,
+        "scalar_passes": scalar_passes,
+        "batched_passes": batched_passes,
+        "derivation_scalar_seconds": derivation_scalar,
+        "derivation_batched_seconds": derivation_batched,
+        "derivation_speedup": derivation_scalar / derivation_batched,
+    }
+
+
 def measure_verification() -> dict:
     """Kernel vs reference out-set enumeration on the Figure-1 workflow."""
     workflow = figure1_workflow()
@@ -151,6 +228,7 @@ def run_benchmark(tiny: bool = False) -> dict:
         "speedup_floor": SPEEDUP_FLOOR,
         "derivation": measure_derivation(tiny=tiny),
         "verification": measure_verification(),
+        "batched": measure_batched_sweep(tiny=tiny),
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
     }
     write_record(record)
@@ -194,6 +272,15 @@ if pytest is not None:
                 f"{verification['speedup']:.1f}x",
             ]
         )
+        batched = record["batched"]
+        rows.append(
+            [
+                f"batched sweep ({batched['masks']} masks)",
+                f"{batched['scalar_seconds'] * 1e3:.1f}",
+                f"{batched['batched_seconds'] * 1e3:.1f}",
+                f"{batched['speedup']:.1f}x",
+            ]
+        )
         report_sink.append(
             (
                 "Kernel: bit-compiled backend vs brute-force reference "
@@ -209,6 +296,10 @@ if pytest is not None:
                 f"{record['derivation'][kind]['speedup']:.2f}x is below the "
                 f"{SPEEDUP_FLOOR}x floor"
             )
+        assert batched["speedup"] >= SPEEDUP_FLOOR, (
+            f"batched mask-sweep speedup {batched['speedup']:.2f}x is below "
+            f"the {SPEEDUP_FLOOR}x floor"
+        )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -228,12 +319,23 @@ def main(argv: list[str] | None = None) -> int:
         f"kernel {verification['kernel_seconds']:.4f}s "
         f"({verification['speedup']:.1f}x)"
     )
+    batched = record["batched"]
+    print(
+        f"batched sweep: scalar {batched['scalar_seconds']:.4f}s, "
+        f"batched {batched['batched_seconds']:.4f}s "
+        f"({batched['speedup']:.1f}x; {batched['scalar_passes']} -> "
+        f"{batched['batched_passes']} relation passes; "
+        f"derivation {batched['derivation_speedup']:.1f}x)"
+    )
     print(f"record written to {RECORD_PATH}")
     if not tiny:
         for kind in ("set", "cardinality"):
             if record["derivation"][kind]["speedup"] < SPEEDUP_FLOOR:
                 print(f"FAIL: {kind} derivation below {SPEEDUP_FLOOR}x floor")
                 return 1
+        if batched["speedup"] < SPEEDUP_FLOOR:
+            print(f"FAIL: batched mask-sweep below {SPEEDUP_FLOOR}x floor")
+            return 1
     return 0
 
 

@@ -24,7 +24,9 @@ from repro.reductions import (
 @pytest.mark.parametrize("universe", [16, 64, 256])
 def test_bench_disjointness_scan(benchmark, universe, report_sink):
     """Deciding Safe-View on disjoint instances reads the whole relation (Ω(N))."""
-    instance = random_disjointness_instance(universe, force_disjoint=True, seed=universe)
+    instance = random_disjointness_instance(
+        universe, force_disjoint=True, seed=universe
+    )
 
     def scan():
         supplier = CountingDataSupplier(instance)
@@ -86,7 +88,10 @@ def test_bench_unsat_equivalence(benchmark, n_variables, report_sink):
         # Add one certainly-unsatisfiable formula (both polarities of x1)
         # so the benchmark exercises the "view is safe" branch as well.
         formulas.append(
-            CNFFormula(n_variables, ((1,), (-1,)) + tuple((i,) for i in range(2, n_variables + 1)))
+            CNFFormula(
+                n_variables,
+                ((1,), (-1,)) + tuple((i,) for i in range(2, n_variables + 1)),
+            )
         )
         for formula in formulas:
             safe = unsat_safe_view_decision(formula)
@@ -104,7 +109,11 @@ def test_bench_unsat_equivalence(benchmark, n_variables, report_sink):
             format_table(
                 ["quantity", "paper", "measured"],
                 [
-                    ["safe-view answer = UNSAT", f"{total}/{total}", f"{agreements}/{total}"],
+                    [
+                        "safe-view answer = UNSAT",
+                        f"{total}/{total}",
+                        f"{agreements}/{total}",
+                    ],
                     ["unsatisfiable formulas in the sample", ">= 1", unsat_count],
                 ],
             ),
@@ -140,17 +149,37 @@ def test_bench_oracle_adversary_game(benchmark, ell, report_sink):
             format_table(
                 ["quantity", "paper", "measured"],
                 [
-                    ["total candidate special sets", f"C(ℓ, ℓ/2) = {oracle.total_candidates}", oracle.total_candidates],
-                    ["candidates killed per query", f"<= C(3ℓ/4, ℓ/4) = {oracle.max_eliminated_per_query()}", "-"],
+                    [
+                        "total candidate special sets",
+                        f"C(ℓ, ℓ/2) = {oracle.total_candidates}",
+                        oracle.total_candidates,
+                    ],
+                    [
+                        "candidates killed per query",
+                        f"<= C(3ℓ/4, ℓ/4) = {oracle.max_eliminated_per_query()}",
+                        "-",
+                    ],
                     ["queries issued", "-", oracle.calls],
                     [
                         "candidates still consistent",
                         "positive unless >= (4/3)^(ℓ/2) queries were spent",
                         surviving,
                     ],
-                    ["query lower bound (4/3)^(ℓ/2)", f"{oracle.query_lower_bound():.1f}", "-"],
-                    ["m1 optimal hidden cost", f"3ℓ/4 + 1 = {oracle.m1_optimal_cost():.0f}", "-"],
-                    ["m2 optimal hidden cost", f"ℓ/2 = {oracle.m2_optimal_cost():.0f}", "-"],
+                    [
+                        "query lower bound (4/3)^(ℓ/2)",
+                        f"{oracle.query_lower_bound():.1f}",
+                        "-",
+                    ],
+                    [
+                        "m1 optimal hidden cost",
+                        f"3ℓ/4 + 1 = {oracle.m1_optimal_cost():.0f}",
+                        "-",
+                    ],
+                    [
+                        "m2 optimal hidden cost",
+                        f"ℓ/2 = {oracle.m2_optimal_cost():.0f}",
+                        "-",
+                    ],
                 ],
             ),
         )

@@ -32,7 +32,11 @@ def test_bench_one_one_list_sizes(benchmark, k, report_sink):
                         f"Ω(C(2k,k)) = Ω({math.comb(2 * k, k)}))",
                         len(set_list),
                     ],
-                    ["cardinality constraints", "2 (i.e. (k,0) and (0,k))", len(card_list)],
+                    [
+                        "cardinality constraints",
+                        "2 (i.e. (k,0) and (0,k))",
+                        len(card_list),
+                    ],
                 ],
             ),
         )
@@ -59,7 +63,11 @@ def test_bench_majority_list_sizes(benchmark, report_sink):
                 ["encoding", "paper expectation", "measured"],
                 [
                     ["cardinality pairs", "{(k+1,0), (0,1)}", sorted(pairs)],
-                    ["set list length", f">= C(2k,k+1) = {math.comb(2 * k, k + 1)}", len(set_list)],
+                    [
+                        "set list length",
+                        f">= C(2k,k+1) = {math.comb(2 * k, k + 1)}",
+                        len(set_list),
+                    ],
                 ],
             ),
         )

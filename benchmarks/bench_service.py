@@ -95,7 +95,9 @@ def _derivation_heavy_workflow(tiny: bool, reroll: int | None = None) -> Workflo
     ]
     if reroll is not None:
         slot = reroll % n_modules
-        modules[slot] = random_total_module(9000 + reroll, *shape, f"m{slot}", f"s{slot}_")
+        modules[slot] = random_total_module(
+            9000 + reroll, *shape, f"m{slot}", f"s{slot}_"
+        )
     name = "service-bench" if reroll is None else f"service-bench-edit{reroll}"
     return Workflow(modules, name=name)
 

@@ -57,7 +57,11 @@ def test_bench_label_cover_reduction(benchmark, report_sink):
             format_table(
                 ["quantity", "paper", "measured"],
                 [
-                    ["secure-view optimum = label-cover optimum", label_opt, solution.cost()],
+                    [
+                        "secure-view optimum = label-cover optimum",
+                        label_opt,
+                        solution.cost(),
+                    ],
                     ["greedy label cover (upper bound)", f">= {label_opt}", heuristic],
                     ["l_max of the instance", "<= |L|^2", problem.lmax],
                 ],

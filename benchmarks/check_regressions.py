@@ -63,6 +63,9 @@ GATES: dict[str, tuple[str, str, dict[str, float | str]]] = {
             "derivation.set.speedup": 2.0,
             "derivation.cardinality.speedup": 2.0,
             "verification.speedup": 2.0,
+            # PR 8 batched mask-sweep vs one scalar relation pass per mask;
+            # healthy tiny runs measure ~4x, a lost batch path ~1x.
+            "batched.speedup": 2.0,
         },
     ),
     "sweep": (

@@ -37,11 +37,21 @@ from repro.workloads import make_attributes
 
 def build_pipeline() -> Workflow:
     """A five-module genomics-flavoured workflow over boolean flags."""
-    sample, reference = make_attributes(["sample", "reference"], {"sample": 2.0, "reference": 1.0})
-    reads, quality = make_attributes(["reads", "quality"], {"reads": 3.0, "quality": 1.0})
-    aligned, coverage = make_attributes(["aligned", "coverage"], {"aligned": 4.0, "coverage": 2.0})
-    variant_a, variant_b = make_attributes(["variant_a", "variant_b"], {"variant_a": 5.0, "variant_b": 5.0})
-    risk, confidence = make_attributes(["risk", "confidence"], {"risk": 6.0, "confidence": 2.0})
+    sample, reference = make_attributes(
+        ["sample", "reference"], {"sample": 2.0, "reference": 1.0}
+    )
+    reads, quality = make_attributes(
+        ["reads", "quality"], {"reads": 3.0, "quality": 1.0}
+    )
+    aligned, coverage = make_attributes(
+        ["aligned", "coverage"], {"aligned": 4.0, "coverage": 2.0}
+    )
+    variant_a, variant_b = make_attributes(
+        ["variant_a", "variant_b"], {"variant_a": 5.0, "variant_b": 5.0}
+    )
+    risk, confidence = make_attributes(
+        ["risk", "confidence"], {"risk": 6.0, "confidence": 2.0}
+    )
     summary, = make_attributes(["summary"], {"summary": 1.0})
 
     staging = Module(
@@ -56,7 +66,10 @@ def build_pipeline() -> Workflow:
         "alignment",
         [reads, quality],
         [aligned, coverage],
-        lambda x: {"aligned": x["reads"] & x["quality"], "coverage": x["reads"] ^ x["quality"]},
+        lambda x: {
+            "aligned": x["reads"] & x["quality"],
+            "coverage": x["reads"] ^ x["quality"],
+        },
         private=False,
         privatization_cost=3.0,
     )

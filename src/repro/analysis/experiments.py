@@ -229,7 +229,11 @@ def _compare_in_process(
             optimum = exact_run.cost
             exact_record = solution_summary(problem, exact_run.solution, optimum)
         else:
-            exact_record = {"method": "exact", "cost": float("inf"), "error": exact_run.error}
+            exact_record = {
+                "method": "exact",
+                "cost": float("inf"),
+                "error": exact_run.error,
+            }
         exact_record["seconds"] = exact_run.seconds
         records.append(exact_record)
 

@@ -82,7 +82,9 @@ class Report:
         rows: Iterable[Sequence[object]],
         precision: int = 3,
     ) -> None:
-        self._sections.append(format_table(headers, rows, caption=caption, precision=precision))
+        self._sections.append(
+            format_table(headers, rows, caption=caption, precision=precision)
+        )
 
     def add_records(
         self,
@@ -92,7 +94,9 @@ class Report:
         precision: int = 3,
     ) -> None:
         self._sections.append(
-            format_records(records, columns=columns, caption=caption, precision=precision)
+            format_records(
+                records, columns=columns, caption=caption, precision=precision
+            )
         )
 
     def add_text(self, text: str) -> None:

@@ -79,8 +79,11 @@ def _cmd_info(args: argparse.Namespace) -> int:
     problem = load_problem(args.problem)
     workflow = problem.workflow
     print(f"workflow          : {workflow.name}")
-    print(f"modules           : {len(workflow)} "
-          f"({len(workflow.private_modules)} private, {len(workflow.public_modules)} public)")
+    print(
+        f"modules           : {len(workflow)} "
+        f"({len(workflow.private_modules)} private, "
+        f"{len(workflow.public_modules)} public)"
+    )
     print(f"attributes        : {len(workflow.attribute_names)}")
     print(f"data sharing γ    : {workflow.data_sharing_degree()}")
     print(f"privacy target Γ  : {problem.gamma}")
@@ -204,7 +207,9 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     if args.shape == "scientific":
         problem = scientific_problem(
             ScientificWorkflowConfig(
-                n_modules=args.modules, seed=args.seed, public_fraction=args.public_fraction
+                n_modules=args.modules,
+                seed=args.seed,
+                public_fraction=args.public_fraction,
             ),
             kind=args.kind,
             gamma=args.gamma,
@@ -338,7 +343,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("error: --store-max-bytes requires --store", file=sys.stderr)
         return 2
     if not args.store and args.warmup:
-        print("error: --warmup requires --store (nothing to warm from)", file=sys.stderr)
+        print(
+            "error: --warmup requires --store (nothing to warm from)", file=sys.stderr
+        )
         return 2
     if args.exec_workers is not None and args.exec_mode != "processes":
         print(
@@ -620,9 +627,13 @@ def build_parser() -> argparse.ArgumentParser:
     generate = sub.add_parser("generate", help="generate a synthetic problem file")
     generate.add_argument("output")
     generate.add_argument("--modules", type=int, default=12)
-    generate.add_argument("--kind", default="cardinality", choices=["cardinality", "set"])
     generate.add_argument(
-        "--shape", default="random", choices=["random", "chain", "layered", "scientific"]
+        "--kind", default="cardinality", choices=["cardinality", "set"]
+    )
+    generate.add_argument(
+        "--shape",
+        default="random",
+        choices=["random", "chain", "layered", "scientific"],
     )
     generate.add_argument("--gamma", type=int, default=2)
     generate.add_argument("--seed", type=int, default=0)

@@ -8,7 +8,14 @@ requirement lists, the composition theorems, and the workflow Secure-View
 problem definition.
 """
 
-from .attributes import BOOLEAN, Attribute, Domain, Schema, boolean_attributes, integer_domain
+from .attributes import (
+    BOOLEAN,
+    Attribute,
+    Domain,
+    Schema,
+    boolean_attributes,
+    integer_domain,
+)
 from .composition import (
     assemble_all_private_solution,
     assemble_general_solution,
@@ -18,7 +25,12 @@ from .composition import (
     lemma2_witness,
     privatization_closure,
 )
-from .attack import AttackReport, InputExposure, candidate_outputs, reconstruction_attack
+from .attack import (
+    AttackReport,
+    InputExposure,
+    candidate_outputs,
+    reconstruction_attack,
+)
 from .costs import (
     attribute_cost_map,
     privatization_cost_map,

@@ -28,7 +28,12 @@ from .possible_worlds import workflow_out_sets
 from .relation import Relation
 from .workflow import Workflow
 
-__all__ = ["InputExposure", "AttackReport", "candidate_outputs", "reconstruction_attack"]
+__all__ = [
+    "InputExposure",
+    "AttackReport",
+    "candidate_outputs",
+    "reconstruction_attack",
+]
 
 
 @dataclass(frozen=True)

@@ -23,7 +23,9 @@ __all__ = [
 ]
 
 
-def uniform_attribute_costs(names: Iterable[str], cost: float = 1.0) -> dict[str, float]:
+def uniform_attribute_costs(
+    names: Iterable[str], cost: float = 1.0
+) -> dict[str, float]:
     """Assign the same hiding cost to every attribute name."""
     if cost < 0:
         raise SchemaError("costs must be non-negative")

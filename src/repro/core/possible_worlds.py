@@ -54,7 +54,9 @@ DEFAULT_WORK_LIMIT = 2_000_000
 # Standalone worlds (Definition 1)
 # ---------------------------------------------------------------------------
 
-def _visible_parts(module: Module, visible: Iterable[str]) -> tuple[list[str], list[str], list[str], list[str]]:
+def _visible_parts(
+    module: Module, visible: Iterable[str]
+) -> tuple[list[str], list[str], list[str], list[str]]:
     vis = set(visible)
     vin = [name for name in module.input_names if name in vis]
     vout = [name for name in module.output_names if name in vis]

@@ -290,7 +290,9 @@ class Relation:
         }
 
     # -- functional dependencies ----------------------------------------------
-    def satisfies_fd(self, determinant: Iterable[str], dependent: Iterable[str]) -> bool:
+    def satisfies_fd(
+        self, determinant: Iterable[str], dependent: Iterable[str]
+    ) -> bool:
         """Check the functional dependency ``determinant -> dependent``."""
         det = self._schema.project_order(determinant)
         dep = self._schema.project_order(dependent)
@@ -317,7 +319,11 @@ class Relation:
         names = self._schema.names
         rows = self._rows if max_rows is None else self._rows[:max_rows]
         widths = [
-            max(len(str(name)), *(len(str(tup[i])) for tup in rows)) if rows else len(str(name))
+            (
+                max(len(str(name)), *(len(str(tup[i])) for tup in rows))
+                if rows
+                else len(str(name))
+            )
             for i, name in enumerate(names)
         ]
         header = "  ".join(str(name).ljust(w) for name, w in zip(names, widths))

@@ -15,7 +15,10 @@ Both are represented here, together with satisfaction checks against a
 candidate hidden set, non-redundancy normalization, and derivation from
 standalone privacy analysis (:mod:`repro.core.standalone`), which is how the
 composition theorems (Theorems 4 and 8) turn standalone guarantees into
-workflow requirement lists.
+workflow requirement lists.  On the kernel backend both derivations ride
+the batched mask sweep — candidate subsets are levelled in vectorized
+passes over the packed relation, and cardinality lists additionally probe
+only the monotone (α, β) safety frontier.
 """
 
 from __future__ import annotations
@@ -123,7 +126,9 @@ class SetRequirementList:
     def normalized(self) -> "SetRequirementList":
         """Remove options dominated by (i.e. supersets of) other options."""
         kept: list[SetRequirement] = []
-        for option in sorted(self.options, key=lambda o: (len(o.attributes), sorted(o.attributes))):
+        for option in sorted(
+            self.options, key=lambda o: (len(o.attributes), sorted(o.attributes))
+        ):
             if not any(existing.dominates(option) for existing in kept):
                 kept.append(option)
         return SetRequirementList(self.module_name, kept)

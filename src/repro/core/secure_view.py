@@ -88,7 +88,9 @@ class SecureViewProblem:
         else:
             unknown = set(self.hidable_attributes) - set(self.workflow.attribute_names)
             if unknown:
-                raise RequirementError(f"unknown hidable attributes {sorted(unknown)!r}")
+                raise RequirementError(
+                    f"unknown hidable attributes {sorted(unknown)!r}"
+                )
             self.hidable_attributes = frozenset(self.hidable_attributes)
 
     # -- constructors -----------------------------------------------------------
@@ -149,7 +151,9 @@ class SecureViewProblem:
         if isinstance(requirement, SetRequirementList):
             return requirement.satisfied_by(hidden_set)
         if isinstance(requirement, CardinalityRequirementList):
-            return requirement.satisfied_by(hidden_set, self.workflow.module(module_name))
+            return requirement.satisfied_by(
+                hidden_set, self.workflow.module(module_name)
+            )
         raise RequirementError(f"unsupported requirement type {type(requirement)!r}")
 
     def required_privatizations(self, hidden: Iterable[str]) -> frozenset[str]:
@@ -182,7 +186,9 @@ class SecureViewProblem:
 
     def validate_solution(self, solution: SecureViewSolution) -> None:
         """Raise :class:`RequirementError` if the solution is infeasible."""
-        if not self.is_feasible(solution.hidden_attributes, solution.privatized_modules):
+        if not self.is_feasible(
+            solution.hidden_attributes, solution.privatized_modules
+        ):
             raise RequirementError("solution does not satisfy the Secure-View instance")
 
     def solution_cost(

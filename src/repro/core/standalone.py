@@ -15,6 +15,11 @@ the matching upper bounds of Section 3.2:
 * :func:`enumerate_safe_hidden_subsets` / :func:`minimal_safe_hidden_subsets`
   — the "output all safe attribute sets" variant mentioned at the end of
   Section 3.2, which Sections 4–5 reuse as requirement lists.
+
+With ``backend="kernel"`` (the default) the safe-subset sweeps behind
+these entry points are batched: the compiled kernel evaluates many
+candidate masks per vectorized pass over the packed relation instead of
+one subset at a time (see :mod:`repro.kernel.module_kernel`).
 """
 
 from __future__ import annotations

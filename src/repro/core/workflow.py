@@ -166,7 +166,9 @@ class Workflow:
         """
         unknown = set(costs) - set(self._schema.names)
         if unknown:
-            raise SchemaError(f"unknown attributes in cost override {sorted(unknown)!r}")
+            raise SchemaError(
+                f"unknown attributes in cost override {sorted(unknown)!r}"
+            )
         clone = Workflow(
             (module.with_attribute_costs(costs) for module in self.modules),
             name=self.name,
@@ -232,7 +234,9 @@ class Workflow:
         """True iff the workflow has γ-bounded data sharing."""
         return self.data_sharing_degree() <= gamma
 
-    def functional_dependencies(self) -> tuple[tuple[tuple[str, ...], tuple[str, ...]], ...]:
+    def functional_dependencies(
+        self,
+    ) -> tuple[tuple[tuple[str, ...], tuple[str, ...]], ...]:
         """The FD set ``F = {I_i -> O_i}`` as (determinant, dependent) pairs."""
         return tuple(
             (module.input_names, module.output_names) for module in self.modules

@@ -128,6 +128,13 @@ class CacheStats:
     #: from the shared module tier (memory or store) vs actually derived.
     reused_modules: int = 0
     rederived_modules: int = 0
+    #: Batched-sweep accounting for kernel derivations that ran through this
+    #: cache: candidate masks resolved by vectorized multi-mask passes vs by
+    #: per-mask scalar passes, and how many vectorized passes over a packed
+    #: relation were paid in total (the O(masks) -> O(batches) win).
+    batched_masks: int = 0
+    batched_passes: int = 0
+    scalar_masks: int = 0
 
     @property
     def hits(self) -> int:
@@ -161,6 +168,9 @@ class CacheStats:
             "store_misses": self.store_misses,
             "reused_modules": self.reused_modules,
             "rederived_modules": self.rederived_modules,
+            "batched_masks": self.batched_masks,
+            "batched_passes": self.batched_passes,
+            "scalar_masks": self.scalar_masks,
         }
 
     def delta(self, earlier: "CacheStats") -> "CacheStats":
@@ -223,6 +233,9 @@ class DerivationCache:
     store_misses: int = 0
     reused_modules: int = 0
     rederived_modules: int = 0
+    batched_masks: int = 0
+    batched_passes: int = 0
+    scalar_masks: int = 0
 
     def _evict_pin(self, key: int) -> None:
         """Drop one pinned workflow and every id-keyed entry it anchors."""
@@ -400,9 +413,13 @@ class DerivationCache:
         self.rederived_modules += 1
         if backend == KERNEL:
             compiled = self.compiled_module(module)
+            sweep_before = dict(compiled.sweep_stats)
             derived = derive_module_requirement(
                 module, gamma, kind=kind, compiled=compiled
             )
+            for counter, value in compiled.sweep_stats.items():
+                delta = value - sweep_before[counter]
+                setattr(self, counter, getattr(self, counter) + delta)
             if self.store is not None:
                 # Export the pack *after* the sweep so the privacy-level
                 # memos it populated ride along for future Γ/kind sweeps.
@@ -607,6 +624,9 @@ class DerivationCache:
             store_misses=self.store_misses,
             reused_modules=self.reused_modules,
             rederived_modules=self.rederived_modules,
+            batched_masks=self.batched_masks,
+            batched_passes=self.batched_passes,
+            scalar_masks=self.scalar_masks,
         )
 
     @_locked
@@ -634,3 +654,4 @@ class DerivationCache:
         self.compile_hits = self.compile_misses = 0
         self.store_hits = self.store_misses = 0
         self.reused_modules = self.rederived_modules = 0
+        self.batched_masks = self.batched_passes = self.scalar_masks = 0

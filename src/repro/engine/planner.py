@@ -108,7 +108,9 @@ class Planner:
         self.registry = registry if registry is not None else default_registry()
         if requirements is not None:
             first = next(iter(requirements.values()))
-            self.kind = "set" if isinstance(first, SetRequirementList) else "cardinality"
+            self.kind = (
+                "set" if isinstance(first, SetRequirementList) else "cardinality"
+            )
             self.cache.seed_requirements(workflow, gamma, self.kind, requirements)
         self._problems: dict[object, SecureViewProblem] = {}
         self._workflows: dict[object, Workflow] = {None: workflow}

@@ -113,7 +113,9 @@ class SolverSpec:
             "randomized": self.randomized,
             "exact": self.exact,
             "baseline": self.baseline,
-            "guarantee": self.guarantee if not callable(self.guarantee) else "instance-dependent",
+            "guarantee": (
+                "instance-dependent" if callable(self.guarantee) else self.guarantee
+            ),
             "summary": self.summary,
         }
 

@@ -30,8 +30,14 @@ from .backend import (
     resolve_backend,
     set_default_backend,
 )
-from .module_kernel import CompiledModule
-from .packing import HAVE_NUMPY, BitLayout, PackedRelation
+from .module_kernel import CompiledModule, batching_enabled, sweep_batching
+from .packing import (
+    BATCH_MEMORY_BUDGET,
+    BATCH_MIN_MASKS,
+    HAVE_NUMPY,
+    BitLayout,
+    PackedRelation,
+)
 from .workflow_kernel import CompiledWorkflow
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -44,10 +50,14 @@ __all__ = [
     "REFERENCE",
     "VALID_BACKENDS",
     "HAVE_NUMPY",
+    "BATCH_MEMORY_BUDGET",
+    "BATCH_MIN_MASKS",
     "BitLayout",
     "PackedRelation",
     "CompiledModule",
     "CompiledWorkflow",
+    "batching_enabled",
+    "sweep_batching",
     "compile_module",
     "compile_workflow",
     "clear_compile_cache",

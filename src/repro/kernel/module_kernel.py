@@ -20,12 +20,26 @@ a subset sweep (requirement derivation probes up to ``2^k`` hidden sets)
 evaluates each distinct visible mask once, and safety monotonicity
 (Proposition 1) prunes every superset of an already-found minimal safe set
 without touching the relation at all.
+
+Since PR 8 the sweep itself is **batched**: instead of one ``np.unique``
+pass over the packed rows per candidate mask,
+:meth:`CompiledModule.privacy_levels_batch` broadcasts
+``codes[:, None] & masks[None, :]`` (tiled to
+:data:`~repro.kernel.packing.BATCH_MEMORY_BUDGET`), sorts every projected
+column in one C-level call, and recovers per-group distinct-pair counts by
+run-length segmentation — so an exponential safe-subset sweep costs
+``O(batches)`` relation passes instead of ``O(masks)``.  The pure-int
+scalar path remains the automatic fallback for no-numpy installs, >63-bit
+layouts and small relations (the :data:`~repro.kernel.packing.NUMPY_MIN_ROWS`
+family of heuristics), and both paths share one privacy-level memo, so
+interleaving them never recomputes or diverges.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import TYPE_CHECKING, Iterable
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 try:
     import numpy as _np
@@ -33,14 +47,41 @@ except Exception:  # pragma: no cover - exercised only without numpy
     _np = None
 
 from ..exceptions import PrivacyError
-from .packing import BitLayout, PackedRelation
+from .packing import (
+    BATCH_MEMORY_BUDGET,
+    BATCH_MIN_MASKS,
+    BitLayout,
+    PackedRelation,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.attributes import Value
     from ..core.module import Module
     from ..core.relation import Relation
 
-__all__ = ["CompiledModule"]
+__all__ = ["CompiledModule", "sweep_batching", "batching_enabled"]
+
+#: Process-wide switch for the batched sweep path (scalar fallback when
+#: off).  Benchmarks and differential tests flip it via :func:`sweep_batching`
+#: to time and cross-check the two paths; production code never needs to.
+_BATCHING_ENABLED = True
+
+
+def batching_enabled() -> bool:
+    """Whether the batched mask-sweep path is currently enabled."""
+    return _BATCHING_ENABLED
+
+
+@contextmanager
+def sweep_batching(enabled: bool):
+    """Temporarily force the batched sweep path on or off (tests/benchmarks)."""
+    global _BATCHING_ENABLED
+    previous = _BATCHING_ENABLED
+    _BATCHING_ENABLED = bool(enabled)
+    try:
+        yield
+    finally:
+        _BATCHING_ENABLED = previous
 
 
 def _check_gamma(gamma: int) -> None:
@@ -61,6 +102,7 @@ class CompiledModule:
         "all_bits",
         "_range_size",
         "_level_cache",
+        "sweep_stats",
     )
 
     def __init__(self, module: "Module", relation: "Relation | None" = None) -> None:
@@ -75,6 +117,15 @@ class CompiledModule:
         self._range_size = module.range_size()
         #: visible attribute bitmask -> privacy level (Γ-independent).
         self._level_cache: dict[int, int] = {}
+        #: Relation-pass accounting for the sweep paths: ``scalar_masks``
+        #: counts masks resolved by per-mask passes, ``batched_masks`` masks
+        #: resolved by vectorized passes, and ``batched_passes`` how many
+        #: such passes ran (each covering a whole tile of masks).
+        self.sweep_stats: dict[str, int] = {
+            "scalar_masks": 0,
+            "batched_masks": 0,
+            "batched_passes": 0,
+        }
 
     # -- stable serialization --------------------------------------------------
     def to_payload(self) -> dict:
@@ -127,6 +178,11 @@ class CompiledModule:
                 raise ValueError("stored privacy-level memo entry out of range")
             levels[mask] = level
         compiled._level_cache = levels
+        compiled.sweep_stats = {
+            "scalar_masks": 0,
+            "batched_masks": 0,
+            "batched_passes": 0,
+        }
         return compiled
 
     # -- bitmask helpers ------------------------------------------------------
@@ -180,7 +236,120 @@ class CompiledModule:
                 visible_bits
             )
         self._level_cache[visible_bits] = level
+        self.sweep_stats["scalar_masks"] += 1
         return level
+
+    def _batch_eligible(self, n_masks: int) -> bool:
+        """Does the vectorized multi-mask pass apply to this many candidates?
+
+        The same selection family as :attr:`PackedRelation.use_numpy`: numpy
+        present, codes within the uint64 mirror, relation big enough for
+        vectorization to pay off — plus enough uncached masks to amortize
+        the broadcast setup over.
+        """
+        return (
+            _BATCHING_ENABLED
+            and n_masks >= BATCH_MIN_MASKS
+            and self.packed.use_numpy
+            and bool(self.packed.codes)
+        )
+
+    def _compute_levels_batch(self, masks: Sequence[int]) -> None:
+        """One vectorized pass (per memory tile) filling the level memo.
+
+        ``masks`` are distinct, normalized, uncached visible bitmasks.  The
+        pass broadcasts ``codes[:, None] & masks[None, :]``, sorts each
+        projected column (equal visible pairs become contiguous runs), then
+        segments the per-column distinct pairs by their visible-input part
+        with one lexicographic sort — ``min_x D_x`` for every mask without a
+        single per-mask relation scan.
+        """
+        arr = self.packed.array
+        n_rows = len(self.packed.codes)
+        vis = _np.fromiter(masks, dtype=_np.uint64, count=len(masks))
+        vin = vis & _np.uint64(self.input_bits)
+        tile = max(1, BATCH_MEMORY_BUDGET // (8 * n_rows))
+        min_counts = _np.empty(len(masks), dtype=_np.int64)
+        for start in range(0, len(masks), tile):
+            vis_tile = vis[start : start + tile]
+            vin_tile = vin[start : start + tile]
+            # One row per mask: each sort then runs over contiguous memory.
+            projected = vis_tile[:, None] & arr[None, :]
+            projected.sort(axis=1)
+            # Distinct (visible-in, visible-out) pairs are the run starts of
+            # each sorted row.
+            starts = _np.empty(projected.shape, dtype=bool)
+            starts[:, 0] = True
+            _np.not_equal(projected[:, 1:], projected[:, :-1], out=starts[:, 1:])
+            distinct_per_mask = starts.sum(axis=1)
+            # Flatten the distinct pairs mask-major and tag each with its
+            # mask index and visible-input group.
+            pairs = projected[starts]
+            mask_ids = _np.repeat(
+                _np.arange(len(vis_tile), dtype=_np.int64), distinct_per_mask
+            )
+            groups = pairs & vin_tile[mask_ids]
+            order = _np.lexsort((groups, mask_ids))
+            groups = groups[order]
+            mask_ids = mask_ids[order]
+            # Run-length segment (mask, group) runs; their lengths are D_x.
+            run_starts = _np.empty(len(groups), dtype=bool)
+            run_starts[0] = True
+            run_starts[1:] = (groups[1:] != groups[:-1]) | (
+                mask_ids[1:] != mask_ids[:-1]
+            )
+            run_index = _np.flatnonzero(run_starts)
+            run_sizes = _np.diff(_np.append(run_index, len(groups)))
+            run_masks = mask_ids[run_index]
+            first_run = _np.empty(len(run_masks), dtype=bool)
+            first_run[0] = True
+            first_run[1:] = run_masks[1:] != run_masks[:-1]
+            min_counts[start : start + len(vis_tile)] = _np.minimum.reduceat(
+                run_sizes, _np.flatnonzero(first_run)
+            )
+            self.sweep_stats["batched_passes"] += 1
+        # The final multiply runs on Python ints: completions can reach the
+        # full hidden-output domain product, which must not wrap in int64.
+        output_fields = [
+            (self.layout.field_masks[name], self.layout.domain_size(name))
+            for name in self.module.output_names
+        ]
+        cache = self._level_cache
+        for index, mask in enumerate(masks):
+            completions = 1
+            for field_mask, size in output_fields:
+                if not mask & field_mask:
+                    completions *= size
+            cache[mask] = int(min_counts[index]) * completions
+        self.sweep_stats["batched_masks"] += len(masks)
+
+    def privacy_levels_batch(self, masks: Iterable[int]) -> list[int]:
+        """Privacy levels for many visible bitmasks in one pass per tile.
+
+        Semantically ``[self.privacy_level_bits(m) for m in masks]`` — the
+        result order matches the input order, duplicate and already-memoized
+        masks are filtered before dispatch, and every computed level lands
+        in the same memo the scalar path uses (so ``to_payload()`` exports
+        and store round-trips are path-independent).  Falls back to the
+        scalar path automatically when the relation is not numpy-eligible
+        (no numpy, >63-bit layout, few rows) or the batch is too small.
+        """
+        all_bits = self.all_bits
+        normalized = [mask & all_bits for mask in masks]
+        cache = self._level_cache
+        pending: list[int] = []
+        seen: set[int] = set()
+        for mask in normalized:
+            if mask not in cache and mask not in seen:
+                seen.add(mask)
+                pending.append(mask)
+        if pending:
+            if self._batch_eligible(len(pending)):
+                self._compute_levels_batch(pending)
+            else:
+                for mask in pending:
+                    self.privacy_level_bits(mask)
+        return [cache[mask] for mask in normalized]
 
     def privacy_level(self, visible: Iterable[str]) -> int:
         """``min_x |OUT_x|``; the module's standalone privacy level."""
@@ -192,6 +361,17 @@ class CompiledModule:
 
     def is_safe_hidden_bits(self, hidden_bits: int, gamma: int) -> bool:
         return self.privacy_level_bits(self.all_bits & ~hidden_bits) >= gamma
+
+    def is_safe_hidden_batch(
+        self, hidden_masks: Sequence[int], gamma: int
+    ) -> list[bool]:
+        """Batched safety verdicts for many hidden bitmasks (one per input)."""
+        _check_gamma(gamma)
+        all_bits = self.all_bits
+        levels = self.privacy_levels_batch(
+            [all_bits & ~hidden for hidden in hidden_masks]
+        )
+        return [level >= gamma for level in levels]
 
     def out_counts(
         self, visible: Iterable[str]
@@ -214,9 +394,14 @@ class CompiledModule:
     ) -> list[frozenset[str]]:
         """All safe hidden subsets of the hidable attributes, sorted.
 
-        Enumerates subsets by size; any candidate whose bitmask covers an
-        already-found minimal safe mask is safe by monotonicity and skips
-        the relation pass entirely.
+        Sweeps size by size, dispatching each level's unpruned candidates as
+        one batched evaluation: candidates covering a minimal safe mask from
+        an earlier level are safe by monotonicity (Proposition 1) and never
+        reach the relation; the rest share one vectorized pass (or the
+        scalar fallback) through :meth:`is_safe_hidden_batch`.  Verdicts —
+        and therefore the returned list — are identical to the one-mask-at-
+        a-time sweep, which only differed in evaluating same-size supersets
+        of freshly-found minimal masks that monotonicity already decides.
         """
         _check_gamma(gamma)
         names = (
@@ -226,15 +411,28 @@ class CompiledModule:
         safe: list[frozenset[str]] = []
         minimal_masks: list[int] = []
         for size in range(len(names) + 1):
+            level: list[tuple[tuple[int, ...], int, bool]] = []
+            batch: list[int] = []
             for combo in itertools.combinations(range(len(names)), size):
                 bits = 0
                 for index in combo:
                     bits |= masks[index]
-                if any(m & bits == m for m in minimal_masks):
+                pruned = any(m & bits == m for m in minimal_masks)
+                level.append((combo, bits, pruned))
+                if not pruned:
+                    batch.append(bits)
+            verdicts: dict[int, bool] = (
+                dict(zip(batch, self.is_safe_hidden_batch(batch, gamma)))
+                if batch
+                else {}
+            )
+            for combo, bits, pruned in level:
+                if pruned:
                     safe.append(frozenset(names[index] for index in combo))
-                elif self.is_safe_hidden_bits(bits, gamma):
+                elif verdicts[bits]:
                     safe.append(frozenset(names[index] for index in combo))
-                    minimal_masks.append(bits)
+                    if not any(m & bits == m for m in minimal_masks):
+                        minimal_masks.append(bits)
         return sorted(safe, key=lambda s: (len(s), tuple(sorted(s))))
 
     def minimal_safe_hidden_subsets(
@@ -247,27 +445,63 @@ class CompiledModule:
                 minimal.append(candidate)
         return minimal
 
+    def _all_hidden_choices_safe(
+        self,
+        in_masks: Sequence[int],
+        out_masks: Sequence[int],
+        alpha: int,
+        beta: int,
+        gamma: int,
+    ) -> bool:
+        """Is *every* α-input/β-output hidden choice safe?  Batched check."""
+        candidates: list[int] = []
+        for ins in itertools.combinations(in_masks, alpha):
+            base = 0
+            for mask in ins:
+                base |= mask
+            for outs in itertools.combinations(out_masks, beta):
+                bits = base
+                for mask in outs:
+                    bits |= mask
+                candidates.append(bits)
+        # Chunked so an early unsafe choice short-circuits the remaining
+        # combinations (matching the scalar loop's early exit) while each
+        # chunk still amortizes one vectorized pass.
+        chunk = 512
+        for start in range(0, len(candidates), chunk):
+            if not all(
+                self.is_safe_hidden_batch(candidates[start : start + chunk], gamma)
+            ):
+                return False
+        return True
+
     def safe_cardinality_pairs(self, gamma: int) -> list[tuple[int, int]]:
-        """All (α, β) with *every* α-input/β-output hidden choice safe."""
+        """All (α, β) with *every* α-input/β-output hidden choice safe.
+
+        Safety of a pair is monotone in both coordinates (an (α+1, β) choice
+        hides a superset of some (α, β) choice, so Proposition 1 applies):
+        the safe region is upward closed and fully described by the frontier
+        ``β*(α) = min{β : (α, β) safe}``, which is non-increasing in α.
+        Each α therefore only probes β below the previous frontier — once a
+        combination is known unsafe (or safe), every dominated (or
+        dominating) pair is decided without re-testing its choices — and the
+        choices of one probe are evaluated as a batch.
+        """
         _check_gamma(gamma)
         in_masks = [self.layout.field_masks[n] for n in self.module.input_names]
         out_masks = [self.layout.field_masks[n] for n in self.module.output_names]
+        n_out = len(out_masks)
         valid: list[tuple[int, int]] = []
+        # β*(previous α); n_out + 1 encodes "no safe β at all".
+        frontier = n_out + 1
         for alpha in range(len(in_masks) + 1):
-            for beta in range(len(out_masks) + 1):
-                ok = True
-                for ins in itertools.combinations(in_masks, alpha):
-                    for outs in itertools.combinations(out_masks, beta):
-                        bits = 0
-                        for mask in ins:
-                            bits |= mask
-                        for mask in outs:
-                            bits |= mask
-                        if not self.is_safe_hidden_bits(bits, gamma):
-                            ok = False
-                            break
-                    if not ok:
-                        break
-                if ok:
-                    valid.append((alpha, beta))
+            beta_star = frontier
+            for beta in range(min(frontier, n_out + 1)):
+                if self._all_hidden_choices_safe(
+                    in_masks, out_masks, alpha, beta, gamma
+                ):
+                    beta_star = beta
+                    break
+            valid.extend((alpha, beta) for beta in range(beta_star, n_out + 1))
+            frontier = beta_star
         return valid

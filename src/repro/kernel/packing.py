@@ -39,6 +39,8 @@ __all__ = [
     "HAVE_NUMPY",
     "NUMPY_MAX_BITS",
     "NUMPY_MIN_ROWS",
+    "BATCH_MIN_MASKS",
+    "BATCH_MEMORY_BUDGET",
     "BitLayout",
     "PackedRelation",
 ]
@@ -50,6 +52,16 @@ NUMPY_MAX_BITS = 63
 
 #: Below this row count plain Python int ops beat the numpy call overhead.
 NUMPY_MIN_ROWS = 192
+
+#: Below this many uncached candidate masks a batched sweep pass gains
+#: nothing over per-mask ``np.unique`` calls (same heuristic family as
+#: :data:`NUMPY_MIN_ROWS`: amortize the vectorization setup or skip it).
+BATCH_MIN_MASKS = 4
+
+#: Memory budget (bytes) for one broadcast ``codes[:, None] & masks[None, :]``
+#: tile of a batched sweep.  Batches larger than ``budget // (8 * rows)``
+#: masks are split into multiple passes over the packed relation.
+BATCH_MEMORY_BUDGET = 1 << 24
 
 
 class BitLayout:
@@ -195,7 +207,9 @@ class BitLayout:
     def unpack(self, code: int, names: Sequence[str]) -> tuple["Value", ...]:
         """Decode the fields of ``names`` (in the given order) from a code."""
         return tuple(
-            self._values[name][(code >> self.offsets[name]) & ((1 << self.widths[name]) - 1)]
+            self._values[name][
+                (code >> self.offsets[name]) & ((1 << self.widths[name]) - 1)
+            ]
             for name in names
         )
 
@@ -279,7 +293,11 @@ class PackedRelation:
     @property
     def array(self):
         """Lazy ``uint64`` mirror of the codes (``None`` when not eligible)."""
-        if self._array is None and HAVE_NUMPY and self.layout.total_bits <= NUMPY_MAX_BITS:
+        if (
+            self._array is None
+            and HAVE_NUMPY
+            and self.layout.total_bits <= NUMPY_MAX_BITS
+        ):
             self._array = _np.fromiter(
                 self.codes, dtype=_np.uint64, count=len(self.codes)
             )

@@ -38,7 +38,11 @@ def _finalize(
         problem.workflow,
         frozenset(hidden),
         privatized,
-        meta={"method": method, "cost": problem.solution_cost(hidden, privatized), **meta},
+        meta={
+            "method": method,
+            "cost": problem.solution_cost(hidden, privatized),
+            **meta,
+        },
     )
     problem.validate_solution(solution)
     return solution

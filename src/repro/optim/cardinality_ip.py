@@ -83,7 +83,9 @@ class CardinalityProgram:
     def solve_integer(self) -> LPSolution:
         return self.program.solve_integer()
 
-    def hidden_from_solution(self, solution: LPSolution, threshold: float = 0.5) -> set[str]:
+    def hidden_from_solution(
+        self, solution: LPSolution, threshold: float = 0.5
+    ) -> set[str]:
         """Attributes whose ``x_b`` value is at least ``threshold``."""
         hidden = set()
         for name in self.problem.workflow.attribute_names:

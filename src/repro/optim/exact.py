@@ -28,7 +28,9 @@ from .set_lp import build_set_program
 __all__ = ["solve_exact_ip", "solve_exact_enumeration", "exact_optimum_cost"]
 
 
-def _extract_solution(problem: SecureViewProblem, values: dict[str, float]) -> SecureViewSolution:
+def _extract_solution(
+    problem: SecureViewProblem, values: dict[str, float]
+) -> SecureViewSolution:
     hidden = {
         name
         for name in problem.workflow.attribute_names

@@ -26,7 +26,12 @@ from ..core.requirements import CardinalityRequirementList, SetRequirementList
 from ..core.secure_view import SecureViewProblem
 from ..core.view import SecureViewSolution
 
-__all__ = ["prune_solution", "swap_options", "improve_solution", "solve_with_local_search"]
+__all__ = [
+    "prune_solution",
+    "swap_options",
+    "improve_solution",
+    "solve_with_local_search",
+]
 
 
 def _cost(problem: SecureViewProblem, hidden: set[str]) -> float:
@@ -64,7 +69,11 @@ def prune_solution(
                     break
     return problem.make_solution(
         hidden,
-        meta={**solution.meta, "local_search": "pruned", "cost": _cost(problem, hidden)},
+        meta={
+            **solution.meta,
+            "local_search": "pruned",
+            "cost": _cost(problem, hidden),
+        },
     )
 
 

@@ -13,9 +13,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
-import numpy as np
-from scipy.optimize import LinearConstraint, linprog, milp
-from scipy.optimize import Bounds
+try:  # pragma: no cover - exercised by the no-numpy CI job
+    import numpy as np
+    from scipy.optimize import Bounds, LinearConstraint, linprog, milp
+
+    HAVE_SCIPY = True
+except ImportError:  # modelling still works; solving raises SolverError
+    np = None  # type: ignore[assignment]
+    Bounds = LinearConstraint = linprog = milp = None
+    HAVE_SCIPY = False
 
 from ..exceptions import SolverError
 
@@ -108,7 +114,9 @@ class LinearProgram:
             raise SolverError(f"unknown constraint sense {sense!r}")
         unknown = set(coefficients) - set(self._variables)
         if unknown:
-            raise SolverError(f"constraint references unknown variables {sorted(unknown)!r}")
+            raise SolverError(
+                f"constraint references unknown variables {sorted(unknown)!r}"
+            )
         constraint = Constraint(
             name=name or f"c{len(self._constraints)}",
             coefficients=dict(coefficients),
@@ -169,7 +177,9 @@ class LinearProgram:
             bounds[variable.index] = (variable.lower, variable.upper)
         return bounds
 
-    def _wrap_solution(self, status: str, objective: float, x: np.ndarray | None) -> LPSolution:
+    def _wrap_solution(
+        self, status: str, objective: float, x: np.ndarray | None
+    ) -> LPSolution:
         values: dict[str, float] = {}
         if x is not None:
             for variable in self._variables.values():
@@ -179,6 +189,8 @@ class LinearProgram:
     # -- solving ----------------------------------------------------------------------
     def solve_relaxation(self) -> LPSolution:
         """Solve the continuous relaxation (all variables within their bounds)."""
+        if not HAVE_SCIPY:
+            raise SolverError("solving LPs requires numpy and scipy")
         if not self._variables:
             raise SolverError("cannot solve an LP with no variables")
         cost = self._objective_vector()
@@ -198,6 +210,8 @@ class LinearProgram:
 
     def solve_integer(self) -> LPSolution:
         """Solve the (mixed-)integer program with scipy's HiGHS MILP backend."""
+        if not HAVE_SCIPY:
+            raise SolverError("solving IPs requires numpy and scipy")
         if not self._variables:
             raise SolverError("cannot solve an IP with no variables")
         cost = self._objective_vector()
@@ -212,7 +226,9 @@ class LinearProgram:
             elif constraint.sense == ">=":
                 constraints.append(LinearConstraint(row, constraint.rhs, np.inf))
             else:
-                constraints.append(LinearConstraint(row, constraint.rhs, constraint.rhs))
+                constraints.append(
+                    LinearConstraint(row, constraint.rhs, constraint.rhs)
+                )
         integrality = np.zeros(n)
         lower = np.zeros(n)
         upper = np.ones(n)
@@ -244,10 +260,14 @@ class LinearProgram:
             terms = " + ".join(
                 f"{coef:g}*{name}" for name, coef in constraint.coefficients.items()
             )
-            lines.append(f"  {constraint.name}: {terms} {constraint.sense} {constraint.rhs:g}")
+            lines.append(
+                f"  {constraint.name}: {terms} {constraint.sense} {constraint.rhs:g}"
+            )
         return "\n".join(lines)
 
 
-def round_threshold(values: Mapping[str, float], threshold: float, names: Iterable[str]) -> set[str]:
+def round_threshold(
+    values: Mapping[str, float], threshold: float, names: Iterable[str]
+) -> set[str]:
     """Names whose LP value is at least ``threshold`` (deterministic rounding)."""
     return {name for name in names if values.get(name, 0.0) >= threshold - 1e-9}

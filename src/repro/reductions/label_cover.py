@@ -267,7 +267,9 @@ def label_cover_to_general_secure_view(
     )
     # Data item per (edge, label pair) and bookkeeping of who consumes what.
     edge_pair_attrs: dict[tuple[str, str, int, int], Attribute] = {}
-    per_pair_outputs: dict[tuple[int, int], list[Attribute]] = {p: [] for p in used_pairs}
+    per_pair_outputs: dict[tuple[int, int], list[Attribute]] = {
+        p: [] for p in used_pairs
+    }
     per_public_inputs: dict[tuple[str, int], list[Attribute]] = {}
     per_edge_inputs: dict[tuple[str, str], list[Attribute]] = {
         edge: [] for edge in instance.relations

@@ -97,7 +97,9 @@ def make_m2(ell: int, special: Iterable[str]) -> Module:
     special_set = set(special)
     names = input_names(ell)
     if not special_set <= set(names) or len(special_set) != ell // 2:
-        raise PrivacyError("the special set A must contain exactly ℓ/2 input attributes")
+        raise PrivacyError(
+            "the special set A must contain exactly ℓ/2 input attributes"
+        )
     threshold = ell // 4
     outside_positions = [i for i, name in enumerate(names) if name not in special_set]
 

@@ -190,7 +190,9 @@ def set_cover_to_secure_view(instance: SetCoverInstance) -> SecureViewProblem:
                 private=True,
             )
         )
-    workflow = Workflow(modules, name=f"setcover[{instance.n_elements}x{instance.n_subsets}]")
+    workflow = Workflow(
+        modules, name=f"setcover[{instance.n_elements}x{instance.n_subsets}]"
+    )
 
     requirements: dict[str, CardinalityRequirementList] = {
         "z": CardinalityRequirementList("z", [CardinalityRequirement(0, 1)]),

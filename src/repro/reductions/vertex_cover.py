@@ -104,7 +104,9 @@ def greedy_vertex_cover(instance: VertexCoverInstance) -> list[int]:
     return sorted(cover)
 
 
-def exact_vertex_cover(instance: VertexCoverInstance, max_vertices: int = 24) -> list[int]:
+def exact_vertex_cover(
+    instance: VertexCoverInstance, max_vertices: int = 24
+) -> list[int]:
     """Exact minimum vertex cover by exhaustive search (small graphs only)."""
     if instance.n_vertices > max_vertices:
         raise InfeasibleError(

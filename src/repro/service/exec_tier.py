@@ -556,7 +556,9 @@ class ProcessExecTier:
         while self._queue:
             task = self._queue.popleft()
             self._tasks.pop(task.id, None)
-            task.error = WorkerError(reason, status=status, error_type="TierUnavailable")
+            task.error = WorkerError(
+                reason, status=status, error_type="TierUnavailable"
+            )
             self.failed += 1
             task.done.set()
 

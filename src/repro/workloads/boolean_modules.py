@@ -107,7 +107,9 @@ def xor_mask_module(
 ) -> Module:
     """Output bit i is input bit i XOR mask[i] (invertible for any mask)."""
     if not (len(input_names) == len(output_names) == len(mask)):
-        raise SchemaError("xor_mask_module needs inputs, outputs and mask of equal length")
+        raise SchemaError(
+            "xor_mask_module needs inputs, outputs and mask of equal length"
+        )
     ins = make_attributes(input_names, costs)
     outs = make_attributes(output_names, costs)
     mask = [int(bit) & 1 for bit in mask]
@@ -271,7 +273,12 @@ def majority_module(
     """Majority of 2k inputs (Example 6: output 1 iff at least k inputs are 1)."""
     k = len(input_names)
     return threshold_module(
-        name, input_names, output_name, threshold=(k + 1) // 2, private=private, costs=costs
+        name,
+        input_names,
+        output_name,
+        threshold=(k + 1) // 2,
+        private=private,
+        costs=costs,
     )
 
 

@@ -103,7 +103,9 @@ def example5_workflow(
     for i in range(1, n + 1):
         out_name = f"b{i}"
 
-        def middle_function(x: Mapping[str, int], _out: str = out_name) -> dict[str, int]:
+        def middle_function(
+            x: Mapping[str, int], _out: str = out_name
+        ) -> dict[str, int]:
             return {_out: 1 - x["a2"]}
 
         middles.append(Module(f"m_{i}", [a2], [b_attrs[i - 1]], middle_function))

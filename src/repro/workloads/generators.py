@@ -90,7 +90,11 @@ def _resolve_rng(rng: random.Random | None, seed: int | None) -> random.Random:
     return rng if rng is not None else random.Random(seed)
 
 
-def _gate_function(output_names: Sequence[str], input_names: Sequence[str], kind_per_output: Sequence[str]):
+def _gate_function(
+    output_names: Sequence[str],
+    input_names: Sequence[str],
+    kind_per_output: Sequence[str],
+):
     """A deterministic boolean function mixing its inputs per output."""
 
     def function(x: Mapping[str, int]) -> dict[str, int]:
@@ -446,8 +450,12 @@ def random_cardinality_requirements(
                 continue
             options.append(candidate)
         if not options:
-            options.append(CardinalityRequirement(min(1, n_in), min(1, n_out) if n_in == 0 else 0))
-        lists[module.name] = CardinalityRequirementList(module.name, options).normalized()
+            options.append(
+                CardinalityRequirement(min(1, n_in), min(1, n_out) if n_in == 0 else 0)
+            )
+        lists[module.name] = CardinalityRequirementList(
+            module.name, options
+        ).normalized()
     return lists
 
 

@@ -166,7 +166,9 @@ def scientific_workflow(config: ScientificWorkflowConfig | None = None) -> Workf
         modules.append(module)
         pool.append(output)
 
-    return Workflow(modules, name=f"scientific[n={config.n_modules},seed={config.seed}]")
+    return Workflow(
+        modules, name=f"scientific[n={config.n_modules},seed={config.seed}]"
+    )
 
 
 def scientific_problem(

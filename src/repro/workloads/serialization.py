@@ -176,7 +176,9 @@ def requirement_to_dict(requirement: RequirementList) -> dict[str, Any]:
                 {"alpha": option.alpha, "beta": option.beta} for option in requirement
             ],
         }
-    raise SchemaError(f"cannot serialize requirement list of type {type(requirement)!r}")
+    raise SchemaError(
+        f"cannot serialize requirement list of type {type(requirement)!r}"
+    )
 
 
 def requirement_from_dict(payload: Mapping[str, Any]) -> RequirementList:

@@ -80,4 +80,6 @@ class TestReconstructionAttack:
         report = reconstruction_attack(figure1, "m1", set(figure1.attribute_names))
         records = report.as_records()
         assert len(records) == 4
-        assert {"input", "candidates", "guess_probability", "exposed"} <= set(records[0])
+        assert {"input", "candidates", "guess_probability", "exposed"} <= set(
+            records[0]
+        )

@@ -4,7 +4,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import BOOLEAN, Attribute, Domain, Schema, boolean_attributes, integer_domain
+from repro.core import (
+    BOOLEAN,
+    Attribute,
+    Domain,
+    Schema,
+    boolean_attributes,
+    integer_domain,
+)
 from repro.exceptions import DomainError, SchemaError
 
 

@@ -61,7 +61,9 @@ class TestConstruction:
     def test_unknown_hidable_attribute_rejected(self, figure1):
         requirements = {"m1": set_list("m1", {"a3"})}
         with pytest.raises(RequirementError):
-            SecureViewProblem(figure1, 2, requirements, hidable_attributes=frozenset({"zz"}))
+            SecureViewProblem(
+                figure1, 2, requirements, hidable_attributes=frozenset({"zz"})
+            )
 
     def test_from_standalone_analysis(self, figure1):
         problem = SecureViewProblem.from_standalone_analysis(figure1, 2, kind="set")

@@ -24,7 +24,9 @@ from repro.workloads import (
 
 def _spec(solvers=("set_lp", "greedy"), seeds=(0,), **kwargs) -> SweepSpec:
     instances = tuple(
-        SweepInstance(f"w{seed}", "workflow", workflow_to_dict(random_workflow(5, seed=seed)))
+        SweepInstance(
+            f"w{seed}", "workflow", workflow_to_dict(random_workflow(5, seed=seed))
+        )
         for seed in (1, 2)
     )
     return SweepSpec(
@@ -56,7 +58,10 @@ class TestGridExpansion:
     def test_explicit_solver_seed_pairs(self):
         spec = _spec(solver_seed_pairs=(("exact", None), ("greedy", 7)))
         cells = spec.cells()
-        assert [(c.solver, c.seed) for c in cells[:2]] == [("exact", None), ("greedy", 7)]
+        assert [(c.solver, c.seed) for c in cells[:2]] == [
+            ("exact", None),
+            ("greedy", 7),
+        ]
 
     def test_unknown_source_rejected(self):
         with pytest.raises(ValueError):

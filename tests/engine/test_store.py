@@ -75,7 +75,10 @@ class TestArtifactRoundTrips:
         fingerprint = workflow_fingerprint(workflow)
         assert store.load_requirements(fingerprint, 2, "set", "kernel") is None
         assert store.load_relation(fingerprint, workflow) is None
-        assert store.load_result(fingerprint, ResultKey("kernel", 2, "set", "a", 0)) is None
+        assert (
+            store.load_result(fingerprint, ResultKey("kernel", 2, "set", "a", 0))
+            is None
+        )
         stats = store.stats()
         assert stats["hits"] == 0 and stats["misses"] == 3
 

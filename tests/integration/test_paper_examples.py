@@ -46,10 +46,14 @@ class TestE1Figure1:
 
     def test_view_matches_figure_1d(self):
         workflow = figure1_workflow()
-        view = ProvenanceView(workflow, figure1_view_attributes() | {"a2", "a4", "a6", "a7"})
+        view = ProvenanceView(
+            workflow, figure1_view_attributes() | {"a2", "a4", "a6", "a7"}
+        )
         m1_view = workflow.module("m1").relation().project(["a1", "a3", "a5"])
         expected = {(0, 0, 1), (0, 1, 0), (1, 1, 0), (1, 1, 1)}
-        assert {tuple(row[n] for n in ("a1", "a3", "a5")) for row in m1_view} == expected
+        assert {
+            tuple(row[n] for n in ("a1", "a3", "a5")) for row in m1_view
+        } == expected
 
 
 class TestE2PossibleWorlds:
@@ -190,7 +194,9 @@ class TestE5Theorem3Gap:
 
     def test_cost_gap_is_three_halves(self):
         ell = 8
-        m1_cost = minimum_cost_safe_subset(make_m1(ell), 2, hidable=input_names(ell)).cost
+        m1_cost = minimum_cost_safe_subset(
+            make_m1(ell), 2, hidable=input_names(ell)
+        ).cost
         m2_cost = minimum_cost_safe_subset(
             make_m2(ell, input_names(ell)[: ell // 2]), 2, hidable=input_names(ell)
         ).cost

@@ -48,7 +48,12 @@ class TestCompiledModule:
     def test_matches_reference_on_figure1(self):
         m1 = figure1_m1_module()
         compiled = compile_module(m1)
-        for visible in ({"a1", "a3", "a5"}, {"a3", "a4", "a5"}, set(), set(m1.attribute_names)):
+        for visible in (
+            {"a1", "a3", "a5"},
+            {"a3", "a4", "a5"},
+            set(),
+            set(m1.attribute_names),
+        ):
             assert compiled.privacy_level(visible) == standalone_privacy_level(
                 m1, visible, backend="reference"
             )
@@ -118,7 +123,10 @@ class TestNumpyPath:
             return {"o0": sum(values[n] for n in names_in) & 1, "o1": values["i0"]}
 
         module = Module(
-            "big", boolean_attributes(names_in), boolean_attributes(["o0", "o1"]), parity
+            "big",
+            boolean_attributes(names_in),
+            boolean_attributes(["o0", "o1"]),
+            parity,
         )
         compiled = CompiledModule(module)
         if compiled.packed.array is not None:
@@ -127,6 +135,113 @@ class TestNumpyPath:
             assert compiled.privacy_level(visible) == standalone_privacy_level(
                 module, visible, backend="reference"
             )
+
+
+class TestBatchedSweep:
+    """PR 8: privacy_levels_batch internals — tiling, memo, counters."""
+
+    @staticmethod
+    def _big_module(n_inputs: int = 8):
+        names_in = [f"i{k}" for k in range(n_inputs)]
+
+        def majority(values):
+            total = sum(values[n] for n in names_in)
+            return {"o0": int(total * 2 > n_inputs)}
+
+        return Module(
+            "batchy",
+            boolean_attributes(names_in),
+            boolean_attributes(["o0"]),
+            majority,
+        )
+
+    def test_batch_toggle_round_trips(self):
+        from repro.kernel import batching_enabled, sweep_batching
+
+        assert batching_enabled()
+        with sweep_batching(False):
+            assert not batching_enabled()
+            with sweep_batching(True):
+                assert batching_enabled()
+            assert not batching_enabled()
+        assert batching_enabled()
+
+    def test_batch_dedupes_and_reuses_memo(self):
+        module = self._big_module()
+        compiled = CompiledModule(module)
+        if not compiled.packed.use_numpy:
+            pytest.skip("numpy unavailable; the batch path is scalar-only")
+        n_masks = 1 << 9
+        warm = [3, 5, 3, 9, 12]
+        warm_levels = compiled.privacy_levels_batch(warm)
+        assert warm_levels[0] == warm_levels[2]
+        # Duplicates collapse: only four distinct masks were computed.
+        assert compiled.sweep_stats["batched_masks"] == 4
+        passes_after_warm = compiled.sweep_stats["batched_passes"]
+        levels = compiled.privacy_levels_batch(list(range(n_masks)))
+        # The warm masks were served from the memo, not recomputed.
+        assert compiled.sweep_stats["batched_masks"] == n_masks
+        assert levels[3] == warm_levels[0]
+        assert levels[5] == warm_levels[1]
+        assert compiled.sweep_stats["batched_passes"] > passes_after_warm
+        assert compiled.sweep_stats["scalar_masks"] == 0
+
+    def test_memory_budget_controls_tiling(self, monkeypatch):
+        from repro.kernel import module_kernel
+
+        module = self._big_module()
+        compiled = CompiledModule(module)
+        if not compiled.packed.use_numpy:
+            pytest.skip("numpy unavailable; the batch path is scalar-only")
+        # A budget of one row's worth of masks forces one pass per mask.
+        monkeypatch.setattr(module_kernel, "BATCH_MEMORY_BUDGET", 1)
+        masks = list(range(64))
+        tiled_levels = compiled.privacy_levels_batch(masks)
+        assert compiled.sweep_stats["batched_passes"] == len(masks)
+        monkeypatch.undo()
+        roomy = CompiledModule(module)
+        assert roomy.privacy_levels_batch(masks) == tiled_levels
+        assert roomy.sweep_stats["batched_passes"] == 1
+
+    def test_batch_matches_scalar_and_reference(self):
+        from repro.kernel import sweep_batching
+
+        module = self._big_module()
+        masks = list(range(0, 1 << 9, 7))
+        batched = CompiledModule(module)
+        batched_levels = batched.privacy_levels_batch(masks)
+        with sweep_batching(False):
+            scalar = CompiledModule(module)
+            scalar_levels = scalar.privacy_levels_batch(masks)
+        assert batched_levels == scalar_levels
+        assert scalar.sweep_stats["scalar_masks"] == len(masks)
+        assert scalar.sweep_stats["batched_passes"] == 0
+        layout = batched.layout
+        names = list(module.attribute_names)
+        for mask in (masks[0], masks[1], masks[-1]):
+            visible = {n for n in names if mask & layout.field_masks[n]}
+            assert batched_levels[masks.index(mask)] == (
+                standalone_privacy_level(module, visible, backend="reference")
+            )
+
+    def test_empty_batch_is_a_no_op(self):
+        compiled = CompiledModule(figure1_m1_module())
+        assert compiled.privacy_levels_batch([]) == []
+        assert compiled.sweep_stats == {
+            "scalar_masks": 0,
+            "batched_masks": 0,
+            "batched_passes": 0,
+        }
+
+    def test_small_relation_stays_scalar(self):
+        compiled = CompiledModule(figure1_m1_module())
+        n_bits = compiled.layout.total_bits
+        levels = compiled.privacy_levels_batch(list(range(1 << n_bits)))
+        assert compiled.sweep_stats["batched_passes"] == 0
+        assert compiled.sweep_stats["scalar_masks"] == 1 << n_bits
+        assert levels == [
+            compiled.privacy_level_bits(mask) for mask in range(1 << n_bits)
+        ]
 
 
 class TestCompileMemo:

@@ -73,7 +73,12 @@ class TestPackedRelation:
     def test_numpy_mirror_round_trips(self, mixed_schema):
         relation = Relation(
             mixed_schema,
-            [{"a": a, "b": b, "c": 10 + c} for a in (0, 1) for b in (0, 1, 2) for c in range(5)],
+            [
+                {"a": a, "b": b, "c": 10 + c}
+                for a in (0, 1)
+                for b in (0, 1, 2)
+                for c in range(5)
+            ],
         )
         packed = PackedRelation.from_relation(relation)
         array = packed.array

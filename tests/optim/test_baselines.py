@@ -88,4 +88,6 @@ class TestRandomFeasible:
     def test_never_cheaper_than_optimum(self, small_set_problem):
         optimum = solve_exact_ip(small_set_problem).cost()
         for seed in range(4):
-            assert random_feasible(small_set_problem, seed=seed).cost() >= optimum - 1e-6
+            assert (
+                random_feasible(small_set_problem, seed=seed).cost() >= optimum - 1e-6
+            )

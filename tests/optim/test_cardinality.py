@@ -79,7 +79,9 @@ class TestFallbackSet:
 
     def test_fallback_requires_cardinality(self, small_set_problem):
         with pytest.raises(RequirementError):
-            cheapest_fallback_set(small_set_problem, next(iter(small_set_problem.requirements)))
+            cheapest_fallback_set(
+                small_set_problem, next(iter(small_set_problem.requirements))
+            )
 
 
 class TestRounding:

@@ -119,8 +119,12 @@ def test_compiled_module_payload_round_trip_is_lossless(seed, gamma):
     fresh.minimal_safe_hidden_subsets(gamma)  # populate level memos
     loaded = CompiledModule.from_payload(module, fresh.to_payload())
     assert loaded._level_cache == fresh._level_cache
-    assert loaded.minimal_safe_hidden_subsets(gamma) == fresh.minimal_safe_hidden_subsets(gamma)
-    assert loaded.enumerate_safe_hidden_subsets(gamma) == fresh.enumerate_safe_hidden_subsets(gamma)
+    assert loaded.minimal_safe_hidden_subsets(gamma) == (
+        fresh.minimal_safe_hidden_subsets(gamma)
+    )
+    assert loaded.enumerate_safe_hidden_subsets(gamma) == (
+        fresh.enumerate_safe_hidden_subsets(gamma)
+    )
     assert loaded.safe_cardinality_pairs(gamma) == fresh.safe_cardinality_pairs(gamma)
     visible = list(module.attribute_names)[:: 2]
     assert loaded.privacy_level(visible) == fresh.privacy_level(visible)

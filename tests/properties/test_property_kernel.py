@@ -34,6 +34,8 @@ from repro.core.standalone import (
     safe_cardinality_pairs,
 )
 from repro.exceptions import InfeasibleError
+from repro.kernel import HAVE_NUMPY, CompiledModule, sweep_batching
+from repro.kernel.packing import NUMPY_MIN_ROWS
 
 
 def random_boolean_module(
@@ -219,6 +221,192 @@ def test_workflow_out_sets_agree(seed, data):
             backend="reference",
         )
         assert kernel_sets == reference_sets
+
+
+# ---------------------------------------------------------------------------
+# PR 8: batched mask-sweep kernel — batched vs scalar vs reference
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(module_shapes, st.integers(min_value=2, max_value=4))
+def test_batched_sweeps_three_way_parity(shape, gamma):
+    """Batched kernel == scalar kernel == reference for every sweep output."""
+    seed, n_in, n_out = shape
+    module = random_boolean_module(seed, n_in, n_out)
+    reference = (
+        enumerate_safe_hidden_subsets(module, gamma, backend="reference"),
+        minimal_safe_hidden_subsets(module, gamma, backend="reference"),
+        safe_cardinality_pairs(module, gamma, backend="reference"),
+    )
+    for batched in (True, False):
+        with sweep_batching(batched):
+            compiled = CompiledModule(module)
+            got = (
+                compiled.enumerate_safe_hidden_subsets(gamma),
+                compiled.minimal_safe_hidden_subsets(gamma),
+                compiled.safe_cardinality_pairs(gamma),
+            )
+        assert got == reference, f"batched={batched} disagrees with reference"
+
+
+@settings(max_examples=20, deadline=None)
+@given(module_shapes, st.data())
+def test_batched_levels_three_way_parity(shape, data):
+    """privacy_levels_batch == per-mask scalar == reference levels."""
+    seed, n_in, n_out = shape
+    module = random_boolean_module(seed, n_in, n_out)
+    names = list(module.attribute_names)
+    n_bits = len(names)
+    masks = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << n_bits) - 1),
+            min_size=1,
+            max_size=1 << n_bits,
+        )
+    )
+    batched_compiled = CompiledModule(module)
+    batched_levels = batched_compiled.privacy_levels_batch(masks)
+    with sweep_batching(False):
+        scalar_levels = CompiledModule(module).privacy_levels_batch(masks)
+    assert batched_levels == scalar_levels
+    layout = batched_compiled.layout
+    for mask, level in zip(masks, batched_levels):
+        visible = {
+            name for name in names if mask & layout.field_masks[name]
+        }
+        assert level == standalone_privacy_level(
+            module, visible, backend="reference"
+        )
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.integers(min_value=2, max_value=3),
+)
+def test_wide_layout_batch_falls_back_to_scalar(seed, gamma):
+    """>63-bit layouts cannot use numpy; the batch API must still agree."""
+    module = random_boolean_module(seed, 2, 62, name="wide", prefix="w")
+    compiled = CompiledModule(module)
+    assert compiled.layout.total_bits > 63
+    assert compiled.packed.array is None
+    hidable = list(module.attribute_names)[:4]
+    with sweep_batching(True):
+        kernel_safe = compiled.enumerate_safe_hidden_subsets(
+            gamma, hidable=hidable
+        )
+    assert compiled.sweep_stats["batched_passes"] == 0, (
+        "wide layout must take the pure-int scalar path"
+    )
+    assert kernel_safe == enumerate_safe_hidden_subsets(
+        module, gamma, hidable=hidable, backend="reference"
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(module_shapes)
+def test_small_relations_take_scalar_path(shape):
+    """Relations below NUMPY_MIN_ROWS never pay a vectorized pass."""
+    seed, n_in, n_out = shape
+    module = random_boolean_module(seed, n_in, n_out)
+    compiled = CompiledModule(module)
+    assert len(compiled.packed.codes) < NUMPY_MIN_ROWS
+    assert not compiled.packed.use_numpy
+    n_bits = len(list(module.attribute_names))
+    compiled.privacy_levels_batch(list(range(1 << n_bits)))
+    assert compiled.sweep_stats["batched_passes"] == 0
+    assert compiled.sweep_stats["batched_masks"] == 0
+    assert compiled.sweep_stats["scalar_masks"] == 1 << n_bits
+
+
+@settings(max_examples=15, deadline=None)
+@given(module_shapes)
+def test_interleaved_scalar_batched_share_memo(shape):
+    """Scalar and batched calls fill one `_level_cache`; payloads agree."""
+    seed, n_in, n_out = shape
+    module = random_boolean_module(seed, n_in, n_out)
+    n_bits = len(list(module.attribute_names))
+    all_masks = list(range(1 << n_bits))
+
+    interleaved = CompiledModule(module)
+    for mask in all_masks[::2]:
+        interleaved.privacy_level_bits(mask)
+    seeded = dict(interleaved._level_cache)
+    interleaved.privacy_levels_batch(all_masks)
+    for mask, level in seeded.items():
+        assert interleaved._level_cache[mask] == level
+
+    scalar_only = CompiledModule(module)
+    with sweep_batching(False):
+        scalar_only.privacy_levels_batch(all_masks)
+    assert interleaved.to_payload() == scalar_only.to_payload()
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.integers(min_value=2, max_value=4),
+)
+def test_numpy_sized_module_three_way_parity(seed, gamma):
+    """On a relation big enough for the vectorized path, all three agree."""
+    module = random_boolean_module(seed, 8, 1, name="big", prefix="n")
+    masks = list(range(1 << 9))
+    batched_compiled = CompiledModule(module)
+    batched_levels = batched_compiled.privacy_levels_batch(masks)
+    if HAVE_NUMPY:
+        assert batched_compiled.packed.use_numpy
+        assert batched_compiled.sweep_stats["batched_passes"] >= 1
+        assert batched_compiled.sweep_stats["batched_masks"] == len(masks)
+    else:
+        assert batched_compiled.sweep_stats["batched_passes"] == 0
+    with sweep_batching(False):
+        scalar_compiled = CompiledModule(module)
+        scalar_levels = scalar_compiled.privacy_levels_batch(masks)
+    assert batched_levels == scalar_levels
+    assert scalar_compiled.sweep_stats["scalar_masks"] == len(masks)
+    layout = batched_compiled.layout
+    names = list(module.attribute_names)
+    for mask in (0, 1, (1 << 9) - 1, 0b101010101):
+        visible = {
+            name for name in names if mask & layout.field_masks[name]
+        }
+        assert batched_levels[masks.index(mask)] == standalone_privacy_level(
+            module, visible, backend="reference"
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.integers(min_value=2, max_value=4),
+)
+def test_cardinality_frontier_matches_brute_force(seed, gamma):
+    """The monotone-frontier (alpha, beta) scan equals the full double loop.
+
+    ``safe_cardinality_pairs`` exploits that safety is upward-closed in
+    beta with a non-increasing frontier in alpha; this checks the pruned
+    scan against an exhaustive per-pair evaluation on the same kernel.
+    """
+    module = random_boolean_module(seed, 2, 3)
+    compiled = CompiledModule(module)
+    pairs = compiled.safe_cardinality_pairs(gamma)
+    in_masks = [compiled.layout.field_masks[n] for n in module.input_names]
+    out_masks = [compiled.layout.field_masks[n] for n in module.output_names]
+    n_out = len(out_masks)
+    brute = [
+        (alpha, beta)
+        for alpha in range(len(in_masks) + 1)
+        for beta in range(n_out + 1)
+        if compiled._all_hidden_choices_safe(in_masks, out_masks, alpha, beta, gamma)
+    ]
+    assert pairs == brute
+    # Upward closure in beta: each alpha's safe betas form a suffix.
+    by_alpha: dict[int, list[int]] = {}
+    for alpha, beta in pairs:
+        by_alpha.setdefault(alpha, []).append(beta)
+    for alpha, betas in by_alpha.items():
+        assert betas == list(range(betas[0], n_out + 1))
 
 
 @settings(max_examples=15, deadline=None)

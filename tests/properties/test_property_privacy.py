@@ -72,7 +72,9 @@ def test_proposition1_hiding_more_never_hurts(shape, data):
     hidden_small = set(
         data.draw(st.lists(st.sampled_from(names), max_size=len(names), unique=True))
     )
-    extra = data.draw(st.lists(st.sampled_from(names), max_size=len(names), unique=True))
+    extra = data.draw(
+        st.lists(st.sampled_from(names), max_size=len(names), unique=True)
+    )
     hidden_large = hidden_small | set(extra)
     level_small = standalone_privacy_level(module, set(names) - hidden_small)
     level_large = standalone_privacy_level(module, set(names) - hidden_large)

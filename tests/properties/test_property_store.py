@@ -106,7 +106,11 @@ def test_store_persisted_packs_match_fresh_compilation_and_reference(seed, data)
 
 
 @settings(max_examples=10, deadline=None)
-@given(seeds, st.integers(min_value=2, max_value=3), st.sampled_from(["set", "cardinality"]))
+@given(
+    seeds,
+    st.integers(min_value=2, max_value=3),
+    st.sampled_from(["set", "cardinality"]),
+)
 def test_store_round_tripped_requirements_match_both_backends(seed, gamma, kind):
     """Requirement lists served from a warm store equal fresh derivations
     from either backend (which are property-tested equal to each other)."""

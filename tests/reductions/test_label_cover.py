@@ -36,7 +36,9 @@ class TestLabelCover:
 
     def test_unknown_vertex_rejected(self):
         with pytest.raises(InfeasibleError):
-            LabelCoverInstance(("u0",), ("w0",), (0,), {("u0", "zz"): frozenset({(0, 0)})})
+            LabelCoverInstance(
+                ("u0",), ("w0",), (0,), {("u0", "zz"): frozenset({(0, 0)})}
+            )
 
     def test_feasibility_check(self, instance):
         good = {

@@ -141,7 +141,9 @@ class TestTheorem3OracleGame:
     def test_optimal_costs_match_the_proof(self):
         ell = 8
         oracle = AdversarialSafeViewOracle(ell)
-        m1_cost = minimum_cost_safe_subset(make_m1(ell), 2, hidable=input_names(ell)).cost
+        m1_cost = minimum_cost_safe_subset(
+            make_m1(ell), 2, hidable=input_names(ell)
+        ).cost
         m2_cost = minimum_cost_safe_subset(
             make_m2(ell, input_names(ell)[: ell // 2]), 2, hidable=input_names(ell)
         ).cost

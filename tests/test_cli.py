@@ -47,14 +47,18 @@ class TestInfoAndSolve:
 
     def test_solve_writes_solution(self, problem_file, tmp_path, capsys):
         out_path = tmp_path / "solution.json"
-        code = main(["solve", problem_file, "--method", "exact", "--output", str(out_path)])
+        code = main(
+            ["solve", problem_file, "--method", "exact", "--output", str(out_path)]
+        )
         assert code == 0
         payload = json.loads(out_path.read_text())
         assert payload["cost"] > 0
         assert payload["hidden_attributes"]
 
     def test_solve_with_local_search(self, problem_file, capsys):
-        assert main(["solve", problem_file, "--method", "greedy", "--local-search"]) == 0
+        assert (
+            main(["solve", problem_file, "--method", "greedy", "--local-search"]) == 0
+        )
         payload = json.loads(capsys.readouterr().out)
         assert payload["hidden_attributes"]
 
@@ -96,16 +100,18 @@ class TestVerifyAndAttack:
 
     def test_attack_flags_breach(self, problem_file, tmp_path):
         empty = tmp_path / "empty.json"
-        empty.write_text(json.dumps({"hidden_attributes": [], "privatized_modules": []}))
+        empty.write_text(
+            json.dumps({"hidden_attributes": [], "privatized_modules": []})
+        )
         assert main(["attack", problem_file, str(empty), "m1"]) == 1
 
 
 class TestGenerateAndCompare:
     def test_generate_random_problem(self, tmp_path, capsys):
         out_path = tmp_path / "generated.json"
-        assert main(
-            ["generate", str(out_path), "--modules", "6", "--kind", "cardinality", "--seed", "3"]
-        ) == 0
+        argv = ["generate", str(out_path), "--modules", "6"]
+        argv += ["--kind", "cardinality", "--seed", "3"]
+        assert main(argv) == 0
         payload = json.loads(out_path.read_text())
         assert len(payload["workflow"]["modules"]) == 6
 

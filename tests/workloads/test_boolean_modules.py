@@ -55,7 +55,9 @@ class TestOneOneModules:
                 assert first.apply({"a": a, "b": b}) == second.apply({"a": a, "b": b})
 
     def test_random_permutation_is_bijective(self):
-        module = random_permutation_module("p", ["a", "b", "c"], ["d", "e", "f"], seed=5)
+        module = random_permutation_module(
+            "p", ["a", "b", "c"], ["d", "e", "f"], seed=5
+        )
         assert module.is_invertible()
 
 

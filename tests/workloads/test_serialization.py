@@ -36,7 +36,9 @@ class TestWorkflowRoundTrip:
     def test_round_trip_preserves_privacy_flags_and_costs(self):
         workflow = example7_chain(2)
         clone = workflow_from_dict(workflow_to_dict(workflow))
-        assert [m.private for m in clone.modules] == [m.private for m in workflow.modules]
+        assert [m.private for m in clone.modules] == [
+            m.private for m in workflow.modules
+        ]
         assert clone.module("m_head").privatization_cost == pytest.approx(
             workflow.module("m_head").privatization_cost
         )
