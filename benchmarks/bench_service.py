@@ -136,7 +136,8 @@ def run_throughput_phase(tiny: bool, workdir: Path) -> dict:
         assert completed.returncode == 0, completed.stderr
     cold_seconds = time.perf_counter() - cold_started
 
-    service = SolveService(workers=2, default_timeout=120.0)
+    store_dir = workdir / "bench-service-store"
+    service = SolveService(store=str(store_dir), workers=2, default_timeout=120.0)
     server = ServiceServer(service, port=0).start()
     try:
         client = ServiceClient(server.url, timeout=120.0)
@@ -149,12 +150,16 @@ def run_throughput_phase(tiny: bool, workdir: Path) -> dict:
     finally:
         server.stop(drain_timeout=30)
 
+    from repro.engine import DerivationStore
+
+    store_disk_bytes = DerivationStore(store_dir).disk_stats()["bytes"]
     speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
     return {
         "requests": n_requests,
         "cold_cli_seconds_total": cold_seconds,
         "warm_server_seconds_total": warm_seconds,
         "speedup_warm_server": speedup,
+        "store_disk_bytes": store_disk_bytes,
     }
 
 

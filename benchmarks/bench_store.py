@@ -1,0 +1,348 @@
+"""Store format v2: binary mmap-backed packs vs the v1 all-JSON layout.
+
+PR 9 moves the code arrays of the pack and relation tiers out of the JSON
+documents into little-endian binary sidecar files that readers memory-map
+(:mod:`repro.kernel.binpack`).  This benchmark measures the three wins on
+a derivation-heavy workflow (thousands of packed rows) and records them in
+``BENCH_store.json``:
+
+* **pack-load latency** — repeated ``load_pack`` against a v1 store
+  (JSON-parse every code on every load) vs a v2 store (parse a small
+  document, map the sidecar, decode nothing).  The v2 path must beat v1
+  by at least :data:`SPEEDUP_FLOOR`; this is the gated metric.
+* **per-worker resident memory** — 4 forked workers concurrently attach
+  the same store and load the same pack; each reports its USS-style
+  private-memory delta (``Private_Clean + Private_Dirty`` from
+  ``/proc/self/smaps_rollup``).  v1 workers each hold a parsed Python
+  int list; v2 workers share one set of page-cached read-only pages.
+  Skipped gracefully (recorded as unmeasured) where ``smaps_rollup`` or
+  the ``fork`` start method is unavailable.
+* **on-disk bytes** — ``disk_stats()['bytes']`` of the two stores: base-10
+  JSON digits vs 8-byte binary records.
+
+Run standalone (used by the CI regression gate) with::
+
+    python benchmarks/bench_store.py --tiny
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core import Workflow
+from repro.engine import DerivationCache, DerivationStore
+from repro.workloads import (
+    random_total_module,
+    workflow_fingerprint,
+    workflow_from_dict,
+    workflow_to_dict,
+)
+
+RECORD_PATH = Path(__file__).resolve().parents[1] / "BENCH_store.json"
+
+#: Acceptance floor: v2 mmap pack loads must beat v1 JSON-parse loads.
+SPEEDUP_FLOOR = 2.0
+
+WORKERS = 4
+
+
+def _bench_workflow(tiny: bool) -> Workflow:
+    """Disjoint total modules whose provenance relation has many rows."""
+    shapes = [(6, 5), (5, 6)] if tiny else [(7, 6), (6, 7)]
+    modules = [
+        random_total_module(9 * 100 + index, n_in, n_out, f"m{index}", f"s{index}_")
+        for index, (n_in, n_out) in enumerate(shapes)
+    ]
+    return Workflow(modules, name="store-bench")
+
+
+def _build_store(directory: Path, workflow: Workflow, format_version: int) -> int:
+    """Persist the workflow's pack + relation; returns the packed row count."""
+    store = DerivationStore(directory, format_version=format_version)
+    fingerprint = workflow_fingerprint(workflow)
+    compiled = DerivationCache().compiled_workflow(workflow)
+    store.save_pack(fingerprint, compiled)
+    store.save_relation(fingerprint, compiled.base_relation, workflow=workflow)
+    return len(compiled.packed)
+
+
+def _time_pack_loads(directory: Path, workflow: Workflow, iterations: int) -> float:
+    """Mean seconds per ``load_pack`` against a warm OS page cache."""
+    store = DerivationStore(directory)
+    fingerprint = workflow_fingerprint(workflow)
+    relation = workflow.provenance_relation()
+    assert store.load_pack(fingerprint, workflow, relation) is not None  # warm-up
+    start = time.perf_counter()
+    for _ in range(iterations):
+        pack = store.load_pack(fingerprint, workflow, relation)
+        assert pack is not None
+    return (time.perf_counter() - start) / iterations
+
+
+def _uss_bytes() -> int | None:
+    """This process's private memory (USS-style), or ``None`` off Linux.
+
+    ``Private_Clean + Private_Dirty``, not ``VmRSS``: mmap'd file pages
+    shared across workers inflate RSS identically for every mapper, which
+    is exactly the accounting v2 is supposed to beat.
+    """
+    try:
+        text = Path("/proc/self/smaps_rollup").read_text()
+    except OSError:
+        return None
+    total = 0
+    seen = False
+    for line in text.splitlines():
+        if line.startswith(("Private_Clean:", "Private_Dirty:")):
+            total += int(line.split()[1]) * 1024
+            seen = True
+    return total if seen else None
+
+
+#: Packs each memory worker holds resident, like a worker serving a sweep
+#: over many hot workflows; amplifies the per-pack representation cost
+#: over the interpreter's baseline footprint.
+HELD_PACKS = 8
+
+
+def _memory_worker(directory: str, payload: dict, conn) -> None:
+    """Hold :data:`HELD_PACKS` loaded packs, report absolute private memory.
+
+    Spawned fresh (no copy-on-write noise) and measured only after *every*
+    worker has mapped (parent barrier), so v2's file-backed pages are
+    accounted as shared — the state a real 4-worker sweep holds them in.
+    Absolute USS, not a before/after delta: allocator page reuse makes
+    small deltas meaningless, while identical bootstrap work on both sides
+    cancels out of the v1 − v2 comparison.
+    """
+    import gc
+
+    workflow = workflow_from_dict(payload)
+    fingerprint = workflow_fingerprint(workflow)
+    relation = workflow.provenance_relation()
+    store = DerivationStore(directory)
+    held = []
+    checksum = 0
+    for _ in range(HELD_PACKS):
+        pack = store.load_pack(fingerprint, workflow, relation)
+        assert pack is not None
+        array = pack.packed.array
+        if array is not None:
+            checksum ^= int(array.sum())  # faults every page, no row objects
+        else:
+            checksum ^= sum(pack.packed.codes)
+        held.append(pack)
+    gc.collect()
+    conn.send(("mapped", checksum & 0xFFFF))
+    conn.recv()  # barrier: all workers hold their mappings now
+    conn.send(("uss", _uss_bytes()))
+    conn.recv()  # hold the packs until every sibling has measured
+    assert len(held) == HELD_PACKS
+
+
+def _worker_memory_uss(directory: Path, workflow: Workflow) -> list[int] | None:
+    """Absolute per-worker private memory at ``WORKERS`` concurrent holders."""
+    if _uss_bytes() is None:  # pragma: no cover - no smaps_rollup
+        return None
+    ctx = multiprocessing.get_context("spawn")
+    payload = workflow_to_dict(workflow)
+    procs = []
+    for _ in range(WORKERS):
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(
+            target=_memory_worker, args=(str(directory), payload, child_conn)
+        )
+        proc.start()
+        child_conn.close()
+        procs.append((proc, parent_conn))
+    values: list[int] = []
+    try:
+        for _, conn in procs:  # phase 1: everyone holds its packs
+            kind, _ = conn.recv()
+            assert kind == "mapped"
+        for _, conn in procs:
+            conn.send("measure")
+        for _, conn in procs:  # phase 2: everyone has measured
+            kind, uss = conn.recv()
+            assert kind == "uss"
+            if uss is None:  # pragma: no cover - smaps vanished mid-run
+                return None
+            values.append(uss)
+        for _, conn in procs:
+            conn.send("done")
+    finally:
+        for proc, conn in procs:
+            conn.close()
+            proc.join(timeout=60)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join()
+    return values
+
+
+def run_benchmark(tiny: bool = False) -> dict:
+    workflow = _bench_workflow(tiny)
+    iterations = 10 if tiny else 30
+    v1_dir = Path(tempfile.mkdtemp(prefix="repro-bench-store-v1-"))
+    v2_dir = Path(tempfile.mkdtemp(prefix="repro-bench-store-v2-"))
+    try:
+        rows = _build_store(v1_dir, workflow, format_version=1)
+        _build_store(v2_dir, workflow, format_version=2)
+        v1_bytes = DerivationStore(v1_dir, format_version=1).disk_stats()["bytes"]
+        v2_bytes = DerivationStore(v2_dir).disk_stats()["bytes"]
+
+        v1_seconds = _time_pack_loads(v1_dir, workflow, iterations)
+        v2_seconds = _time_pack_loads(v2_dir, workflow, iterations)
+
+        v1_uss = _worker_memory_uss(v1_dir, workflow)
+        v2_uss = _worker_memory_uss(v2_dir, workflow)
+    finally:
+        shutil.rmtree(v1_dir, ignore_errors=True)
+        shutil.rmtree(v2_dir, ignore_errors=True)
+
+    measured = v1_uss is not None and v2_uss is not None
+    if measured:
+        v1_avg = sum(v1_uss) / len(v1_uss)
+        v2_avg = sum(v2_uss) / len(v2_uss)
+        memory = {
+            "workers": WORKERS,
+            "held_packs": HELD_PACKS,
+            "measured": True,
+            "v1_avg_uss_bytes": round(v1_avg),
+            "v2_avg_uss_bytes": round(v2_avg),
+            "reduction_bytes": round(v1_avg - v2_avg),
+        }
+    else:  # pragma: no cover - platform without smaps_rollup
+        memory = {"workers": WORKERS, "held_packs": HELD_PACKS, "measured": False}
+
+    record = {
+        "benchmark": "bench_store",
+        "tiny": tiny,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "rows": rows,
+        "pack_load": {
+            "iterations": iterations,
+            "v1_json_seconds": v1_seconds,
+            "v2_mmap_seconds": v2_seconds,
+            "speedup": v1_seconds / v2_seconds,
+        },
+        "worker_memory": memory,
+        "disk": {
+            "v1_bytes": v1_bytes,
+            "v2_bytes": v2_bytes,
+            "ratio": v1_bytes / v2_bytes,
+        },
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    write_record(record)
+    return record
+
+
+def write_record(record: dict, path: Path = RECORD_PATH) -> None:
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points (the benchmark harness)
+# ---------------------------------------------------------------------------
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - standalone invocation without pytest
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.mark.experiment("store")
+    def test_bench_binary_store_pack_loads(report_sink):
+        """v2 mmap pack loads beat v1 JSON-parse loads >= 2x; workers at a
+        shared v2 store hold less private memory than at a v1 store."""
+        from repro.analysis import format_table
+
+        record = run_benchmark(tiny=False)
+        memory = record["worker_memory"]
+        mem_row = (
+            [
+                f"{memory['v1_avg_uss_bytes'] / 1024:.0f} KiB",
+                f"{memory['v2_avg_uss_bytes'] / 1024:.0f} KiB",
+            ]
+            if memory["measured"]
+            else ["(unmeasured)", "(unmeasured)"]
+        )
+        report_sink.append(
+            (
+                "Store format v2: binary mmap packs vs v1 JSON "
+                f"(record: {RECORD_PATH.name})",
+                format_table(
+                    ["metric", "v1 (JSON)", "v2 (binary mmap)"],
+                    [
+                        [
+                            "pack load",
+                            f"{record['pack_load']['v1_json_seconds'] * 1e3:.2f} ms",
+                            f"{record['pack_load']['v2_mmap_seconds'] * 1e3:.2f} ms "
+                            f"({record['pack_load']['speedup']:.1f}x)",
+                        ],
+                        [
+                            f"per-worker USS ({WORKERS} workers x "
+                            f"{HELD_PACKS} packs)",
+                            *mem_row,
+                        ],
+                        [
+                            "store bytes",
+                            f"{record['disk']['v1_bytes']}",
+                            f"{record['disk']['v2_bytes']} "
+                            f"({record['disk']['ratio']:.1f}x smaller)",
+                        ],
+                    ],
+                ),
+            )
+        )
+        assert record["pack_load"]["speedup"] >= SPEEDUP_FLOOR, (
+            f"v2 pack-load speedup {record['pack_load']['speedup']:.2f}x is "
+            f"below the {SPEEDUP_FLOOR}x floor"
+        )
+        assert record["disk"]["v2_bytes"] < record["disk"]["v1_bytes"]
+        if memory["measured"]:
+            assert memory["reduction_bytes"] > 0, (
+                "v2 workers hold no less private memory than v1 workers"
+            )
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    tiny = "--tiny" in argv
+    record = run_benchmark(tiny=tiny)
+    pack = record["pack_load"]
+    print(
+        f"pack load ({record['rows']} rows): v1 {pack['v1_json_seconds'] * 1e3:.2f} ms"
+        f" vs v2 {pack['v2_mmap_seconds'] * 1e3:.2f} ms ({pack['speedup']:.1f}x)"
+    )
+    memory = record["worker_memory"]
+    if memory["measured"]:
+        print(
+            f"per-worker USS ({WORKERS} workers x {HELD_PACKS} packs): "
+            f"v1 {memory['v1_avg_uss_bytes'] / 1024:.0f} KiB vs "
+            f"v2 {memory['v2_avg_uss_bytes'] / 1024:.0f} KiB "
+            f"(saves {memory['reduction_bytes'] / 1024:.0f} KiB/worker)"
+        )
+    else:
+        print("per-worker memory: unmeasured on this platform")
+    print(
+        f"disk: v1 {record['disk']['v1_bytes']} B vs v2 "
+        f"{record['disk']['v2_bytes']} B ({record['disk']['ratio']:.1f}x smaller)"
+    )
+    print(f"record written to {RECORD_PATH}")
+    if not tiny and pack["speedup"] < SPEEDUP_FLOOR:
+        print(f"FAIL: v2 pack-load speedup below {SPEEDUP_FLOOR}x floor")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -91,6 +91,10 @@ def run_benchmark(tiny: bool = False) -> dict:
         start = time.perf_counter()
         parallel_warm = run_sweep(spec, n_jobs=WORKERS, store=store_dir)
         parallel_warm_seconds = time.perf_counter() - start
+
+        from repro.engine import DerivationStore
+
+        store_disk_bytes = DerivationStore(store_dir).disk_stats()["bytes"]
     finally:
         shutil.rmtree(store_dir, ignore_errors=True)
 
@@ -129,6 +133,7 @@ def run_benchmark(tiny: bool = False) -> dict:
         "cold_derivations": parallel_cold.stats["derivation_misses"],
         "warm_derivations": parallel_warm.stats["derivation_misses"],
         "warm_result_store_hits": parallel_warm.result_store_hits,
+        "store_disk_bytes": store_disk_bytes,
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
     }
     write_record(record)

@@ -2,7 +2,8 @@
 
 The repository commits one JSON record per headline benchmark
 (``BENCH_kernel.json``, ``BENCH_sweep.json``, ``BENCH_incremental.json``,
-``BENCH_service.json``), each carrying a ``speedup_floor``.  This script
+``BENCH_service.json``, ``BENCH_store.json``), each carrying a
+``speedup_floor``.  This script
 re-runs every benchmark in ``--tiny`` mode (CI-sized instances) and fails
 if any gated speedup lands below the floor *committed* in the corresponding
 record — i.e. the floor a past run promised, not whatever the fresh run
@@ -15,7 +16,8 @@ Gated metrics per benchmark (dotted paths into the fresh record):
 * ``bench_sweep``        — warm-store parallel sweep over serial cold;
 * ``bench_incremental``  — edit-one-module re-solve over a cold solve;
 * ``bench_service``      — warm-server throughput over sequential cold CLI
-  solves (the benchmark itself additionally hard-asserts exact coalescing).
+  solves (the benchmark itself additionally hard-asserts exact coalescing);
+* ``bench_store``        — binary mmap pack loads over v1 JSON parsing.
 
 CI-sized instances carry proportionally more fixed overhead than the
 committed full-size runs, so each gated metric also declares a **tiny
@@ -87,6 +89,14 @@ GATES: dict[str, tuple[str, str, dict[str, float | str]]] = {
             # benchmark records 2.0 on >= 4 cores, a sanity floor below.
             "scaling.speedup_4_workers": "@scaling.floor",
         },
+    ),
+    "store": (
+        "bench_store.py",
+        "BENCH_store.json",
+        # PR 9 binary mmap pack loads vs v1 JSON parsing; tiny instances
+        # (~2k rows) measure ~1.8x where the committed full-size run
+        # promises >= 2x, and a lost binary path measures ~1.0x.
+        {"pack_load.speedup": 1.3},
     ),
 }
 

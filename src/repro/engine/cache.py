@@ -135,6 +135,11 @@ class CacheStats:
     batched_masks: int = 0
     batched_passes: int = 0
     scalar_masks: int = 0
+    #: Store-format-v2 accounting: packs served from the store whose code
+    #: arrays are memory-mapped sidecars (shared, page-cached, zero-copy)
+    #: rather than parsed copies, and the bytes mapped in total.
+    mmap_packs: int = 0
+    mmap_bytes: int = 0
 
     @property
     def hits(self) -> int:
@@ -171,6 +176,8 @@ class CacheStats:
             "batched_masks": self.batched_masks,
             "batched_passes": self.batched_passes,
             "scalar_masks": self.scalar_masks,
+            "mmap_packs": self.mmap_packs,
+            "mmap_bytes": self.mmap_bytes,
         }
 
     def delta(self, earlier: "CacheStats") -> "CacheStats":
@@ -236,6 +243,8 @@ class DerivationCache:
     batched_masks: int = 0
     batched_passes: int = 0
     scalar_masks: int = 0
+    mmap_packs: int = 0
+    mmap_bytes: int = 0
 
     def _evict_pin(self, key: int) -> None:
         """Drop one pinned workflow and every id-keyed entry it anchors."""
@@ -320,6 +329,13 @@ class DerivationCache:
         """Attach (or detach, with ``None``) the persistent back tier."""
         self.store = store
 
+    def _count_mapped(self, loaded) -> None:
+        """Account a store-served pack whose codes came back memory-mapped."""
+        mapped = getattr(loaded.packed, "mapped_bytes", 0)
+        if mapped:
+            self.mmap_packs += 1
+            self.mmap_bytes += mapped
+
     # -- kernel compilation -------------------------------------------------------
     @_locked
     def compiled_workflow(self, workflow: Workflow) -> CompiledWorkflow:
@@ -342,6 +358,7 @@ class DerivationCache:
             if loaded is not None:
                 self.store_hits += 1
                 self.compile_hits += 1
+                self._count_mapped(loaded)
                 self._remember(self._compiled, key, loaded)
                 return loaded
             self.store_misses += 1
@@ -369,6 +386,7 @@ class DerivationCache:
             loaded = self.store.load_module_pack(fingerprint, module)
             if loaded is not None:
                 self.store_hits += 1
+                self._count_mapped(loaded)
                 self._remember(self._compiled_modules, fingerprint, loaded)
                 return loaded
             self.store_misses += 1
@@ -627,6 +645,8 @@ class DerivationCache:
             batched_masks=self.batched_masks,
             batched_passes=self.batched_passes,
             scalar_masks=self.scalar_masks,
+            mmap_packs=self.mmap_packs,
+            mmap_bytes=self.mmap_bytes,
         )
 
     @_locked
@@ -655,3 +675,4 @@ class DerivationCache:
         self.store_hits = self.store_misses = 0
         self.reused_modules = self.rederived_modules = 0
         self.batched_masks = self.batched_passes = self.scalar_masks = 0
+        self.mmap_packs = self.mmap_bytes = 0

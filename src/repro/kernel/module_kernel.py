@@ -147,7 +147,11 @@ class CompiledModule:
 
     @classmethod
     def from_payload(
-        cls, module: "Module", payload: dict, relation: "Relation | None" = None
+        cls,
+        module: "Module",
+        payload: dict,
+        relation: "Relation | None" = None,
+        base_dir: "str | None" = None,
     ) -> "CompiledModule":
         """Rebuild a compiled module from :meth:`to_payload` output.
 
@@ -163,7 +167,9 @@ class CompiledModule:
         compiled.module = module
         compiled.relation = relation
         compiled.layout = BitLayout(module.schema)
-        compiled.packed = PackedRelation.from_dict(compiled.layout, payload["pack"])
+        compiled.packed = PackedRelation.from_dict(
+            compiled.layout, payload["pack"], base_dir=base_dir
+        )
         compiled.input_bits = compiled.layout.mask_for(module.input_names)
         compiled.output_bits = compiled.layout.mask_for(module.output_names)
         compiled.all_bits = compiled.input_bits | compiled.output_bits
@@ -206,15 +212,16 @@ class CompiledModule:
         relation is empty.  This is the kernel's one pass over the data.
         """
         vin = visible_bits & self.input_bits
-        codes = self.packed.codes
-        if not codes:
+        if len(self.packed) == 0:
             return {}
         if self.packed.use_numpy:
+            # The numpy path never materializes Python-int codes: on an
+            # mmap-backed pack ``array`` is a zero-copy view of the sidecar.
             arr = self.packed.array
             pairs = _np.unique(arr & _np.uint64(visible_bits & self.all_bits))
             groups, counts = _np.unique(pairs & _np.uint64(vin), return_counts=True)
             return {int(g): int(c) for g, c in zip(groups, counts)}
-        pairs = {code & visible_bits for code in codes}
+        pairs = {code & visible_bits for code in self.packed.codes}
         counts: dict[int, int] = {}
         for pair in pairs:
             group = pair & vin
@@ -251,7 +258,7 @@ class CompiledModule:
             _BATCHING_ENABLED
             and n_masks >= BATCH_MIN_MASKS
             and self.packed.use_numpy
-            and bool(self.packed.codes)
+            and len(self.packed) > 0
         )
 
     def _compute_levels_batch(self, masks: Sequence[int]) -> None:
@@ -265,7 +272,7 @@ class CompiledModule:
         single per-mask relation scan.
         """
         arr = self.packed.array
-        n_rows = len(self.packed.codes)
+        n_rows = len(self.packed)
         vis = _np.fromiter(masks, dtype=_np.uint64, count=len(masks))
         vin = vis & _np.uint64(self.input_bits)
         tile = max(1, BATCH_MEMORY_BUDGET // (8 * n_rows))

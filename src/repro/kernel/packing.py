@@ -237,13 +237,22 @@ class PackedRelation:
     Codes are kept in row order (duplicates under the layout's projection
     included); a numpy ``uint64`` mirror is materialized lazily for layouts
     that fit and relations big enough for vectorization to pay off.
+
+    Since store format v2 a pack can also be **buffer-backed**
+    (:meth:`from_backing`): the codes live in a memory-mapped binary
+    sidecar (:mod:`repro.kernel.binpack`) and are decoded lazily — the
+    numpy mirror is a zero-copy view over the mapping, and the Python-int
+    list materializes only if a scalar path actually asks for it, so
+    co-located processes share one set of read-only pages.
     """
 
-    __slots__ = ("layout", "codes", "_array")
+    __slots__ = ("layout", "_codes", "_backing", "_rows", "_array")
 
     def __init__(self, layout: BitLayout, codes: list[int]) -> None:
         self.layout = layout
-        self.codes = codes
+        self._codes = codes
+        self._backing = None
+        self._rows = len(codes)
         self._array = None
 
     @classmethod
@@ -253,33 +262,94 @@ class PackedRelation:
         layout = layout if layout is not None else BitLayout(relation.schema)
         return cls(layout, layout.pack_relation(relation))
 
+    @classmethod
+    def from_backing(cls, layout: BitLayout, backing) -> "PackedRelation":
+        """A pack whose codes live in a :class:`~.binpack.CodeBacking`."""
+        packed = cls.__new__(cls)
+        packed.layout = layout
+        packed._codes = None
+        packed._backing = backing
+        packed._rows = backing.rows
+        packed._array = None
+        return packed
+
+    @property
+    def codes(self) -> list[int]:
+        """The codes as Python ints (decoded once for backed packs)."""
+        if self._codes is None:
+            self._codes = self._backing.materialize()
+        return self._codes
+
+    @property
+    def mapped_bytes(self) -> int:
+        """Bytes of memory-mapped backing behind this pack (0 if unmapped)."""
+        backing = self._backing
+        return backing.nbytes if backing is not None and backing.mapped else 0
+
     # -- stable serialization --------------------------------------------------
     def to_dict(self) -> dict:
         """JSON-safe form: the layout description plus the raw codes.
 
         Codes are arbitrary-precision Python ints, which JSON carries
-        exactly, so packs wider than 64 bits round-trip unchanged.
+        exactly, so packs wider than 64 bits round-trip unchanged —
+        including packs loaded back from a binary v2 sidecar, whose
+        payload must be byte-identical to the v1 JSON it migrated from.
         """
         return {"layout": self.layout.to_dict(), "codes": list(self.codes)}
 
+    def to_binary(self) -> tuple[dict, bytes]:
+        """Store-format-v2 form: a descriptor document plus sidecar bytes.
+
+        The returned dict mirrors :meth:`to_dict` with the code list
+        replaced by a :mod:`~repro.kernel.binpack` descriptor (the caller
+        attaches the sidecar ``"file"`` name it writes the bytes under).
+        """
+        from . import binpack
+
+        descriptor, payload = binpack.encode_codes(
+            self.codes, self.layout.total_bits
+        )
+        return {"layout": self.layout.to_dict(), "codes": descriptor}, payload
+
     @classmethod
     def from_dict(
-        cls, layout: BitLayout, payload: Mapping[str, object]
+        cls,
+        layout: BitLayout,
+        payload: Mapping[str, object],
+        base_dir: "str | None" = None,
     ) -> "PackedRelation":
         """Rebuild a pack against a live layout; ``None``-safe validation.
 
         Raises :class:`ValueError` when the stored layout description is
         structurally incompatible with ``layout`` (field order, widths or
         domain sizes drifted), which turns a silently-corrupt cache read
-        into a recompile.
+        into a recompile.  A v2 payload carries a binary-sidecar
+        descriptor where v1 carried the code list; resolving it requires
+        ``base_dir`` (the artifact's directory), and a v1-era caller that
+        passes none fails the same validation path instead of crashing.
         """
         stored_layout = payload.get("layout", {})
         if not layout.compatible_with(stored_layout):
             raise ValueError("stored pack layout is incompatible with the schema")
-        return cls(layout, [int(code) for code in payload["codes"]])
+        codes = payload["codes"]
+        if isinstance(codes, Mapping):
+            from pathlib import Path
+
+            from . import binpack
+
+            if base_dir is None:
+                raise ValueError("binary pack payload requires a base directory")
+            name = str(codes.get("file", ""))
+            if not name or Path(name).name != name:
+                raise ValueError(f"invalid code sidecar name {name!r}")
+            backing = binpack.open_codes(
+                Path(base_dir) / name, codes, layout.total_bits
+            )
+            return cls.from_backing(layout, backing)
+        return cls(layout, [int(code) for code in codes])
 
     def __len__(self) -> int:
-        return len(self.codes)
+        return self._rows
 
     @property
     def use_numpy(self) -> bool:
@@ -287,7 +357,7 @@ class PackedRelation:
         return (
             HAVE_NUMPY
             and self.layout.total_bits <= NUMPY_MAX_BITS
-            and len(self.codes) >= NUMPY_MIN_ROWS
+            and self._rows >= NUMPY_MIN_ROWS
         )
 
     @property
@@ -298,7 +368,10 @@ class PackedRelation:
             and HAVE_NUMPY
             and self.layout.total_bits <= NUMPY_MAX_BITS
         ):
-            self._array = _np.fromiter(
-                self.codes, dtype=_np.uint64, count=len(self.codes)
-            )
+            if self._backing is not None:
+                self._array = self._backing.array()
+            if self._array is None:
+                self._array = _np.fromiter(
+                    self.codes, dtype=_np.uint64, count=self._rows
+                )
         return self._array

@@ -90,7 +90,11 @@ class CompiledWorkflow:
 
     @classmethod
     def from_payload(
-        cls, workflow: "Workflow", relation: "Relation", payload: dict
+        cls,
+        workflow: "Workflow",
+        relation: "Relation",
+        payload: dict,
+        base_dir: "str | None" = None,
     ) -> "CompiledWorkflow":
         """Rebuild a compiled workflow from :meth:`to_payload` output.
 
@@ -104,7 +108,9 @@ class CompiledWorkflow:
         compiled.workflow = workflow
         compiled.base_relation = relation
         compiled.layout = BitLayout(workflow.schema)
-        compiled.packed = PackedRelation.from_dict(compiled.layout, payload["pack"])
+        compiled.packed = PackedRelation.from_dict(
+            compiled.layout, payload["pack"], base_dir=base_dir
+        )
         compiled._module_bits = {
             module.name: (
                 compiled.layout.mask_for(module.input_names),

@@ -249,7 +249,22 @@ def _worker_main(
 
     state = _WorkerState(worker_context(store_path), reuse_results)
     try:
-        conn.send(("ready", {"pid": os.getpid(), "warmed": state.warm(warmup)}))
+        warmed = state.warm(warmup)
+        # Format-v2 stores serve pre-warmed packs as memory-mapped sidecars;
+        # report how much of this worker's warm set is shared mappings so
+        # the parent's /metrics can show the per-worker memory win.
+        stats = state.context.cache.stats()
+        conn.send(
+            (
+                "ready",
+                {
+                    "pid": os.getpid(),
+                    "warmed": warmed,
+                    "mmap_packs": stats.mmap_packs,
+                    "mmap_bytes": stats.mmap_bytes,
+                },
+            )
+        )
         while True:
             try:
                 message = conn.recv()
@@ -382,6 +397,8 @@ class ProcessExecTier:
         self.failed = 0
         self.worker_restarts = 0
         self.workers_warmed = 0
+        self.workers_mmap_packs = 0
+        self.workers_mmap_bytes = 0
         self._worker_cache: dict[str, int] = {}
         self._workers = [self._spawn(index) for index in range(workers)]
         self._collector = threading.Thread(
@@ -456,6 +473,8 @@ class ProcessExecTier:
             if op == "ready":
                 worker.ready = True
                 self.workers_warmed += int(message[1].get("warmed", 0))
+                self.workers_mmap_packs += int(message[1].get("mmap_packs", 0))
+                self.workers_mmap_bytes += int(message[1].get("mmap_bytes", 0))
                 self._dispatch_locked()
             elif op == "warmed":
                 self.workers_warmed += int(message[1])
@@ -692,6 +711,8 @@ class ProcessExecTier:
                 "failed": self.failed,
                 "worker_restarts": self.worker_restarts,
                 "warmed_packs": self.workers_warmed,
+                "mapped_packs": self.workers_mmap_packs,
+                "mapped_bytes": self.workers_mmap_bytes,
                 "healthy": not self._closing and any(w.alive for w in self._workers),
             }
 

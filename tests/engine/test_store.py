@@ -8,7 +8,9 @@ import os
 import pytest
 
 from repro.engine import DerivationCache, DerivationStore, Planner
-from repro.engine.store import OutSetKey, ResultKey, _key_digest
+from repro.engine.store import FORMAT_VERSION, OutSetKey, ResultKey, _key_digest
+from repro.kernel import CompiledWorkflow
+from repro.optim.lp import HAVE_SCIPY
 from repro.workloads import figure1_workflow, random_workflow, workflow_fingerprint
 
 
@@ -101,7 +103,8 @@ class TestArtifactRoundTrips:
             path.write_text(payload)
             assert store.load_pack(fingerprint, workflow, relation) is None
 
-    def test_negative_domain_index_degrades_to_miss(self, store):
+    def test_negative_domain_index_degrades_to_miss(self, tmp_path):
+        store = DerivationStore(tmp_path / "store", format_version=1)
         workflow = figure1_workflow()
         fingerprint = workflow_fingerprint(workflow)
         store.save_relation(fingerprint, workflow.provenance_relation())
@@ -128,6 +131,207 @@ class TestArtifactRoundTrips:
         store.save_relation(fingerprint, other.provenance_relation())
         # Decoding against the wrong schema must fail safe, not misdecode.
         assert store.load_relation(fingerprint, workflow) is None
+
+
+class TestStoreFormatV2:
+    """The binary, memory-mapped v2 layout and its failure modes."""
+
+    @staticmethod
+    def _saved_entry(store):
+        workflow = figure1_workflow()
+        fingerprint = workflow_fingerprint(workflow)
+        compiled = DerivationCache().compiled_workflow(workflow)
+        store.save_pack(fingerprint, compiled)
+        store.save_relation(fingerprint, workflow.provenance_relation(),
+                            workflow=workflow)
+        return workflow, fingerprint, compiled
+
+    def test_v2_writes_binary_sidecars_and_stamped_docs(self, store):
+        workflow, fingerprint, _ = self._saved_entry(store)
+        entry = store._dir(fingerprint)
+        for stem in ("pack", "relation"):
+            doc = json.loads((entry / f"{stem}.json").read_text())
+            assert doc["format"] == FORMAT_VERSION
+            descriptor = doc["pack"]["codes"]
+            assert isinstance(descriptor, dict)
+            sidecar = entry / descriptor["file"]
+            assert sidecar.is_file() and sidecar.stat().st_size > 0
+        meta = json.loads((entry / "meta.json").read_text())
+        assert meta["format_version"] == FORMAT_VERSION
+
+    def test_truncated_sidecar_degrades_to_miss(self, store):
+        workflow, fingerprint, _ = self._saved_entry(store)
+        entry = store._dir(fingerprint)
+        sidecar = next(entry.glob("pack.codes.*"))
+        sidecar.write_bytes(sidecar.read_bytes()[:-3])
+        assert store.load_pack(
+            fingerprint, workflow, workflow.provenance_relation()
+        ) is None
+
+    def test_garbage_sidecar_degrades_to_miss(self, store):
+        workflow, fingerprint, _ = self._saved_entry(store)
+        entry = store._dir(fingerprint)
+        next(entry.glob("relation.codes.*")).write_bytes(b"\x00garbage\xff" * 7)
+        assert store.load_relation(fingerprint, workflow) is None
+
+    def test_missing_sidecar_degrades_to_miss(self, store):
+        workflow, fingerprint, _ = self._saved_entry(store)
+        entry = store._dir(fingerprint)
+        next(entry.glob("pack.codes.*")).unlink()
+        assert store.load_pack(
+            fingerprint, workflow, workflow.provenance_relation()
+        ) is None
+
+    def test_sidecar_path_traversal_is_rejected(self, store, tmp_path):
+        workflow, fingerprint, _ = self._saved_entry(store)
+        entry = store._dir(fingerprint)
+        outside = tmp_path / "outside.npy"
+        outside.write_bytes(next(entry.glob("pack.codes.*")).read_bytes())
+        doc = json.loads((entry / "pack.json").read_text())
+        doc["pack"]["codes"]["file"] = os.path.relpath(outside, entry)
+        (entry / "pack.json").write_text(json.dumps(doc))
+        assert store.load_pack(
+            fingerprint, workflow, workflow.provenance_relation()
+        ) is None
+
+    def test_v2_document_without_base_dir_raises_for_v1_readers(self, store):
+        """Code expecting inline v1 codes fails loudly, not with garbage."""
+        workflow, fingerprint, _ = self._saved_entry(store)
+        doc = json.loads((store._dir(fingerprint) / "pack.json").read_text())
+        with pytest.raises(ValueError):
+            CompiledWorkflow.from_payload(
+                workflow, workflow.provenance_relation(), doc
+            )
+
+    def test_future_format_degrades_to_miss(self, store):
+        workflow, fingerprint, _ = self._saved_entry(store)
+        entry = store._dir(fingerprint)
+        for stem in ("pack", "relation"):
+            doc = json.loads((entry / f"{stem}.json").read_text())
+            doc["format"] = FORMAT_VERSION + 1
+            (entry / f"{stem}.json").write_text(json.dumps(doc))
+        assert store.load_pack(
+            fingerprint, workflow, workflow.provenance_relation()
+        ) is None
+        assert store.load_relation(fingerprint, workflow) is None
+
+    def test_mixed_version_store_serves_both_formats(self, tmp_path):
+        """A half-migrated directory keeps serving hits from both tiers."""
+        root = tmp_path / "store"
+        old = DerivationStore(root, format_version=1)
+        new = DerivationStore(root)
+        v1_wf = figure1_workflow()
+        v1_fp = workflow_fingerprint(v1_wf)
+        old.save_relation(v1_fp, v1_wf.provenance_relation(), workflow=v1_wf)
+        v2_wf = random_workflow(4, seed=11)
+        v2_fp = workflow_fingerprint(v2_wf)
+        new.save_relation(v2_fp, v2_wf.provenance_relation(), workflow=v2_wf)
+        reader = DerivationStore(root)
+        assert reader.load_relation(v1_fp, v1_wf) == v1_wf.provenance_relation()
+        assert reader.load_relation(v2_fp, v2_wf) == v2_wf.provenance_relation()
+
+    def test_loaded_pack_reports_mapped_bytes(self, store):
+        workflow, fingerprint, compiled = self._saved_entry(store)
+        loaded = store.load_pack(
+            fingerprint, workflow, workflow.provenance_relation()
+        )
+        assert loaded is not None
+        mapped = getattr(loaded.packed, "mapped_bytes", 0)
+        # mmap may legitimately be unavailable (exotic filesystems); the
+        # pack must still round-trip either way.
+        assert mapped >= 0
+        visible = frozenset({"a1", "a3", "a5"})
+        assert loaded.module_out_sets("m1", visible) == compiled.module_out_sets(
+            "m1", visible
+        )
+
+
+class TestDiskStatsSurface:
+    def test_disk_stats_reports_tiers_and_format_versions(self, store):
+        workflow = figure1_workflow()
+        cache = DerivationCache(store=store)
+        cache.requirements(workflow, 2, "set")  # fills both tiers
+        cache.compiled_workflow(workflow)
+        stats = store.disk_stats()
+        assert stats["format_version"] == FORMAT_VERSION
+        assert stats["format_versions"].get(str(FORMAT_VERSION), 0) > 0
+        tiers = stats["tiers"]
+        assert tiers["workflow"]["entries"] >= 1
+        assert tiers["modules"]["entries"] >= 1
+        for tier in tiers.values():
+            assert tier["files"] > 0 and tier["bytes"] > 0
+        assert tiers["workflow"]["bytes"] + tiers["modules"]["bytes"] == (
+            stats["bytes"]
+        )
+
+
+class TestStoreMigration:
+    """``DerivationStore.migrate``: v1 -> v2, in place, idempotent."""
+
+    @staticmethod
+    def _v1_store_with_solve(tmp_path):
+        directory = tmp_path / "store"
+        store = DerivationStore(directory, format_version=1)
+        planner = Planner(figure1_workflow(), 2, kind="set", store=store)
+        planner.solve(solver="greedy", verify=True)
+        return directory
+
+    def test_migrate_rewrites_packs_and_relations(self, tmp_path):
+        directory = self._v1_store_with_solve(tmp_path)
+        store = DerivationStore(directory)
+        before = store.disk_stats()
+        assert before["format_versions"].get("1", 0) > 0
+        summary = store.migrate()
+        assert summary["packs_migrated"] > 0
+        assert summary["relations_migrated"] > 0
+        assert summary["failed"] == 0
+        after = store.disk_stats()
+        assert "1" not in after["format_versions"]
+        assert after["format_versions"].get("2", 0) == summary["entries"]
+
+    def test_migrate_is_idempotent(self, tmp_path):
+        directory = self._v1_store_with_solve(tmp_path)
+        store = DerivationStore(directory)
+        first = store.migrate()
+        second = store.migrate()
+        assert second["packs_migrated"] == 0
+        assert second["relations_migrated"] == 0
+        assert second["already_current"] > 0
+        assert second["entries"] == first["entries"]
+
+    def test_warm_solve_on_migrated_store_skips_derivation(self, tmp_path):
+        directory = self._v1_store_with_solve(tmp_path)
+        cold = Planner(figure1_workflow(), 2, kind="set", store=str(directory))
+        expected = cold.solve(solver="greedy", verify=True)
+        DerivationStore(directory).migrate()
+        warm = Planner(figure1_workflow(), 2, kind="set", store=str(directory))
+        result = warm.solve(solver="greedy", verify=True)
+        assert result.cost == expected.cost
+        assert sorted(result.hidden_attributes) == sorted(
+            expected.hidden_attributes
+        )
+        assert result.cache_stats.derivation_misses == 0
+        assert result.cache_stats.store_hits > 0
+
+    def test_migrated_module_pack_payload_is_byte_identical(self, tmp_path):
+        directory = self._v1_store_with_solve(tmp_path)
+        store = DerivationStore(directory)
+        workflow = figure1_workflow()
+        from repro.workloads import module_fingerprint
+
+        originals = {}
+        for module in workflow.private_modules:
+            mfp = module_fingerprint(module)
+            loaded = store.load_module_pack(mfp, module)
+            assert loaded is not None, "fixture store must hold module packs"
+            originals[mfp] = json.dumps(loaded.to_payload(), sort_keys=True)
+        store.migrate()
+        for module in workflow.private_modules:
+            mfp = module_fingerprint(module)
+            migrated = store.load_module_pack(mfp, module)
+            assert json.dumps(
+                migrated.to_payload(), sort_keys=True
+            ) == originals[mfp]
 
 
 class TestTwoTierCache:
@@ -168,6 +372,7 @@ class TestTwoTierCache:
         assert warm.out_set_misses == 0
         assert warm.store_hits >= 3
 
+    @pytest.mark.skipif(not HAVE_SCIPY, reason="exact solver needs scipy")
     def test_planner_store_path_round_trip(self, tmp_path):
         directory = str(tmp_path / "store")
         first = Planner(figure1_workflow(), 2, kind="set", store=directory)
@@ -242,8 +447,31 @@ class TestCacheStatsSurface:
     def test_stats_dict_includes_store_counters(self):
         cache = DerivationCache()
         payload = cache.stats().as_dict()
-        for key in ("compile_hits", "compile_misses", "store_hits", "store_misses"):
+        for key in (
+            "compile_hits",
+            "compile_misses",
+            "store_hits",
+            "store_misses",
+            "mmap_packs",
+            "mmap_bytes",
+        ):
             assert key in payload
+
+    def test_warm_v2_pack_load_counts_mapped_bytes(self, store):
+        workflow = figure1_workflow()
+        cold = DerivationCache(store=store)
+        cold.relation(workflow)
+        cold.compiled_workflow(workflow)
+        warm = DerivationCache(store=store)
+        rebuilt = figure1_workflow()
+        warm.relation(rebuilt)
+        warm.compiled_workflow(rebuilt)
+        stats = warm.stats()
+        assert stats.mmap_packs >= 1
+        assert stats.mmap_bytes > 0
+        warm.clear()
+        cleared = warm.stats()
+        assert cleared.mmap_packs == 0 and cleared.mmap_bytes == 0
 
     def test_delta_subtracts_fieldwise(self):
         cache = DerivationCache()
@@ -308,7 +536,22 @@ class TestStoreGC:
         assert store._dir(fingerprint).is_dir()
         store.gc(max_bytes=0)
         assert not store._dir(fingerprint).exists()
+        # The emptied two-hex shard directory goes too, not just the entry.
+        assert not store._dir(fingerprint).parent.exists()
         assert store.root.is_dir()  # the root itself survives
+
+    def test_gc_evicts_binary_sidecars_with_their_documents(self, store):
+        workflow = figure1_workflow()
+        fingerprint = workflow_fingerprint(workflow)
+        cache = DerivationCache(store=store)
+        cache.relation(workflow)
+        cache.compiled_workflow(workflow)
+        entry = store._dir(fingerprint)
+        assert list(entry.glob("*.codes.*"))  # v2 wrote sidecars
+        summary = store.gc(max_bytes=0)
+        assert summary["kept_bytes"] == 0
+        assert not entry.exists()
+        assert not list(store.root.rglob("*.codes.*"))
 
     def test_gc_rejects_negative_budget(self, store):
         with pytest.raises(ValueError):

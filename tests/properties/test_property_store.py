@@ -106,6 +106,50 @@ def test_store_persisted_packs_match_fresh_compilation_and_reference(seed, data)
 
 
 @settings(max_examples=10, deadline=None)
+@given(seeds)
+def test_migration_preserves_pack_payload_bytes(seed):
+    """v1 → v2 migration re-serializes packs *byte-identically*.
+
+    The migrated sidecar plus layout must decode to exactly the payload a
+    v1 document held (``to_payload()`` JSON, sorted keys): migration is a
+    re-encoding of the same codes, never a recompilation that could pick
+    up incidental ordering differences.
+    """
+    import json
+    import tempfile
+
+    from repro.workloads import module_fingerprint
+
+    workflow = random_workflow(3, seed=seed % 1000, max_inputs=2)
+    fingerprint = workflow_fingerprint(workflow)
+    relation = workflow.provenance_relation()
+    with tempfile.TemporaryDirectory() as directory:
+        old = DerivationStore(directory, format_version=1)
+        cache = DerivationCache(store=old)
+        compiled = cache.compiled_workflow(workflow)
+        old.save_pack(fingerprint, compiled)
+        old.save_relation(fingerprint, relation, workflow=workflow)
+        modules = {}
+        for module in workflow.private_modules:
+            mfp = module_fingerprint(module)
+            packed = cache.compiled_module(module)
+            old.save_module_pack(mfp, packed, module=module)
+            modules[mfp] = (module, json.dumps(packed.to_payload(), sort_keys=True))
+        before = json.dumps(compiled.to_payload(), sort_keys=True)
+
+        store = DerivationStore(directory)
+        summary = store.migrate()
+        assert summary["failed"] == 0
+
+        loaded = store.load_pack(fingerprint, workflow, relation)
+        assert json.dumps(loaded.to_payload(), sort_keys=True) == before
+        assert store.load_relation(fingerprint, workflow) == relation
+        for mfp, (module, payload) in modules.items():
+            migrated = store.load_module_pack(mfp, module)
+            assert json.dumps(migrated.to_payload(), sort_keys=True) == payload
+
+
+@settings(max_examples=10, deadline=None)
 @given(
     seeds,
     st.integers(min_value=2, max_value=3),
