@@ -36,6 +36,15 @@ benchmark records both effects in ``BENCH_service.json``:
   the record.  The phase also re-runs the coalescing check in process
   mode: K identical in-flight requests must still perform exactly one
   derivation, on one worker.
+* **replicas** — the same distinct traffic against ``repro fleet`` fronts
+  of 1, 2 and 4 single-process replicas: one replica timeslices the GIL,
+  N replicas are N interpreters, so on real cores the curve should bend
+  like the process tier's (floor recorded as ``replicas.floor``, same
+  hardware conditionality as ``scaling.floor``).  The phase also proves
+  the *shared-store* reuse invariant: K identical requests through a
+  2-replica fleet with ``--result-cache-size 0`` perform exactly one
+  derivation fleet-wide — every repeat is a store result-tier hit,
+  whichever replica it lands on.
 
 Run standalone (used by the CI regression gate) with::
 
@@ -411,6 +420,140 @@ def run_scaling_phase(tiny: bool) -> dict:
     }
 
 
+# ---------------------------------------------------------------------------
+# Phase 6: replica fleet — distinct traffic vs fleet size; shared-store reuse
+# ---------------------------------------------------------------------------
+
+#: Fleet sizes the replica phase times distinct traffic against.
+REPLICA_COUNTS = (1, 2, 4)
+
+#: Floor for ``fleet_1_replica_seconds / fleet_4_replicas_seconds``.  Same
+#: hardware conditionality as the exec-tier scaling floor: each replica is
+#: one GIL-bound process, so on >= 4 cores four replicas must at least
+#: double one; on smaller boxes the floor degrades to a sanity bound.  The
+#: regression gate dereferences ``@replicas.floor`` from the record.
+REPLICAS_FLOOR_MULTICORE = 2.0
+REPLICAS_FLOOR_FALLBACK = 0.2
+
+
+def _timed_fleet_run(bodies: list[dict], n_replicas: int) -> float:
+    """Fire every body concurrently at a fleet front; wall seconds.
+
+    Each replica is a full ``repro serve`` process (thread workers, no
+    process exec tier), so the curve isolates what *replication* buys:
+    one replica timeslices the GIL, N replicas are N interpreters.
+    """
+    from repro.service import FleetSupervisor
+
+    supervisor = FleetSupervisor(
+        replicas=n_replicas,
+        port=0,
+        serve_argv=["--workers", str(len(bodies))],
+        spawn_timeout=300.0,
+    )
+    supervisor.start()
+    barrier = threading.Barrier(len(bodies))
+    errors: list[BaseException] = []
+
+    def call(body: dict) -> None:
+        try:
+            client = ServiceClient(supervisor.url, timeout=600.0)
+            barrier.wait(timeout=60)
+            record = client.solve(
+                workflow=body["workflow"], gamma=body["gamma"],
+                kind=body["kind"], solver=body["solver"],
+            )
+            assert record["cost"] >= 0
+        except BaseException as exc:  # noqa: BLE001 - surfaced via assert
+            errors.append(exc)
+
+    try:
+        threads = [
+            threading.Thread(target=call, args=(body,)) for body in bodies
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=600)
+        seconds = time.perf_counter() - started
+        assert not errors, errors
+        metrics = ServiceClient(supervisor.url, timeout=60.0).metrics()
+        assert metrics["fleet"]["in_rotation"] == n_replicas, metrics["fleet"]
+        assert metrics["totals"]["coalesced"] == 0, metrics  # distinct traffic
+    finally:
+        supervisor.stop(drain_timeout=60)
+    return seconds
+
+
+def run_replica_reuse_check(tiny: bool) -> dict:
+    """K identical requests through a 2-replica fleet on one store must
+    derive **once** fleet-wide: the first replica computes and persists,
+    every other request — whichever replica round-robin lands it on — is
+    answered from the store's result tier (the replicas run with
+    ``--result-cache-size 0``, so there is no in-memory cache to hide
+    behind)."""
+    from repro.service import FleetSupervisor
+
+    payload = workflow_to_dict(_derivation_heavy_workflow(tiny))
+    with tempfile.TemporaryDirectory(prefix="bench-fleet-store-") as store:
+        supervisor = FleetSupervisor(
+            replicas=2,
+            store=Path(store),
+            port=0,
+            serve_argv=["--workers", "2", "--result-cache-size", "0"],
+            spawn_timeout=300.0,
+        )
+        supervisor.start()
+        try:
+            client = ServiceClient(supervisor.url, timeout=300.0)
+            records = [
+                client.solve(
+                    workflow=payload, gamma=2, kind="cardinality",
+                    solver="auto",
+                )
+                for _ in range(K_CONCURRENT)
+            ]
+            metrics = client.metrics()
+        finally:
+            supervisor.stop(drain_timeout=60)
+    costs = {record["cost"] for record in records}
+    assert len(costs) == 1, costs
+    outcome = {
+        "requests": K_CONCURRENT,
+        "replicas": 2,
+        "store_result_hits": metrics["totals"]["result_hits"]["store"],
+        "derivations": metrics["totals"]["cache"]["derivation_misses"],
+        "served_from_store": sum(
+            1 for record in records if record.get("from_store")
+        ),
+    }
+    assert outcome["store_result_hits"] >= K_CONCURRENT - 1, outcome
+    assert outcome["derivations"] == 1, outcome
+    return outcome
+
+
+def run_replica_phase(tiny: bool) -> dict:
+    bodies = _scaling_bodies(tiny)
+    fleet_seconds = {
+        n_replicas: _timed_fleet_run(bodies, n_replicas)
+        for n_replicas in REPLICA_COUNTS
+    }
+    cpus = os.cpu_count() or 1
+    floor = REPLICAS_FLOOR_MULTICORE if cpus >= 4 else REPLICAS_FLOOR_FALLBACK
+    best = fleet_seconds[REPLICA_COUNTS[-1]]
+    return {
+        "requests": len(bodies),
+        "fleet_seconds": {str(n): s for n, s in fleet_seconds.items()},
+        "speedup_4_replicas": (
+            fleet_seconds[1] / best if best > 0 else float("inf")
+        ),
+        "cpus": cpus,
+        "floor": floor,
+        "store_reuse": run_replica_reuse_check(tiny),
+    }
+
+
 def run_benchmark(tiny: bool = False) -> dict:
     with tempfile.TemporaryDirectory(prefix="bench-service-") as workdir:
         throughput = run_throughput_phase(tiny, Path(workdir))
@@ -419,6 +562,7 @@ def run_benchmark(tiny: bool = False) -> dict:
     jobs = run_jobs_phase(tiny)
     module_reuse = run_module_reuse_phase(tiny)
     scaling = run_scaling_phase(tiny)
+    replicas = run_replica_phase(tiny)
     record = {
         "benchmark": "bench_service",
         "tiny": tiny,
@@ -433,6 +577,7 @@ def run_benchmark(tiny: bool = False) -> dict:
         **{f"jobs_{key}": value for key, value in jobs.items()},
         "module_reuse": module_reuse,
         "scaling": scaling,
+        "replicas": replicas,
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
     }
     assert record["coalesced"] == K_CONCURRENT - 1, record
@@ -444,6 +589,22 @@ def run_benchmark(tiny: bool = False) -> dict:
     assert module_reuse["reused_modules"] == module_reuse["expected_reused"], record
     write_record(record)
     return record
+
+
+def _format_replicas(replicas: dict) -> str:
+    curve = ", ".join(
+        f"{n}r={replicas['fleet_seconds'][str(n)]:.3f}s"
+        for n in REPLICA_COUNTS
+    )
+    reuse = replicas["store_reuse"]
+    return (
+        f"replicas: {replicas['requests']} distinct requests — {curve} "
+        f"({replicas['speedup_4_replicas']:.2f}x at 4 replicas, "
+        f"{replicas['cpus']} cpus, floor {replicas['floor']}x); "
+        f"{reuse['requests']} identical requests across {reuse['replicas']} "
+        f"replicas -> {reuse['derivations']} derivation "
+        f"({reuse['store_result_hits']} store result hits)"
+    )
 
 
 def _format_scaling(scaling: dict) -> str:
@@ -516,6 +677,12 @@ def main(argv: list[str] | None = None) -> int:
             f"({jobs['cells_per_second']:.1f} cells/s)"
         )
         return 0 if jobs["submit_seconds"] < 0.1 else 1
+    if "--replicas-only" in argv:
+        # Just the fleet phase (no record written): local iteration on the
+        # replica front and supervisor.
+        replicas = run_replica_phase(tiny)
+        print(_format_replicas(replicas))
+        return 0 if replicas["speedup_4_replicas"] >= replicas["floor"] else 1
     if "--scaling-only" in argv:
         # Just the execution-tier scaling curve (no record written): local
         # iteration on the process tier.
@@ -547,6 +714,7 @@ def main(argv: list[str] | None = None) -> int:
         f"{record['module_reuse']['rederived_modules']} rederived across an edit"
     )
     print(_format_scaling(record["scaling"]))
+    print(_format_replicas(record["replicas"]))
     print(f"record written to {RECORD_PATH}")
     if not tiny and record["speedup_warm_server"] < SPEEDUP_FLOOR:
         print(f"FAIL: warm-server speedup below {SPEEDUP_FLOOR}x floor")
@@ -555,6 +723,12 @@ def main(argv: list[str] | None = None) -> int:
         print(
             "FAIL: 4-worker process tier below the "
             f"{record['scaling']['floor']}x scaling floor"
+        )
+        return 1
+    if record["replicas"]["speedup_4_replicas"] < record["replicas"]["floor"]:
+        print(
+            "FAIL: 4-replica fleet below the "
+            f"{record['replicas']['floor']}x replica scaling floor"
         )
         return 1
     return 0

@@ -88,6 +88,9 @@ GATES: dict[str, tuple[str, str, dict[str, float | str]]] = {
             # 4-worker process tier vs the GIL-bound thread tier; the
             # benchmark records 2.0 on >= 4 cores, a sanity floor below.
             "scaling.speedup_4_workers": "@scaling.floor",
+            # PR 10 replica fleet: 4 single-process replicas vs 1, same
+            # hardware-conditional floor recorded by the benchmark.
+            "replicas.speedup_4_replicas": "@replicas.floor",
         },
     ),
     "store": (

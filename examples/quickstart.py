@@ -186,6 +186,16 @@ def main() -> None:
     # Coalescing, caches and drain behave identically; `/metrics` gains
     # an ``exec`` block (dispatched, busy, worker_restarts, merged worker
     # cache deltas) — examples/service_demo.py runs one live.
+    #
+    # And to scale *out* on one machine, put a replica fleet on the store:
+    #
+    #     repro fleet --replicas 4 --store DIR --port 8080
+    #
+    # supervises four full `repro serve` processes behind a health-aware
+    # /v1 front (round-robin routing, budgeted respawns, `repro fleet
+    # restart` for zero-downtime rolling restarts); identical requests
+    # across replicas still derive once, through the shared store's
+    # result tier — service_demo.py walks a two-replica fleet live.
 
     # 6. Verify the optimal view really is Γ-private, both through the
     #    engine's certificate and by the brute-force possible-worlds check.

@@ -24,7 +24,13 @@ through the three serving effects the service exists for:
    --exec-workers N``) dispatches leader computations onto long-lived
    worker processes, so distinct concurrent requests use real cores
    instead of timeslicing one behind the GIL.  ``/metrics`` gains an
-   ``exec`` block and merges the workers' cache deltas.
+   ``exec`` block and merges the workers' cache deltas;
+6. **a replica fleet on one store** — ``repro fleet --replicas 2 --store
+   DIR`` supervises two full ``repro serve`` processes sharing one store
+   behind a health-aware ``/v1`` proxy front: identical requests spread
+   over both replicas derive once fleet-wide (every repeat is a store
+   result-tier hit), and a rolling restart cycles the replicas one at a
+   time with zero failed requests.
 
 Process mode spawns workers that re-import this module, so the
 ``if __name__ == "__main__"`` guard at the bottom is load-bearing —
@@ -146,6 +152,53 @@ def main() -> None:
     finally:
         print(f"shutdown: {client.shutdown()['status']}")
         server._thread.join(timeout=30)
+
+    # -- 6. a two-replica fleet on one store ---------------------------------
+    # `repro fleet --replicas 2 --store DIR --port 8080` is the CLI
+    # spelling.  Each replica is a full `repro serve` subprocess; the front
+    # proxies /v1 with round-robin routing, drops draining/unreachable
+    # replicas from rotation, and respawns dead ones.  The replicas run
+    # with no in-memory result cache so the cross-replica reuse below is
+    # visibly the *shared store's* result tier at work.
+    import shutil
+    import tempfile
+
+    from repro.service import FleetSupervisor
+
+    store_dir = tempfile.mkdtemp(prefix="demo-fleet-store-")
+    supervisor = FleetSupervisor(
+        replicas=2, store=store_dir, port=0,
+        serve_argv=["--workers", "2", "--result-cache-size", "0"],
+    )
+    supervisor.start()
+    try:
+        client = ServiceClient(supervisor.url)
+        for _ in range(4):
+            record = client.solve(workflow=payload, gamma=2, kind="cardinality")
+        metrics = client.metrics()
+        per_replica = {
+            rid: block["requests"]["solve"]
+            for rid, block in metrics["replicas"].items()
+        }
+        print(
+            f"\nfleet: 4 identical requests over {metrics['fleet']['replicas']} "
+            f"replicas ({per_replica} solves/replica) -> "
+            f"{metrics['totals']['cache']['derivation_misses']} derivation "
+            f"fleet-wide, {metrics['totals']['result_hits']['store']} store "
+            f"result hit(s); last answer from_store={record['from_store']}"
+        )
+
+        summary = supervisor.rolling_restart(drain_timeout=60)
+        health = client.healthz()
+        print(
+            f"rolling restart: cycled {summary['restarted']} one at a time "
+            f"(drain -> respawn -> readmit); fleet now {health['status']!r} "
+            f"with {health['in_rotation']} replica(s) in rotation"
+        )
+    finally:
+        supervisor.stop(drain_timeout=60)
+        shutil.rmtree(store_dir, ignore_errors=True)
+    print("fleet drained and stopped")
 
 
 if __name__ == "__main__":

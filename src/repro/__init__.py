@@ -104,7 +104,7 @@ from .kernel import (
     set_default_backend,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.10.0"
 
 
 def solve_secure_view(problem, method: str = "auto", **kwargs):

@@ -20,9 +20,14 @@ The CLI exposes the everyday operations a workflow owner would run:
 * ``store``     — maintain a persistent derivation store directory
   (``store stats DIR``, ``store gc DIR --max-bytes N``),
 * ``serve``     — run the long-lived solve service (threaded HTTP/JSON
-  server with one hot derivation cache, request coalescing, async jobs,
-  background maintenance — store GC budget, cache TTLs, restart warm-up —
-  and ``/metrics``; SIGTERM/SIGINT drain in-flight work and exit 0),
+  server speaking the versioned ``/v1`` API with one hot derivation
+  cache, request coalescing, async jobs, background maintenance — store
+  GC budget, cache TTLs, restart warm-up — and ``/v1/metrics``;
+  SIGTERM/SIGINT drain in-flight work and exit 0),
+* ``fleet``     — spawn and supervise N ``repro serve`` replicas sharing
+  one store behind a health-aware ``/v1`` proxy front (budgeted respawn
+  of dead replicas; ``repro fleet restart`` or SIGHUP rolling-restarts
+  one replica at a time without failing requests),
 * ``submit``    — send a problem or workflow file to a running service and
   print the solve record (``--async`` submits a job and returns its
   handle; ``--watch`` polls it to completion),
@@ -382,6 +387,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         maintenance_interval=args.maintenance_interval or None,
         exec_mode=args.exec_mode,
         exec_workers=args.exec_workers,
+        replica_id=args.replica_id or None,
     )
     try:
         server = ServiceServer(
@@ -416,9 +422,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if service.exec_tier is not None
         else "exec=threads"
     )
+    replica_note = f", replica={args.replica_id}" if args.replica_id else ""
     print(
         f"repro serve: listening on {server.url} "
-        f"(workers={args.workers}, {exec_note}, store={args.store or 'none'})",
+        f"(workers={args.workers}, {exec_note}, "
+        f"store={args.store or 'none'}{replica_note})",
         flush=True,
     )
     server.serve_forever()  # returns once a signal (or /shutdown) drains us
@@ -434,29 +442,137 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    if getattr(args, "fleet_command", None) == "restart":
+        return _cmd_fleet_restart(args)
+    import signal
+    import threading
+
+    from .service import FleetSupervisor
+
+    if not args.store and args.warmup:
+        print(
+            "error: --warmup requires --store (nothing to warm from)", file=sys.stderr
+        )
+        return 2
+    if args.exec_workers is not None and args.exec_mode != "processes":
+        print(
+            "error: --exec-workers requires --exec processes",
+            file=sys.stderr,
+        )
+        return 2
+    # Per-replica configuration rides along verbatim on every spawn (and
+    # respawn), so a rolling restart brings a replica back identically.
+    serve_argv: list[str] = ["--workers", str(args.workers)]
+    serve_argv += ["--exec", args.exec_mode]
+    if args.exec_workers is not None:
+        serve_argv += ["--exec-workers", str(args.exec_workers)]
+    if args.timeout is not None:
+        serve_argv += ["--timeout", str(args.timeout)]
+    if args.result_cache_size is not None:
+        serve_argv += ["--result-cache-size", str(args.result_cache_size)]
+    if args.warmup:
+        serve_argv += ["--warmup", str(args.warmup)]
+    if args.maintenance_interval is not None:
+        serve_argv += ["--maintenance-interval", str(args.maintenance_interval)]
+    supervisor = FleetSupervisor(
+        replicas=args.replicas,
+        store=args.store or None,
+        host=args.host,
+        port=args.port,
+        serve_argv=serve_argv,
+        restart_budget=args.restart_budget,
+        quiet=args.quiet,
+    )
+    try:
+        supervisor.start()
+    except (RuntimeError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    stopping = threading.Event()
+
+    def _graceful(signum, frame) -> None:
+        if stopping.is_set():
+            import os
+
+            print(
+                "repro fleet: second signal, exiting without draining",
+                file=sys.stderr,
+                flush=True,
+            )
+            os._exit(130)
+        stopping.set()
+        threading.Thread(target=supervisor.stop, daemon=True).start()
+
+    def _rolling(signum, frame) -> None:
+        # SIGHUP: the operator's "roll the fleet" — replica at a time,
+        # never failing a request.
+        threading.Thread(target=supervisor.rolling_restart, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _graceful)
+    signal.signal(signal.SIGINT, _graceful)
+    signal.signal(signal.SIGHUP, _rolling)
+    print(
+        f"repro fleet: listening on {supervisor.url} "
+        f"(replicas={args.replicas}, workers={args.workers}/replica, "
+        f"store={args.store or 'none'})",
+        flush=True,
+    )
+    while supervisor._thread is not None and supervisor._thread.is_alive():
+        supervisor._thread.join(timeout=0.5)
+    status = supervisor.status()
+    respawns = sum(entry["restarts"] for entry in status["replicas"])
+    print(
+        f"repro fleet: drained and stopped "
+        f"({status['rolling_restarts']} rolling restart(s), "
+        f"{respawns} respawn(s))",
+        flush=True,
+    )
+    return 0
+
+
+def _cmd_fleet_restart(args: argparse.Namespace) -> int:
+    """``repro fleet restart``: ask a running fleet front to roll."""
+    from .service import ServiceClient, ServiceClientError
+
+    client = ServiceClient(args.url, timeout=args.timeout or 300.0)
+    try:
+        answer = client.request("POST", "/fleet/restart", {})
+    except ServiceClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(answer, indent=2, sort_keys=True, default=str))
+    return 0
+
+
 def _cmd_submit(args: argparse.Namespace) -> int:
     from .service import ServiceClient, ServiceClientError
 
     with open(args.file, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
 
-    body: dict = {"solver": args.solver, "verify": args.verify}
-    if args.seed is not None:
-        body["seed"] = args.seed
+    # Typed solve arguments for ServiceClient.solve — the client owns the
+    # wire body now (hand-built request dicts are the deprecated path).
+    solve_kwargs: dict = {
+        "solver": args.solver,
+        "seed": args.seed,
+        "verify": args.verify,
+    }
     if args.timeout:
-        body["timeout"] = args.timeout
+        solve_kwargs["timeout"] = args.timeout
     if "modules" in payload:  # a bare workflow file: Γ/kind come from flags
-        body["workflow"] = payload
-        body["gamma"] = args.gamma if args.gamma is not None else 2
-        body["kind"] = args.kind
+        solve_kwargs["workflow"] = payload
+        solve_kwargs["gamma"] = args.gamma if args.gamma is not None else 2
+        solve_kwargs["kind"] = args.kind
     elif args.gamma is not None:
         # A problem file re-targeted at an explicit Γ: submit its workflow
         # and let the service derive requirements at (--gamma, --kind).
-        body["workflow"] = payload.get("workflow", payload)
-        body["gamma"] = args.gamma
-        body["kind"] = args.kind
+        solve_kwargs["workflow"] = payload.get("workflow", payload)
+        solve_kwargs["gamma"] = args.gamma
+        solve_kwargs["kind"] = args.kind
     else:
-        body["problem"] = payload
+        solve_kwargs["problem"] = payload
 
     # The socket deadline must outlast the server-side wait deadline, or
     # the client's own timeout races (and usually beats) the server's 504.
@@ -466,9 +582,9 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     client_timeout = (args.timeout + 30.0) if args.timeout else 3600.0
     client = ServiceClient(args.url, timeout=client_timeout)
     if args.async_job or args.watch:
-        return _submit_async(args, client, body)
+        return _submit_async(args, client, solve_kwargs)
     try:
-        record = client.submit(body)
+        record = client.solve(**solve_kwargs)
     except ServiceClientError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -476,24 +592,28 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0
 
 
-def _submit_async(args: argparse.Namespace, client, body: dict) -> int:
+def _submit_async(args: argparse.Namespace, client, solve_kwargs: dict) -> int:
     """``repro submit --async [--watch]``: job handle now, records later."""
     from .service import ServiceClientError
 
-    grid: dict = {"solvers": [args.solver], "verify": args.verify}
-    # A one-element seed axis, even when the seed is null — the grid
-    # default would otherwise silently pin seed 0.
-    grid["seeds"] = [args.seed]
-    if args.timeout:
-        grid["timeout"] = args.timeout
-    if "workflow" in body:
-        grid["workflows"] = [body["workflow"]]
-        grid["gammas"] = [body["gamma"]]
-        grid["kinds"] = [body["kind"]]
+    # The same typed route as the blocking path: sweep_async builds the
+    # one-cell grid body.  A one-element seed axis even when the seed is
+    # null — the grid default would otherwise silently pin seed 0.
+    grid_kwargs: dict = {
+        "solvers": [solve_kwargs["solver"]],
+        "seeds": [solve_kwargs["seed"]],
+        "verify": solve_kwargs["verify"],
+    }
+    if "timeout" in solve_kwargs:
+        grid_kwargs["timeout"] = solve_kwargs["timeout"]
+    if "workflow" in solve_kwargs:
+        grid_kwargs["workflows"] = [solve_kwargs["workflow"]]
+        grid_kwargs["gammas"] = [solve_kwargs["gamma"]]
+        grid_kwargs["kinds"] = [solve_kwargs["kind"]]
     else:
-        grid["problems"] = [body["problem"]]
+        grid_kwargs["problems"] = [solve_kwargs["problem"]]
     try:
-        handle = client.submit_sweep_job(grid)
+        handle = client.sweep_async(**grid_kwargs)
         if not args.watch:
             print(json.dumps(handle, indent=2, sort_keys=True, default=str))
             return 0
@@ -792,9 +912,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--result-cache-size",
-        type=_arg_positive_int,
+        type=_arg_nonnegative_int,
         default=256,
-        help="bound on the in-memory completed-result cache (default 256)",
+        help=(
+            "bound on the in-memory completed-result cache (default 256; "
+            "0 disables it so repeats read the store's result tier — what "
+            "a fleet measuring cross-replica reuse wants)"
+        ),
     )
     serve.add_argument(
         "--result-ttl",
@@ -850,7 +974,116 @@ def build_parser() -> argparse.ArgumentParser:
         default=True,
         help="suppress per-request access logging",
     )
+    serve.add_argument(
+        "--replica-id",
+        default="",
+        help=(
+            "identity of this replica in a fleet (repro fleet passes r0, "
+            "r1, ...); reported in /v1/healthz, /v1/metrics, /v1/version"
+        ),
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="run N serve replicas on one store behind a /v1 proxy front",
+        description=(
+            "Spawns and supervises N `repro serve` processes sharing one "
+            "derivation store, and proxies /v1 traffic across whichever "
+            "replicas answer healthz 200.  A dead replica is respawned up "
+            "to --restart-budget times; `repro fleet restart` (or SIGHUP, "
+            "or POST /v1/fleet/restart) rolling-restarts one replica at a "
+            "time — drain, respawn, readmit — without failing a request.  "
+            "SIGTERM/SIGINT drain every replica and exit 0."
+        ),
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command")
+    fleet_restart = fleet_sub.add_parser(
+        "restart", help="rolling-restart a running fleet (POST /v1/fleet/restart)"
+    )
+    fleet_restart.add_argument(
+        "--url", default="http://127.0.0.1:8080", help="fleet front endpoint"
+    )
+    fleet_restart.add_argument(
+        "--timeout", type=float, default=300.0, help="request deadline in seconds"
+    )
+    fleet.add_argument("--host", default="127.0.0.1")
+    fleet.add_argument(
+        "--port", type=int, default=8080, help="front port (0 picks a free port)"
+    )
+    fleet.add_argument(
+        "--replicas",
+        type=_arg_positive_int,
+        default=2,
+        help="serve replica processes to spawn (default 2)",
+    )
+    fleet.add_argument(
+        "--store",
+        default="",
+        help=(
+            "store directory every replica attaches — the shared result "
+            f"tier is what makes cross-replica reuse work (e.g. {DEFAULT_STORE_DIR})"
+        ),
+    )
+    fleet.add_argument(
+        "--workers",
+        type=_arg_positive_int,
+        default=4,
+        help="solve worker threads per replica",
+    )
+    fleet.add_argument(
+        "--exec",
+        dest="exec_mode",
+        choices=("threads", "processes"),
+        default="threads",
+        help="execution tier inside each replica (see repro serve --exec)",
+    )
+    fleet.add_argument(
+        "--exec-workers",
+        type=_arg_positive_int,
+        default=None,
+        help="worker processes per replica for --exec processes",
+    )
+    fleet.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-request deadline passed to every replica",
+    )
+    fleet.add_argument(
+        "--result-cache-size",
+        type=_arg_nonnegative_int,
+        default=None,
+        help="per-replica in-memory result cache bound (0 disables)",
+    )
+    fleet.add_argument(
+        "--warmup",
+        type=_arg_nonnegative_int,
+        default=0,
+        help=(
+            "each replica preloads the N most-popular workflows from the "
+            "shared store's meta tier at (re)start (requires --store)"
+        ),
+    )
+    fleet.add_argument(
+        "--maintenance-interval",
+        type=_arg_nonnegative_float,
+        default=None,
+        help="per-replica maintenance interval (passed through to serve)",
+    )
+    fleet.add_argument(
+        "--restart-budget",
+        type=_arg_nonnegative_int,
+        default=3,
+        help="unexpected-death respawns allowed per replica (default 3)",
+    )
+    fleet.add_argument(
+        "--quiet",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="suppress replica stdout forwarding",
+    )
+    fleet.set_defaults(func=_cmd_fleet)
 
     submit = sub.add_parser(
         "submit",

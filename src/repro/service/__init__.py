@@ -29,12 +29,19 @@ Components
     byte budget, cache TTL expiry, popularity flushing and restart
     warm-up.
 :class:`ServiceServer`
-    The threaded HTTP front: ``POST /solve``, ``POST /sweep``,
-    ``POST /jobs/sweep``, ``GET /jobs[/<id>]``, ``DELETE /jobs/<id>``,
-    ``GET /healthz``, ``GET /metrics``, ``POST /shutdown``; graceful
-    drain on stop.
+    The threaded HTTP front for one replica: ``POST /v1/solve``,
+    ``POST /v1/sweep``, ``POST /v1/jobs/sweep``, ``GET /v1/jobs[/<id>]``,
+    ``DELETE /v1/jobs/<id>``, ``GET /v1/healthz``, ``GET /v1/metrics``,
+    ``GET /v1/version``, ``POST /v1/shutdown`` (unprefixed legacy aliases
+    answer with a ``Deprecation`` header); keep-alive connections;
+    graceful drain on stop.
+:class:`FleetSupervisor`
+    ``repro fleet``: N supervised ``repro serve`` replica processes on
+    one shared store behind a health-aware ``/v1`` proxy front, with
+    budgeted respawns and drain-aware rolling restarts.
 :class:`ServiceClient`
-    Stdlib client used by ``repro submit`` and scripts.
+    Stdlib client used by ``repro submit`` and scripts; keep-alive
+    connections, versioned-API negotiation, envelope-aware errors.
 :class:`SolveJob` / :func:`parse_solve_payload`
     The request codec; a job's ``key`` is the coalescing identity.
 """
@@ -43,6 +50,7 @@ from .background import JobManager, MaintenanceScheduler, SweepJob
 from .client import ServiceClient, ServiceClientError
 from .coalescer import InFlight, RequestCoalescer
 from .exec_tier import ProcessExecTier, TierUnavailable
+from .fleet import FleetSupervisor, Replica
 from .jobs import (
     JOB_STATES,
     TERMINAL_JOB_STATES,
@@ -57,12 +65,14 @@ from .server import ServiceServer
 from .service import SolveService
 
 __all__ = [
+    "FleetSupervisor",
     "InFlight",
     "InstanceCache",
     "JOB_STATES",
     "JobManager",
     "MaintenanceScheduler",
     "ProcessExecTier",
+    "Replica",
     "RequestCoalescer",
     "ServiceClient",
     "ServiceClientError",

@@ -1,7 +1,7 @@
 """Thin stdlib client for the solve service.
 
-:class:`ServiceClient` wraps ``urllib`` — no dependencies, usable from any
-script or from ``repro submit``::
+:class:`ServiceClient` wraps ``http.client`` — no dependencies, usable from
+any script or from ``repro submit``::
 
     from repro.service import ServiceClient
 
@@ -13,17 +13,29 @@ script or from ``repro submit``::
 ``solve`` accepts a live :class:`~repro.core.workflow.Workflow` /
 :class:`~repro.core.secure_view.SecureViewProblem` (serialized on the way
 out) or an already-serialized payload mapping.  HTTP-level failures raise
-:class:`ServiceClientError` carrying the status code and the server's error
-payload, so callers can distinguish a malformed request (400) from a
-timeout (504) from a draining server (503).
+:class:`ServiceClientError` carrying the status code, the error ``type``
+from the server's envelope, and the full payload, so callers can
+distinguish a malformed request (400) from a timeout (504) from a draining
+server (503).
+
+Two transport behaviours matter operationally:
+
+* **keep-alive** — one persistent connection per calling thread, reused
+  across requests (a stale socket the server closed between requests is
+  retried once on a fresh one), instead of a TCP handshake per call;
+* **base-path negotiation** — the client speaks the versioned ``/v1`` API
+  and probes once per client: a server answering 404 on ``/v1/healthz``
+  is pre-v1, and the client falls back to the deprecated unprefixed
+  routes so old servers keep working during a fleet upgrade.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import threading
 import time
-import urllib.error
-import urllib.request
+import urllib.parse
 from typing import Any, Callable, Mapping
 
 __all__ = ["ServiceClient", "ServiceClientError"]
@@ -31,16 +43,46 @@ __all__ = ["ServiceClient", "ServiceClientError"]
 #: Job states after which polling can stop (mirrors ``JOB_STATES``).
 _TERMINAL_JOB_STATES = ("done", "failed", "cancelled")
 
+#: The API prefix this client speaks natively.
+_API_PREFIX = "/v1"
+
+#: Connection failures that mean "the server closed our parked keep-alive
+#: socket": safe to retry exactly once on a fresh connection, because no
+#: response byte arrived so the server cannot have acted on the request.
+_STALE_CONNECTION_ERRORS = (
+    http.client.RemoteDisconnected,
+    http.client.CannotSendRequest,
+    BrokenPipeError,
+    ConnectionResetError,
+)
+
 
 class ServiceClientError(Exception):
     """An HTTP error response from the service (status + server payload)."""
 
     def __init__(
-        self, status: int, message: str, payload: Mapping[str, Any] | None = None
+        self,
+        status: int,
+        message: str,
+        payload: Mapping[str, Any] | None = None,
+        error_type: str | None = None,
     ):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.payload = dict(payload or {})
+        #: The server-side exception class from the v1 error envelope
+        #: (``None`` for transport failures and legacy flat bodies).
+        self.error_type = error_type
+
+
+def _error_details(payload: Any, fallback: str) -> tuple[str, str | None]:
+    """``(message, type)`` from an error body, envelope or legacy flat."""
+    error = payload.get("error") if isinstance(payload, Mapping) else None
+    if isinstance(error, Mapping):  # v1 envelope
+        return str(error.get("message", fallback)), error.get("type")
+    if error is not None:  # pre-v1 flat body: {"error": "...", "status": N}
+        return str(error), None
+    return fallback, None
 
 
 def _instance_payload(instance: Any) -> Mapping[str, Any]:
@@ -63,47 +105,122 @@ class ServiceClient:
 
     def __init__(self, url: str, timeout: float = 300.0) -> None:
         self.url = url.rstrip("/")
+        parsed = urllib.parse.urlsplit(self.url)
+        if parsed.hostname is None:
+            raise ValueError(f"cannot parse service url {url!r}")
+        self._host = parsed.hostname
+        self._port = parsed.port or 80
         self.timeout = timeout
+        # One keep-alive connection per calling thread (http.client
+        # connections are not thread-safe to share).
+        self._local = threading.local()
+        #: Negotiated base path: ``"/v1"`` against a current server, ``""``
+        #: against a pre-v1 one.  ``None`` until the first request probes.
+        self._base_path: str | None = None
 
     # -- transport --------------------------------------------------------------
-    def request(self, method: str, path: str, payload: Any = None) -> dict[str, Any]:
-        """One JSON round trip; raises :class:`ServiceClientError` on 4xx/5xx."""
+    def _connection(self) -> http.client.HTTPConnection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = http.client.HTTPConnection(
+                self._host, self._port, timeout=self.timeout
+            )
+            self._local.conn = conn
+        return conn
+
+    def close(self) -> None:
+        """Close this thread's keep-alive connection (idempotent)."""
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            self._local.conn = None
+            conn.close()
+
+    def _roundtrip(self, method: str, path: str, payload: Any) -> dict[str, Any]:
+        """One JSON exchange on the thread's keep-alive connection.
+
+        A server is free to close a parked keep-alive socket at any time
+        (draining, idle timeout); when the failure proves no response byte
+        arrived, the request is replayed once on a fresh connection.
+        """
         body = None
         headers = {"Accept": "application/json"}
         if payload is not None:
             body = json.dumps(payload, default=str).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(
-            f"{self.url}{path}", data=body, headers=headers, method=method
-        )
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
-            try:
-                error_payload = json.loads(exc.read().decode("utf-8"))
-            except Exception:  # non-JSON error body
-                error_payload = {}
-            message = error_payload.get("error", exc.reason)
-            raise ServiceClientError(
-                exc.code, str(message), error_payload
-            ) from exc
-        except urllib.error.URLError as exc:
-            raise ServiceClientError(
-                0, f"cannot reach {self.url}: {exc.reason}"
-            ) from exc
-        except (TimeoutError, OSError) as exc:
-            # Socket-level read timeouts (and connection resets mid-read)
-            # surface as bare OSError/TimeoutError, not URLError; fold them
+            for attempt in (0, 1):
+                conn = self._connection()
+                fresh = conn.sock is None
+                try:
+                    conn.request(method, path, body=body, headers=headers)
+                    response = conn.getresponse()
+                    data = response.read()
+                except _STALE_CONNECTION_ERRORS:
+                    self.close()
+                    if fresh or attempt:
+                        raise
+                    continue  # stale reused socket: replay once
+                if response.will_close:
+                    self.close()
+                break
+        except (TimeoutError, OSError, http.client.HTTPException) as exc:
+            # Socket-level failures (refused, reset, read timeout) fold
             # into the same controlled error so callers never see a raw
             # socket traceback.
+            self.close()
             raise ServiceClientError(
-                0, f"request to {self.url} failed: {str(exc) or type(exc).__name__}"
+                0,
+                f"request to {self.url} failed: {str(exc) or type(exc).__name__}",
             ) from exc
+        try:
+            parsed = json.loads(data.decode("utf-8")) if data else {}
+        except ValueError:
+            parsed = {}
+        if response.status >= 400:
+            message, error_type = _error_details(parsed, response.reason)
+            raise ServiceClientError(
+                response.status, message, parsed, error_type=error_type
+            )
+        return parsed
+
+    def _negotiated_base(self) -> str:
+        """Probe the server's API surface once; ``"/v1"`` or ``""``.
+
+        ``/v1/version`` is the probe: it answers even mid-drain, and it
+        does not perturb the server's request counters the way a healthz
+        or metrics probe would.
+        """
+        if self._base_path is None:
+            try:
+                self._roundtrip("GET", f"{_API_PREFIX}/version", None)
+            except ServiceClientError as exc:
+                if exc.status == 404:
+                    self._base_path = ""  # pre-v1 server: legacy routes
+                elif exc.status == 0:
+                    raise  # unreachable: report, renegotiate next call
+                else:
+                    # Any real HTTP answer (503 draining included) proves
+                    # the /v1 surface exists.
+                    self._base_path = _API_PREFIX
+            else:
+                self._base_path = _API_PREFIX
+        return self._base_path
+
+    def request(self, method: str, path: str, payload: Any = None) -> dict[str, Any]:
+        """One JSON round trip; raises :class:`ServiceClientError` on 4xx/5xx.
+
+        ``path`` is the un-versioned route (``"/solve"``); the negotiated
+        base path (``/v1`` unless the server predates it) is prepended.
+        """
+        return self._roundtrip(method, f"{self._negotiated_base()}{path}", payload)
 
     # -- endpoints --------------------------------------------------------------
     def submit(self, body: Mapping[str, Any]) -> dict[str, Any]:
-        """POST a raw, already-assembled ``/solve`` body."""
+        """POST a raw, already-assembled ``/solve`` body.
+
+        Deprecated for everyday use: prefer :meth:`solve`, which builds
+        the body from typed arguments (``repro submit`` goes through it).
+        """
         return self.request("POST", "/solve", body)
 
     def solve(
@@ -155,6 +272,24 @@ class ServiceClient:
         timeout: float | None = None,
     ) -> dict[str, Any]:
         """Run an inline grid on the server; the sweep report."""
+        body = self._grid_body(
+            workflows, problems, gammas, kinds, solvers, seeds, verify,
+            backend, timeout,
+        )
+        return self.request("POST", "/sweep", body)
+
+    def _grid_body(
+        self,
+        workflows: tuple | list,
+        problems: tuple | list,
+        gammas: tuple | list,
+        kinds: tuple | list,
+        solvers: tuple | list,
+        seeds: tuple | list,
+        verify: bool,
+        backend: str | None,
+        timeout: float | None,
+    ) -> dict[str, Any]:
         body: dict[str, Any] = {
             "workflows": [_instance_payload(w) for w in workflows],
             "problems": [_instance_payload(p) for p in problems],
@@ -168,11 +303,14 @@ class ServiceClient:
             body["backend"] = backend
         if timeout is not None:
             body["timeout"] = timeout
-        return self.request("POST", "/sweep", body)
+        return body
 
     # -- async jobs --------------------------------------------------------------
     def submit_sweep_job(self, body: Mapping[str, Any]) -> dict[str, Any]:
-        """POST a raw, already-assembled grid to ``/jobs/sweep``; the handle."""
+        """POST a raw, already-assembled grid to ``/jobs/sweep``; the handle.
+
+        Deprecated for everyday use: prefer :meth:`sweep_async`.
+        """
         return self.request("POST", "/jobs/sweep", body)
 
     def sweep_async(
@@ -193,19 +331,10 @@ class ServiceClient:
         Returns immediately; poll with :meth:`job` or block with
         :meth:`wait_job`.
         """
-        body: dict[str, Any] = {
-            "workflows": [_instance_payload(w) for w in workflows],
-            "problems": [_instance_payload(p) for p in problems],
-            "gammas": list(gammas),
-            "kinds": list(kinds),
-            "solvers": list(solvers),
-            "seeds": list(seeds),
-            "verify": verify,
-        }
-        if backend is not None:
-            body["backend"] = backend
-        if timeout is not None:
-            body["timeout"] = timeout
+        body = self._grid_body(
+            workflows, problems, gammas, kinds, solvers, seeds, verify,
+            backend, timeout,
+        )
         return self.submit_sweep_job(body)
 
     def job(self, job_id: str) -> dict[str, Any]:
@@ -251,10 +380,16 @@ class ServiceClient:
             time.sleep(poll)
 
     def healthz(self) -> dict[str, Any]:
+        """``GET /healthz``: liveness, drain flag, exec-tier health."""
         return self.request("GET", "/healthz")
 
     def metrics(self) -> dict[str, Any]:
+        """``GET /metrics``: counters, cache deltas, replica identity."""
         return self.request("GET", "/metrics")
+
+    def version(self) -> dict[str, Any]:
+        """``GET /v1/version``: package + API version, store formats."""
+        return self.request("GET", "/version")
 
     def shutdown(self) -> dict[str, Any]:
         """Ask the server to drain and exit (202 acknowledged)."""

@@ -42,6 +42,7 @@ __all__ = [
     "ServiceTimeout",
     "SolveJob",
     "WorkerError",
+    "error_envelope",
     "parse_solve_payload",
 ]
 
@@ -55,15 +56,34 @@ JOB_STATES = ("pending", "running", "done", "failed", "cancelled")
 TERMINAL_JOB_STATES = ("done", "failed", "cancelled")
 
 
+def error_envelope(
+    error_type: str, message: str, status: int
+) -> dict[str, Any]:
+    """The one wire shape every error answers with (v1 API contract)::
+
+        {"error": {"type": ..., "message": ..., "status": ...}}
+
+    ``type`` is the failing exception's class name (a worker forwards the
+    original class across the process boundary), ``status`` duplicates the
+    HTTP status so clients reading only the body lose nothing.
+    """
+    return {
+        "error": {"type": error_type, "message": message, "status": status}
+    }
+
+
 class ServiceError(Exception):
     """A request-level failure, carrying the HTTP status to report."""
 
     def __init__(self, message: str, status: int = 400) -> None:
         super().__init__(message)
         self.status = status
+        #: Class name reported in the envelope (:class:`WorkerError`
+        #: overwrites it with the original class from the worker process).
+        self.error_type = type(self).__name__
 
     def as_dict(self) -> dict[str, Any]:
-        return {"error": str(self), "status": self.status}
+        return error_envelope(self.error_type, str(self), self.status)
 
 
 class ServiceTimeout(ServiceError):

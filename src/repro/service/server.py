@@ -5,32 +5,41 @@ threads parse JSON bodies, call the service, and serialize the answer.
 Handler threads never compute — computation happens in the service's worker
 pool — so slow solves occupy pool slots, not the accept loop.
 
-Routes
-------
-``GET /healthz``
+Routes (v1 API)
+---------------
+Every endpoint is mounted under ``/v1/``; the unprefixed spellings from
+before the API was versioned still answer identically, but carry a
+``Deprecation: true`` header (plus a ``Link`` to the ``/v1`` successor) so
+clients and fleets can migrate on their own schedule.
+
+``GET /v1/healthz``
     Liveness: ``{"status": "ok" | "draining" | "unhealthy", "draining":
-    bool, "healthy": bool, ...}``.  Answers **503** once a drain has
-    started, and likewise when the process execution tier's worker pool is
-    dead and unrecoverable (body still included either way), so load
-    balancers can stop routing before SIGTERM completes — or route away
-    from a degraded replica.
-``GET /metrics``
+    bool, "healthy": bool, "replica": ..., ...}``.  Answers **503** once a
+    drain has started, and likewise when the process execution tier's
+    worker pool is dead and unrecoverable (body still included either
+    way), so load balancers — including ``repro fleet`` — can stop routing
+    before SIGTERM completes, or route away from a degraded replica.
+``GET /v1/metrics``
     Request counts, in-flight gauge, coalescing counters, job and
-    maintenance counters, and the shared cache's hit/miss delta since
-    start (see ``SolveService.metrics``).
-``POST /solve``
+    maintenance counters, replica identity, and the shared cache's
+    hit/miss delta since start (see ``SolveService.metrics``).
+``GET /v1/version``
+    Package version, API version, replica identity and the attached
+    store's on-disk format versions — what a rolling upgrade checks
+    before readmitting a replica.
+``POST /v1/solve``
     One solve request (see :mod:`repro.service.jobs` for the body schema).
-``POST /sweep``
+``POST /v1/sweep``
     An inline grid fanned through the solve pipeline (blocks until done).
-``POST /jobs/sweep``
+``POST /v1/jobs/sweep``
     The same grid, asynchronously: answers 202 with a job id immediately
     (see :mod:`repro.service.background`).
-``GET /jobs`` / ``GET /jobs/<id>``
+``GET /v1/jobs`` / ``GET /v1/jobs/<id>``
     Job summaries / one job's state, progress counters and partial
     records.
-``DELETE /jobs/<id>``
+``DELETE /v1/jobs/<id>``
     Cancel: in-flight cells finish, pending cells are dropped.
-``POST /shutdown``
+``POST /v1/shutdown``
     Ack with 202 and gracefully stop the server (drain, then exit the
     serve loop).  The CLI additionally wires SIGTERM/SIGINT to the same
     path, so ``kill -TERM`` on ``repro serve`` drains and exits 0.
@@ -38,25 +47,50 @@ Routes
 Error mapping: malformed JSON or payloads → 400, unknown routes and job
 ids → 404, request deadline passed → 504, draining → 503, a full job
 table → 429, solver/domain failures → 422, anything unexpected → 500;
-every error body is ``{"error": "...", "status": N}``.
+every error body is the one envelope
+``{"error": {"type": ..., "message": ..., "status": ...}}``.
+
+Connections are keep-alive (HTTP/1.1 persistent): a client — or the fleet
+front — reuses one socket across requests instead of paying a TCP
+handshake each time.  Draining stays safe: once a stop begins, every
+response carries ``Connection: close``, and sockets that are *idle*
+between requests are shut down after the drain completes, so
+``server_close()`` never waits on a parked keep-alive socket while no
+in-flight response is ever cut off.
 """
 
 from __future__ import annotations
 
 import json
+import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
 from ..exceptions import ProvenanceError
-from .jobs import ServiceError
+from .jobs import ServiceError, error_envelope
 from .service import SolveService
 
-__all__ = ["ServiceServer"]
+__all__ = ["ServiceServer", "normalize_path"]
 
 #: Refuse request bodies larger than this (a serialized workflow payload is
 #: typically a few hundred KB at the arities this library targets).
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: The one API version this server speaks (the ``/v1`` route prefix).
+API_PREFIX = "/v1"
+
+
+def normalize_path(path: str) -> tuple[str, bool]:
+    """Map a request path onto the canonical route and a legacy flag.
+
+    ``/v1/solve`` → ``("/solve", False)``; the deprecated unprefixed
+    ``/solve`` → ``("/solve", True)``.  The fleet front shares this helper
+    so both layers agree on what counts as a legacy spelling.
+    """
+    if path == API_PREFIX or path.startswith(API_PREFIX + "/"):
+        return path[len(API_PREFIX):] or "/", False
+    return path, True
 
 
 def _scrub_nonfinite(value: Any) -> Any:
@@ -72,6 +106,20 @@ def _scrub_nonfinite(value: Any) -> Any:
     return value
 
 
+def encode_json(payload: Any) -> bytes:
+    """Strict RFC-8259 JSON bytes (inf/nan scrubbed to null)."""
+    try:
+        text = json.dumps(payload, sort_keys=True, default=str, allow_nan=False)
+    except ValueError:
+        # Non-RFC-8259 floats (inf/nan) would break every non-Python
+        # client, so scrub them to null rather than emit the Python-only
+        # Infinity/NaN tokens.
+        text = json.dumps(
+            _scrub_nonfinite(payload), sort_keys=True, default=str, allow_nan=False
+        )
+    return text.encode("utf-8")
+
+
 class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     server_version = "repro-serve"
@@ -84,24 +132,33 @@ class _Handler(BaseHTTPRequestHandler):
         if not self.quiet:
             super().log_message(format, *args)
 
-    def _respond(self, status: int, payload: Any) -> None:
+    def setup(self) -> None:
+        super().setup()
+        self.server.owner._track(self.connection)  # type: ignore[attr-defined]
+
+    def finish(self) -> None:
         try:
-            text = json.dumps(payload, sort_keys=True, default=str, allow_nan=False)
-        except ValueError:
-            # Strict JSON on the wire: non-RFC-8259 floats (inf/nan) would
-            # break every non-Python client, so scrub them to null rather
-            # than emit the Python-only Infinity/NaN tokens.
-            text = json.dumps(
-                _scrub_nonfinite(payload), sort_keys=True, default=str, allow_nan=False
-            )
-        body = text.encode("utf-8")
+            super().finish()
+        finally:
+            self.server.owner._untrack(self.connection)  # type: ignore[attr-defined]
+
+    def _respond(self, status: int, payload: Any) -> None:
+        body = encode_json(payload)
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
-        # One request per connection keeps draining simple: no handler
-        # thread ever idles on a keep-alive socket across the shutdown.
-        self.send_header("Connection", "close")
-        self.close_connection = True
+        if getattr(self, "_legacy_path", None):
+            # The unversioned spelling still answers byte-identically, but
+            # tells clients where the supported route lives.
+            self.send_header("Deprecation", "true")
+            self.send_header(
+                "Link", f"<{API_PREFIX}{self._legacy_path}>; rel=\"successor-version\""
+            )
+        if self.server.owner.closing:  # type: ignore[attr-defined]
+            # Draining: finish this exchange, then let the socket go so
+            # server_close() never waits on a parked keep-alive connection.
+            self.send_header("Connection", "close")
+            self.close_connection = True
         self.end_headers()
         try:
             self.wfile.write(body)
@@ -110,14 +167,39 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _fail(self, exc: BaseException) -> None:
         if isinstance(exc, ServiceError):
+            if exc.status in (411, 413):
+                # The body was never consumed and its framing is unknown —
+                # leftover bytes would be parsed as the next request line.
+                self.close_connection = True
             self._respond(exc.status, exc.as_dict())
         elif isinstance(exc, ProvenanceError):
             # Well-formed request, unsolvable instance (unknown solver,
             # infeasible requirements, work limits): the client's fault
             # semantically, but not a malformed message.
-            self._respond(422, {"error": str(exc), "status": 422})
+            self._respond(422, error_envelope(type(exc).__name__, str(exc), 422))
         else:
-            self._respond(500, {"error": str(exc), "status": 500})
+            self._respond(500, error_envelope(type(exc).__name__, str(exc), 500))
+
+    def _not_found(self) -> None:
+        self._respond(
+            404,
+            error_envelope("ServiceError", f"no such path {self.path!r}", 404),
+        )
+
+    def _drain_body(self) -> None:
+        """Discard a request body this route ignores.
+
+        Keep-alive framing depends on it: unread body bytes would be parsed
+        as the next request line on this connection.
+        """
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except (TypeError, ValueError):
+            length = 0
+        if 0 < length <= MAX_BODY_BYTES:
+            self.rfile.read(length)
+        elif length > MAX_BODY_BYTES:
+            self.close_connection = True
 
     def _read_body(self) -> Any:
         length = self.headers.get("Content-Length")
@@ -134,14 +216,22 @@ class _Handler(BaseHTTPRequestHandler):
             raise ServiceError(f"request body is not valid JSON: {exc}") from exc
 
     # -- routes -----------------------------------------------------------------
-    def _job_id(self) -> str | None:
-        """The ``<id>`` of a ``/jobs/<id>`` path (``None`` when malformed)."""
-        job_id = self.path[len("/jobs/"):]
+    def _route(self) -> str:
+        """Canonical (un-versioned) route; flags legacy spellings."""
+        route, legacy = normalize_path(self.path)
+        self._legacy_path = route if legacy else None
+        return route
+
+    def _job_id(self, route: str) -> str | None:
+        """The ``<id>`` of a ``/jobs/<id>`` route (``None`` when malformed)."""
+        job_id = route[len("/jobs/"):]
         return job_id if job_id and "/" not in job_id else None
 
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        route = self._route()
+        busy = self.server.owner._mark_busy(self.connection)  # type: ignore[attr-defined]
         try:
-            if self.path == "/healthz":
+            if route == "/healthz":
                 payload = self.service.healthz()
                 # 503 while draining or with a dead execution tier: body
                 # still answers, but balancers and pollers see "stop
@@ -150,48 +240,59 @@ class _Handler(BaseHTTPRequestHandler):
                     "healthy", True
                 )
                 self._respond(503 if unavailable else 200, payload)
-            elif self.path == "/metrics":
+            elif route == "/metrics":
                 self._respond(200, self.service.metrics())
-            elif self.path == "/jobs":
+            elif route == "/version":
+                self._respond(200, self.service.version())
+            elif route == "/jobs":
                 self._respond(200, {"jobs": self.service.jobs.list_jobs()})
-            elif self.path.startswith("/jobs/") and self._job_id():
-                self._respond(200, self.service.jobs.status(self._job_id()))
+            elif route.startswith("/jobs/") and self._job_id(route):
+                self._respond(200, self.service.jobs.status(self._job_id(route)))
             else:
-                self._respond(
-                    404, {"error": f"no such path {self.path!r}", "status": 404}
-                )
+                self._not_found()
         except Exception as exc:  # noqa: BLE001 - a handler must always answer
             self._fail(exc)
+        finally:
+            if busy:
+                self.server.owner._mark_idle(self.connection)  # type: ignore[attr-defined]
 
     def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        route = self._route()
+        busy = self.server.owner._mark_busy(self.connection)  # type: ignore[attr-defined]
         try:
-            if self.path == "/solve":
+            if route == "/solve":
                 self._respond(200, self.service.solve_payload(self._read_body()))
-            elif self.path == "/sweep":
+            elif route == "/sweep":
                 self._respond(200, self.service.sweep_payload(self._read_body()))
-            elif self.path == "/jobs/sweep":
+            elif route == "/jobs/sweep":
                 # 202: accepted, not done — the body is the job handle.
                 self._respond(202, self.service.jobs.submit(self._read_body()))
-            elif self.path == "/shutdown":
+            elif route == "/shutdown":
+                self._drain_body()  # the (ignored) body must leave the socket
                 self._respond(202, {"status": "shutting down"})
                 self.server.owner.stop_async()  # type: ignore[attr-defined]
             else:
-                self._respond(
-                    404, {"error": f"no such path {self.path!r}", "status": 404}
-                )
+                self._drain_body()
+                self._not_found()
         except Exception as exc:  # noqa: BLE001 - a handler must always answer
             self._fail(exc)
+        finally:
+            if busy:
+                self.server.owner._mark_idle(self.connection)  # type: ignore[attr-defined]
 
     def do_DELETE(self) -> None:  # noqa: N802 - http.server naming
+        route = self._route()
+        busy = self.server.owner._mark_busy(self.connection)  # type: ignore[attr-defined]
         try:
-            if self.path.startswith("/jobs/") and self._job_id():
-                self._respond(200, self.service.jobs.cancel(self._job_id()))
+            if route.startswith("/jobs/") and self._job_id(route):
+                self._respond(200, self.service.jobs.cancel(self._job_id(route)))
             else:
-                self._respond(
-                    404, {"error": f"no such path {self.path!r}", "status": 404}
-                )
+                self._not_found()
         except Exception as exc:  # noqa: BLE001 - a handler must always answer
             self._fail(exc)
+        finally:
+            if busy:
+                self.server.owner._mark_idle(self.connection)  # type: ignore[attr-defined]
 
 
 class ServiceServer:
@@ -228,6 +329,13 @@ class ServiceServer:
         self.httpd.daemon_threads = False
         self.httpd.owner = self  # type: ignore[attr-defined]
         self._stopped = threading.Event()
+        self._closing = threading.Event()
+        # Keep-alive sockets and whether each is mid-request.  Guarded by
+        # one lock so "mark busy" and "close every idle socket" are atomic
+        # with respect to each other: a request that marked busy is never
+        # closed under it, a parked socket is closed immediately.
+        self._conn_lock = threading.Lock()
+        self._connections: dict[socket.socket, bool] = {}
         self._thread: threading.Thread | None = None
 
     @property
@@ -241,6 +349,58 @@ class ServiceServer:
     @property
     def url(self) -> str:
         return f"http://{self.host}:{self.port}"
+
+    @property
+    def closing(self) -> bool:
+        return self._closing.is_set()
+
+    # -- connection tracking (keep-alive vs drain) -------------------------------
+    def _track(self, conn: socket.socket) -> None:
+        with self._conn_lock:
+            self._connections[conn] = False
+
+    def _untrack(self, conn: socket.socket) -> None:
+        with self._conn_lock:
+            self._connections.pop(conn, None)
+
+    def _mark_busy(self, conn: socket.socket) -> bool:
+        with self._conn_lock:
+            if conn in self._connections:
+                self._connections[conn] = True
+                return True
+        return False
+
+    def _mark_idle(self, conn: socket.socket) -> None:
+        with self._conn_lock:
+            if conn in self._connections:
+                self._connections[conn] = False
+                # A handler that goes idle after the close-idle sweep already
+                # ran (it was busy writing its response) would otherwise park
+                # on the next keep-alive read and stall server_close().
+                if self.closing:
+                    try:
+                        conn.shutdown(socket.SHUT_RDWR)
+                    except OSError:
+                        pass
+
+    def _close_idle_connections(self) -> int:
+        """Shut down sockets parked between keep-alive requests; count them.
+
+        Runs after the drain, so anything still marked busy is writing its
+        (already computed) response and is left alone — it closes itself
+        via the ``Connection: close`` every response carries by then.
+        """
+        closed = 0
+        with self._conn_lock:
+            for conn, busy in list(self._connections.items()):
+                if busy:
+                    continue
+                try:
+                    conn.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass  # already dying; its handler will untrack it
+                closed += 1
+        return closed
 
     # -- serving ----------------------------------------------------------------
     def serve_forever(self) -> None:
@@ -269,7 +429,12 @@ class ServiceServer:
         if self._stopped.is_set():
             return True
         self._stopped.set()
+        # From here on every response says ``Connection: close``; the
+        # drain below waits for in-flight work, then parked keep-alive
+        # sockets are shut down so server_close() joins promptly.
+        self._closing.set()
         drained = self.service.drain(drain_timeout)
+        self._close_idle_connections()
         self.httpd.shutdown()
         if self._thread is not None and self._thread is not threading.current_thread():
             self._thread.join(timeout=5.0)

@@ -129,6 +129,12 @@ class SolveService:
     exec_workers:
         Worker processes for the process tier (defaults to ``workers``);
         only meaningful with ``exec_mode="processes"``.
+    replica_id:
+        Identity of this replica in a fleet (``repro fleet`` passes
+        ``--replica-id r<i>`` to each ``repro serve`` it spawns); surfaced
+        in ``/v1/healthz``, ``/v1/metrics`` and ``/v1/version`` so
+        operators and the fleet front can tell which process answered.
+        ``None`` (the default) means a standalone server.
     """
 
     def __init__(
@@ -148,11 +154,15 @@ class SolveService:
         maintenance_interval: float | None = 30.0,
         exec_mode: str = "threads",
         exec_workers: int | None = None,
+        replica_id: str | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
-        if result_cache_size < 1:
-            raise ValueError("result_cache_size must be >= 1")
+        # 0 disables the in-memory result cache entirely: every repeat then
+        # reads the store's result tier, which is what a fleet benchmark
+        # measuring *cross-replica* reuse needs.
+        if result_cache_size < 0:
+            raise ValueError("result_cache_size must be >= 0")
         if planner_cache_size < 1:
             raise ValueError("planner_cache_size must be >= 1")
         if result_ttl is not None and result_ttl <= 0:
@@ -182,6 +192,7 @@ class SolveService:
             store = DerivationStore(store)
         self.cache = DerivationCache(store=store)
         self.registry = registry
+        self.replica_id = replica_id
         self.workers = workers
         self.default_timeout = default_timeout
         self.reuse_results = reuse_results
@@ -303,12 +314,16 @@ class SolveService:
             return planner
 
     def _remember_result(self, key: tuple, record: Mapping[str, Any]) -> None:
+        if self.result_cache_size == 0:
+            return
         with self._state:
             while len(self._results) >= self.result_cache_size:
                 self._results.popitem(last=False)
             self._results[key] = (dict(record), time.monotonic())
 
     def _lookup_result(self, key: tuple) -> dict[str, Any] | None:
+        if self.result_cache_size == 0:
+            return None
         with self._state:
             entry = self._results.get(key)
             if entry is None:
@@ -703,8 +718,35 @@ class SolveService:
                 "healthy": healthy,
                 "exec_mode": self.exec_mode,
                 "in_flight": self._in_flight,
+                "replica": self.replica_id,
                 "uptime_seconds": time.monotonic() - self._started_monotonic,
             }
+
+    def version(self) -> dict[str, Any]:
+        """``GET /v1/version``: package + API version, store formats.
+
+        A fleet operator rolling replicas forward reads this per replica to
+        confirm which code and which on-disk store format each process
+        speaks before readmitting it to rotation.
+        """
+        from .. import __version__
+        from ..engine.store import FORMAT_VERSION, SUPPORTED_FORMAT_VERSIONS
+
+        store = self.cache.store
+        store_block = None
+        if store is not None:
+            store_block = {
+                "root": str(store.root),
+                "format_version": store.format_version,
+                "supported_format_versions": list(SUPPORTED_FORMAT_VERSIONS),
+            }
+        return {
+            "package": __version__,
+            "api": "v1",
+            "replica": self.replica_id,
+            "default_format_version": FORMAT_VERSION,
+            "store": store_block,
+        }
 
     def metrics(self) -> dict[str, Any]:
         """``GET /metrics``: request counters, coalescing, cache/store deltas.
@@ -744,6 +786,7 @@ class SolveService:
             payload: dict[str, Any] = {
                 "started_at": self._started_at,
                 "uptime_seconds": time.monotonic() - self._started_monotonic,
+                "replica": self.replica_id,
                 "workers": self.workers,
                 "draining": self._draining,
                 "in_flight": self._in_flight,

@@ -429,7 +429,7 @@ class TestConfigValidation:
     @pytest.mark.parametrize(
         "kwargs",
         [
-            {"result_cache_size": 0},
+            {"result_cache_size": -1},
             {"planner_cache_size": 0},
             {"result_ttl": 0},
             {"result_ttl": -1.0},

@@ -66,6 +66,96 @@ class TestRoutes:
         assert report["cells"] == 2 and report["errors"] == 0
 
 
+class TestV1Surface:
+    """The versioned API: /v1 routes, legacy aliases, version, keep-alive."""
+
+    def _get(self, url: str):
+        with urllib.request.urlopen(url, timeout=30) as response:
+            return response.status, dict(response.headers), json.loads(
+                response.read().decode("utf-8")
+            )
+
+    def test_v1_and_legacy_routes_answer_identically(self, served):
+        _, server, _ = served
+        status_v1, headers_v1, body_v1 = self._get(f"{server.url}/v1/healthz")
+        status_legacy, headers_legacy, body_legacy = self._get(
+            f"{server.url}/healthz"
+        )
+        assert status_v1 == status_legacy == 200
+        # uptime ticks between the two calls; everything else is identical.
+        body_v1.pop("uptime_seconds"), body_legacy.pop("uptime_seconds")
+        assert body_v1 == body_legacy
+
+    def test_legacy_alias_answers_deprecation_header(self, served):
+        _, server, _ = served
+        _, headers, _ = self._get(f"{server.url}/healthz")
+        assert headers.get("Deprecation") == "true"
+        assert "/v1/healthz" in headers.get("Link", "")
+        _, headers_v1, _ = self._get(f"{server.url}/v1/healthz")
+        assert "Deprecation" not in headers_v1
+
+    def test_version_reports_package_api_and_store_formats(self, served, tmp_path):
+        _, _, client = served
+        payload = client.version()
+        from repro import __version__
+
+        assert payload["package"] == __version__
+        assert payload["api"] == "v1"
+        assert payload["store"] is None  # in-memory service
+        stored = SolveService(workers=1, store=str(tmp_path / "store"))
+        server = ServiceServer(stored, port=0).start()
+        try:
+            stored_version = ServiceClient(server.url, timeout=30).version()
+            block = stored_version["store"]
+            assert block["format_version"] == 2
+            assert 2 in block["supported_format_versions"]
+        finally:
+            server.stop(drain_timeout=30)
+
+    def test_client_negotiates_legacy_base_path(self, served):
+        _, server, _ = served
+        client = ServiceClient(server.url, timeout=30)
+        assert client._negotiated_base() == "/v1"
+        # A pre-v1 server 404s the probe; the client falls back to the
+        # unprefixed routes and keeps working.
+        legacy = ServiceClient(server.url, timeout=30)
+        legacy._base_path = ""
+        assert legacy.healthz()["status"] == "ok"
+
+    def test_keep_alive_reuses_one_connection(self, served):
+        _, server, client = served
+        client.healthz()
+        sock = client._local.conn.sock
+        assert sock is not None
+        client.metrics()
+        client.version()
+        assert client._local.conn.sock is sock  # same socket across calls
+
+    def test_error_envelope_carries_type_message_status(self, served):
+        _, _, client = served
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.request("GET", "/no-such-route")
+        assert excinfo.value.status == 404
+        assert excinfo.value.error_type == "ServiceError"
+        envelope = excinfo.value.payload["error"]
+        assert envelope["status"] == 404 and "no such path" in envelope["message"]
+
+    def test_client_parses_legacy_flat_error_bodies(self):
+        from repro.service.client import _error_details
+
+        message, error_type = _error_details(
+            {"error": "service is draining", "status": 503}, "fallback"
+        )
+        assert message == "service is draining" and error_type is None
+        message, error_type = _error_details(
+            {"error": {"type": "ServiceTimeout", "message": "too slow",
+                       "status": 504}},
+            "fallback",
+        )
+        assert message == "too slow" and error_type == "ServiceTimeout"
+        assert _error_details({}, "fallback") == ("fallback", None)
+
+
 class TestErrorMapping:
     def test_malformed_json_body_is_400(self, served):
         _, server, client = served
@@ -81,7 +171,10 @@ class TestErrorMapping:
         with pytest.raises(urllib.error.HTTPError) as http_error:
             urllib.request.urlopen(request, timeout=30)
         assert http_error.value.code == 400
-        assert "not valid JSON" in json.loads(http_error.value.read())["error"]
+        envelope = json.loads(http_error.value.read())["error"]
+        assert "not valid JSON" in envelope["message"]
+        assert envelope["type"] == "ServiceError"
+        assert envelope["status"] == 400
 
     def test_invalid_payload_is_400_with_reason(self, served):
         _, _, client = served

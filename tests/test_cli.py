@@ -383,7 +383,7 @@ class TestServeFlagValidation:
         "flags",
         [
             ["--workers", "0"],
-            ["--result-cache-size", "0"],
+            ["--result-cache-size", "-1"],
             ["--result-cache-size", "many"],
             ["--result-ttl", "0"],
             ["--result-ttl", "-3"],
